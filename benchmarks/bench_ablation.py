@@ -1,0 +1,74 @@
+"""Ablation study: disable each Ariadne technique in turn.
+
+Not a paper figure, but the design-choice check DESIGN.md calls out:
+HotnessOrg, AdaptiveComp (size adaptivity), PreDecomp, and cold
+writeback should each contribute to the relaunch-latency win.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.core import AriadneConfig, RelaunchScenario
+from repro.experiments.common import (
+    FIGURE_APPS,
+    build,
+    measured_relaunch,
+    render_table,
+    workload_trace,
+)
+from repro.units import KIB
+from conftest import run_once
+
+VARIANTS: dict[str, AriadneConfig] = {
+    "full": AriadneConfig(scenario=RelaunchScenario.AL),
+    "no-hotnessorg": AriadneConfig(
+        scenario=RelaunchScenario.AL, hotness_org_enabled=False
+    ),
+    "no-adaptivecomp": AriadneConfig(
+        # Uniform one-page chunks everywhere: size adaptivity off.
+        small_size=4 * KIB, medium_size=4 * KIB, large_size=4 * KIB,
+        scenario=RelaunchScenario.AL,
+    ),
+    "no-predecomp": AriadneConfig(
+        scenario=RelaunchScenario.AL, predecomp_enabled=False
+    ),
+    "no-writeback": AriadneConfig(
+        scenario=RelaunchScenario.AL, writeback_enabled=False
+    ),
+}
+
+
+def run_ablation() -> dict[str, float]:
+    """Mean measured relaunch latency (ms) per Ariadne variant."""
+    trace = workload_trace(n_apps=5)
+    apps = FIGURE_APPS[:3]
+    means: dict[str, float] = {}
+    for label, config in VARIANTS.items():
+        system = build("Ariadne", trace, config)
+        system.launch_all()
+        latencies = []
+        for target in apps:
+            pressure = [a for a in apps if a != target][:2]
+            result = measured_relaunch(
+                system, target, 1, config.scenario, pressure
+            )
+            latencies.append(result.latency_ms)
+        means[label] = statistics.mean(latencies)
+    return means
+
+
+def test_bench_ablation(benchmark):
+    means = run_once(benchmark, run_ablation)
+    print()
+    print(render_table(
+        "Ablation: mean relaunch latency by disabled technique",
+        ["Variant", "Latency (ms)"],
+        [[label, f"{value:.1f}"] for label, value in means.items()],
+    ))
+    full = means["full"]
+    # Each disabled technique should cost latency (or at minimum never
+    # help); hotness-blindness must hurt the most.
+    assert means["no-hotnessorg"] > full * 1.05
+    assert means["no-predecomp"] >= full * 0.98
+    assert means["no-adaptivecomp"] >= full * 0.98

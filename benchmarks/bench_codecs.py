@@ -1,0 +1,42 @@
+"""Codec microbenchmarks: wall-clock throughput of this repository's
+pure-Python codecs (complementary to the modeled Pixel 7 latencies)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.workload import PayloadGenerator, profile_by_name
+from repro.compression import get_compressor
+
+
+@pytest.fixture(scope="module")
+def anon_sample() -> bytes:
+    generator = PayloadGenerator(
+        profile_by_name("YouTube"), random.Random(1234)
+    )
+    return b"".join(generator.generate_page()[0] for _ in range(32))
+
+
+@pytest.mark.parametrize("codec_name", ["lz4", "lzo", "bdi"])
+def test_bench_compress_throughput(benchmark, codec_name, anon_sample):
+    codec = get_compressor(codec_name)
+    blob = benchmark(codec.compress, anon_sample)
+    assert len(blob) < len(anon_sample)
+
+
+@pytest.mark.parametrize("codec_name", ["lz4", "lzo", "bdi"])
+def test_bench_decompress_throughput(benchmark, codec_name, anon_sample):
+    codec = get_compressor(codec_name)
+    blob = codec.compress(anon_sample)
+    restored = benchmark(codec.decompress, blob, len(anon_sample))
+    assert restored == anon_sample
+
+
+def test_bench_payload_generation(benchmark):
+    generator = PayloadGenerator(
+        profile_by_name("Twitter"), random.Random(42)
+    )
+    payload, _ = benchmark(generator.generate_page)
+    assert len(payload) == 4096

@@ -1,0 +1,21 @@
+"""Figure 10: the headline result — Ariadne cuts relaunch latency ~50%
+versus ZRAM and lands near the DRAM lower bound."""
+
+from __future__ import annotations
+
+from repro.experiments import fig10
+from conftest import run_once
+
+
+def test_bench_fig10(benchmark):
+    result = run_once(benchmark, fig10.run)
+    print()
+    print(result.render())
+    assert result.ariadne_reduction_vs_zram > 0.35   # paper: ~50%
+    assert result.ariadne_over_dram < 1.35           # paper: <= 1.10x
+    # Every Ariadne config beats ZRAM for every app.
+    zram = result.latency_ms["ZRAM"]
+    for column in result.columns:
+        if column.startswith("Ariadne"):
+            for app, latency in result.latency_ms[column].items():
+                assert latency < zram[app]

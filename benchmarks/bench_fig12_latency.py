@@ -1,0 +1,24 @@
+"""Figure 12: trace-fed compression/decompression latency per scheme.
+
+Paper shape (LZO): decompression latency drops ~60% (YouTube/Twitter) to
+~90% (BangDream) under Ariadne-1K-2K-16K.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig12
+from conftest import run_once
+
+
+def test_bench_fig12(benchmark):
+    result = run_once(benchmark, fig12.run)
+    print()
+    print(result.render())
+    ehl = "Ariadne-EHL-1K-2K-16K"
+    apps = {p.app for p in result.profiles}
+    for app in apps:
+        assert result.decomp_reduction(ehl, app) > 0.4
+    # EHL (hot uncompressed) decompresses less than AL (hot at SmallSize).
+    al = "Ariadne-AL-1K-2K-16K"
+    for app in apps:
+        assert result.profile(ehl, app).decomp_ms < result.profile(al, app).decomp_ms

@@ -1,0 +1,23 @@
+"""Figure 13: compression ratio per scheme.
+
+Paper shape: Ariadne-EHL-1K-4K-16K beats ZRAM for every app;
+Ariadne-AL-512-2K-16K roughly ties ZRAM.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig13
+from conftest import run_once
+
+
+def test_bench_fig13(benchmark):
+    result = run_once(benchmark, fig13.run)
+    print()
+    print(result.render())
+    assert result.ehl_beats_zram_everywhere()
+    for app in result.apps:
+        small = result.ratio("Ariadne-AL-512-2K-16K", app)
+        zram = result.ratio("ZRAM", app)
+        assert small == pytest.approx(zram, rel=0.15)  # "similar to ZRAM"

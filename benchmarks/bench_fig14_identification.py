@@ -1,0 +1,20 @@
+"""Figure 14: coverage (~70%) and accuracy (~92%) of HotnessOrg's hot-data
+identification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig14
+from conftest import run_once
+
+
+def test_bench_fig14(benchmark):
+    result = run_once(benchmark, fig14.run)
+    print()
+    print(result.render())
+    assert result.mean_coverage == pytest.approx(0.70, abs=0.12)
+    assert result.mean_accuracy > 0.85   # paper: ~0.92
+    assert all(acc > cov for cov, acc in zip(
+        result.coverage.values(), result.accuracy.values()
+    ))

@@ -1,0 +1,23 @@
+"""Figure 15: chunk-size sensitivity — very large cold chunks maximize
+ratio, very small chunks minimize latency at a ratio cost."""
+
+from __future__ import annotations
+
+from repro.experiments import fig15
+from conftest import run_once
+
+BIG = "Ariadne-AL-1K-4K-64K"
+SMALL = "Ariadne-AL-256-1K-4K"
+
+
+def test_bench_fig15(benchmark):
+    result = run_once(benchmark, fig15.run)
+    print()
+    print(result.render())
+    # The 64K-cold config buys the best ratio.
+    assert result.mean_ratio(BIG) > result.mean_ratio("ZRAM")
+    assert result.mean_ratio(BIG) > result.mean_ratio(SMALL)
+    # The tiny-chunk config decompresses fastest but compresses worst.
+    for app_profiles in zip(result.by_scheme(SMALL), result.by_scheme(BIG)):
+        small_p, big_p = app_profiles
+        assert small_p.decomp_ms < big_p.decomp_ms

@@ -1,0 +1,17 @@
+"""Figure 2: relaunch latency under DRAM / ZRAM / SWAP.
+
+Paper shape: ZRAM ~2.1x DRAM on average; SWAP worse than ZRAM.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig2
+from conftest import run_once
+
+
+def test_bench_fig2(benchmark):
+    result = run_once(benchmark, fig2.run)
+    print()
+    print(result.render())
+    assert 1.5 <= result.zram_over_dram <= 3.2   # paper: 2.1x
+    assert result.swap_over_dram > result.zram_over_dram

@@ -1,0 +1,18 @@
+"""Figure 3: kswapd CPU under DRAM / ZRAM / SWAP.
+
+Paper shape: ZRAM burns the most reclaim CPU (2.6x DRAM, 2.0x SWAP).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig3
+from conftest import run_once
+
+
+def test_bench_fig3(benchmark):
+    result = run_once(benchmark, fig3.run)
+    print()
+    print(result.render())
+    assert result.zram_over_dram > 1.5   # paper: 2.6x
+    assert result.zram_over_swap > 1.3   # paper: 2.0x
+    assert result.kswapd_cpu_s["SWAP"] > result.kswapd_cpu_s["DRAM"]

@@ -1,0 +1,20 @@
+"""Figure 4: hotness mix per compression-order part under ZRAM.
+
+Paper shape: part 0 (the first-compressed data) already contains a
+significant share of hot data — LRU is blind to hotness.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig4
+from conftest import run_once
+
+
+def test_bench_fig4(benchmark):
+    result = run_once(benchmark, fig4.run)
+    print()
+    print(result.render())
+    # Every app's first part contains hot data (the paper's headline).
+    assert all(
+        result.hot_share_in_first_part(app) > 0.3 for app in result.mixes
+    )

@@ -1,0 +1,17 @@
+"""Figure 5: hot-data similarity (~70%) and reuse (~98%) across
+consecutive relaunches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig5
+from conftest import run_once
+
+
+def test_bench_fig5(benchmark):
+    result = run_once(benchmark, fig5.run)
+    print()
+    print(result.render())
+    assert result.mean_similarity == pytest.approx(0.70, abs=0.06)
+    assert result.mean_reuse == pytest.approx(0.98, abs=0.03)

@@ -1,0 +1,24 @@
+"""Figure 6: latency and ratio vs compression chunk size (LZ4/LZO).
+
+Paper shape: ratio climbs (1.7 -> 3.9) while small-chunk compression is
+59.2x (LZ4) / 41.8x (LZO) faster for the same volume.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig6
+from conftest import run_once
+
+
+def test_bench_fig6(benchmark):
+    result = run_once(benchmark, fig6.run)
+    print()
+    print(result.render())
+    assert result.speedup_small_vs_large("lz4") == pytest.approx(59.2, rel=0.1)
+    assert result.speedup_small_vs_large("lzo") == pytest.approx(41.8, rel=0.1)
+    for codec in ("lz4", "lzo"):
+        ratios = [p.ratio for p in result.points_for(codec)]
+        assert ratios == sorted(ratios)
+        assert ratios[-1] > ratios[0] * 1.5

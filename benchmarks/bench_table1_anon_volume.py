@@ -1,0 +1,17 @@
+"""Table 1: anonymous data volume at 10 s / 5 min per application."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table1
+from conftest import run_once
+
+
+def test_bench_table1(benchmark):
+    result = run_once(benchmark, table1.run)
+    print()
+    print(result.render())
+    for row in result.rows:
+        assert row.measured_10s_mb == pytest.approx(row.paper_10s_mb, abs=2.0)
+        assert row.measured_5min_mb == pytest.approx(row.paper_5min_mb, abs=2.0)

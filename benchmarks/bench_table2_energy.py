@@ -1,0 +1,22 @@
+"""Table 2: scenario energy under DRAM / ZRAM / SWAP.
+
+Paper shape: ZRAM costs the most energy (+12.2% light / +19.5% heavy vs
+DRAM); SWAP sits close to DRAM.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table2
+from conftest import run_once
+
+
+def test_bench_table2(benchmark):
+    result = run_once(benchmark, table2.run)
+    print()
+    print(result.render())
+    for workload in ("light", "heavy"):
+        zram = result.normalized(workload, "ZRAM")
+        swap = result.normalized(workload, "SWAP")
+        assert zram > 1.02          # ZRAM visibly above DRAM
+        assert zram > swap          # and above SWAP (paper ordering)
+        assert swap < 1.10          # SWAP stays near DRAM

@@ -1,0 +1,20 @@
+"""Table 3: probability of consecutive zpool accesses during relaunch
+swap-in, measured from a live ZRAM run."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table3
+from repro.workload import profile_by_name
+from conftest import run_once
+
+
+def test_bench_table3(benchmark):
+    result = run_once(benchmark, table3.run)
+    print()
+    print(result.render())
+    for app, p2 in result.p2.items():
+        profile = profile_by_name(app)
+        assert p2 == pytest.approx(profile.locality_p2, abs=0.10)
+        assert result.p4[app] <= p2

@@ -1,0 +1,19 @@
+"""Benchmark-suite helpers.
+
+Each paper table/figure has one benchmark that regenerates it end to end
+and prints the result table.  Full experiments are minutes-scale
+simulations, so they run exactly once per session
+(``benchmark.pedantic(rounds=1)``) — the interesting output is the
+regenerated table and the asserted paper-shape claims, not sub-millisecond
+timing statistics (the codec microbenchmarks in ``bench_codecs.py`` cover
+that ground).
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark and return
+    its result object."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

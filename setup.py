@@ -1,0 +1,10 @@
+"""Setup shim for environments without PEP 517 build isolation.
+
+All real metadata lives in ``pyproject.toml``; this file only exists so
+``pip install -e . --no-use-pep517`` works on machines whose setuptools
+cannot build wheels (e.g. offline boxes without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

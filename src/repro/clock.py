@@ -1,0 +1,57 @@
+"""Simulated clock.
+
+The whole simulator is driven by one :class:`SimClock` holding integer
+nanoseconds.  Components *advance* the clock when they model work that
+takes time on the critical path (a decompression stall, a flash read) and
+merely *account* CPU time when work happens off the critical path (kswapd
+compressing in the background while the app runs).
+"""
+
+from __future__ import annotations
+
+from .errors import SchedulingError
+from .units import ns_to_ms
+
+
+class SimClock:
+    """Monotonic simulated clock with integer-nanosecond resolution."""
+
+    def __init__(self, start_ns: int = 0) -> None:
+        if start_ns < 0:
+            raise SchedulingError(f"clock cannot start at negative time {start_ns}")
+        self._now_ns = start_ns
+
+    @property
+    def now_ns(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now_ns
+
+    @property
+    def now_ms(self) -> float:
+        """Current simulated time in milliseconds (for reporting)."""
+        return ns_to_ms(self._now_ns)
+
+    def advance(self, delta_ns: int) -> int:
+        """Move time forward by ``delta_ns`` and return the new time.
+
+        Raises :class:`SchedulingError` on negative deltas: simulated time
+        never flows backwards, and a negative delta always indicates a cost
+        model bug.
+        """
+        if delta_ns < 0:
+            raise SchedulingError(f"cannot advance clock by negative delta {delta_ns}")
+        self._now_ns += delta_ns
+        return self._now_ns
+
+    def advance_to(self, when_ns: int) -> int:
+        """Move time forward to an absolute timestamp (no-op if in the past)."""
+        if when_ns > self._now_ns:
+            self._now_ns = when_ns
+        return self._now_ns
+
+    def fork(self) -> "SimClock":
+        """Return an independent clock starting at the current time."""
+        return SimClock(self._now_ns)
+
+    def __repr__(self) -> str:
+        return f"SimClock(t={self._now_ns}ns)"

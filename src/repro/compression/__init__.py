@@ -1,0 +1,45 @@
+"""Compression substrate: real codecs, chunked compression, latency model.
+
+The codecs in this package actually compress and decompress bytes (they
+round-trip; tests verify this with hypothesis), so every compression
+*ratio* the simulator reports is measured, not assumed.  Compression
+*latency* on a phone's CPU is modeled by :class:`LatencyModel`, calibrated
+to the shapes the paper measured on a Pixel 7 (Figure 6).
+
+Public API
+----------
+- :class:`Compressor`, :class:`CompressedChunk`, :class:`ChunkedBlob`
+- :class:`Lz4Compressor` — real LZ4 block-format codec written from scratch
+- :class:`LzoCompressor` — LZO-class byte-aligned LZ77 codec
+- :class:`BdiCompressor` — base-delta-immediate (Pekhimenko et al.)
+- :class:`NullCompressor` — stores data uncompressed (control)
+- :func:`chunk_compress`, :func:`chunk_decompress`
+- :class:`LatencyModel`, :class:`AlgorithmTiming`
+- :func:`get_compressor`, :func:`available_compressors`
+"""
+
+from .base import ChunkedBlob, CompressedChunk, Compressor
+from .bdi import BdiCompressor
+from .chunking import chunk_compress, chunk_decompress, measure_ratio
+from .costmodel import AlgorithmTiming, LatencyModel
+from .lz4 import Lz4Compressor
+from .lzo import LzoCompressor
+from .null import NullCompressor
+from .registry import available_compressors, get_compressor
+
+__all__ = [
+    "AlgorithmTiming",
+    "BdiCompressor",
+    "ChunkedBlob",
+    "CompressedChunk",
+    "Compressor",
+    "LatencyModel",
+    "Lz4Compressor",
+    "LzoCompressor",
+    "NullCompressor",
+    "available_compressors",
+    "chunk_compress",
+    "chunk_decompress",
+    "get_compressor",
+    "measure_ratio",
+]

@@ -1,0 +1,106 @@
+"""Compressor interface and compressed-data containers."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from ..errors import CompressionError
+
+
+class Compressor(ABC):
+    """A lossless codec operating on byte strings.
+
+    Implementations must guarantee ``decompress(compress(data), len(data))
+    == data`` for arbitrary inputs.  They are free to *expand* data that
+    does not compress; callers that care (the zpool does) compare
+    ``len(compressed)`` against the original size and may store the raw
+    bytes instead, exactly as the kernel's zram does for incompressible
+    pages.
+    """
+
+    #: Short identifier used in configs, registries, and reports.
+    name: str = "abstract"
+
+    @abstractmethod
+    def compress(self, data: bytes) -> bytes:
+        """Compress ``data`` and return the encoded byte string."""
+
+    @abstractmethod
+    def decompress(self, blob: bytes, original_len: int) -> bytes:
+        """Decode ``blob`` back into exactly ``original_len`` bytes."""
+
+    def compressed_size(self, data: bytes) -> int:
+        """Size in bytes of the compressed representation of ``data``.
+
+        The default implementation compresses and measures; codecs may
+        override with something cheaper.  Results are *not* cached here —
+        see :class:`repro.compression.chunking.SizeCache` for memoization.
+        """
+        return len(self.compress(data))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+@dataclass(frozen=True)
+class CompressedChunk:
+    """One compressed chunk: the unit a codec compressed in a single call.
+
+    Attributes:
+        payload: The encoded bytes.
+        original_len: Length of the plaintext this chunk decodes to.
+        codec_name: Which codec produced ``payload``.
+    """
+
+    payload: bytes
+    original_len: int
+    codec_name: str
+
+    @property
+    def stored_len(self) -> int:
+        """Bytes this chunk occupies in storage."""
+        return len(self.payload)
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio of this chunk (original / stored)."""
+        if self.stored_len == 0:
+            raise CompressionError("compressed chunk has zero stored length")
+        return self.original_len / self.stored_len
+
+
+@dataclass
+class ChunkedBlob:
+    """A byte string compressed as a sequence of fixed-size chunks.
+
+    ``chunks[i]`` holds plaintext bytes ``[i * chunk_size, (i+1) * chunk_size)``
+    (the final chunk may be short).  This mirrors how both zram (4 KB
+    chunks) and Ariadne's AdaptiveComp (hotness-dependent chunk sizes)
+    organize compressed storage.
+    """
+
+    chunk_size: int
+    total_original_len: int
+    chunks: list[CompressedChunk] = field(default_factory=list)
+
+    @property
+    def stored_len(self) -> int:
+        """Total stored bytes across all chunks."""
+        return sum(chunk.stored_len for chunk in self.chunks)
+
+    @property
+    def ratio(self) -> float:
+        """Overall compression ratio (original / stored)."""
+        stored = self.stored_len
+        if stored == 0:
+            raise CompressionError("chunked blob has zero stored length")
+        return self.total_original_len / stored
+
+    def chunk_index_for_offset(self, offset: int) -> int:
+        """Index of the chunk covering plaintext byte ``offset``."""
+        if not 0 <= offset < self.total_original_len:
+            raise CompressionError(
+                f"offset {offset} outside blob of {self.total_original_len} bytes"
+            )
+        return offset // self.chunk_size

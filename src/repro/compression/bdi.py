@@ -1,0 +1,166 @@
+"""Base-Delta-Immediate (BDI) compression.
+
+Implements the cache-line compression scheme of Pekhimenko et al.
+(PACT 2012), which the paper lists as an algorithm Ariadne is compatible
+with (Section 4.5).  Input is processed in 64-byte lines; each line is
+encoded with the cheapest of several (base size, delta size) schemes, a
+zero-line shortcut, a repeated-value shortcut, or stored raw when nothing
+applies.
+
+Per-line header byte:
+
+====== =======================================================
+value  meaning
+====== =======================================================
+0x00   all-zero line (no payload)
+0x01   repeated 8-byte value (payload: 8-byte value)
+0x1Bd  base ``B`` bytes / delta ``d`` bytes, encoded as
+       ``0x10 | (log2(B) << 2) | log2(d)`` (payload: base then
+       one delta per ``B``-byte word)
+0xFF   raw line (payload: the line verbatim)
+====== =======================================================
+
+The final line may be shorter than 64 bytes; its length is implied by the
+caller-supplied ``original_len``.
+"""
+
+from __future__ import annotations
+
+from ..errors import CompressionError, CorruptDataError
+from .base import Compressor
+
+_LINE = 64
+_RAW = 0xFF
+_ZERO = 0x00
+_REPEAT = 0x01
+#: (base_bytes, delta_bytes) pairs tried in order; first fit wins ties by
+#: encoded size, so order these from smallest encodings to largest.
+_SCHEMES = [(8, 1), (4, 1), (8, 2), (2, 1), (4, 2), (8, 4)]
+
+
+def _scheme_header(base_bytes: int, delta_bytes: int) -> int:
+    return 0x10 | (base_bytes.bit_length() - 1) << 2 | (delta_bytes.bit_length() - 1)
+
+
+def _header_scheme(header: int) -> tuple[int, int]:
+    base_bytes = 1 << ((header >> 2) & 0x3)
+    delta_bytes = 1 << (header & 0x3)
+    return base_bytes, delta_bytes
+
+
+class BdiCompressor(Compressor):
+    """Base-delta-immediate codec over 64-byte lines."""
+
+    name = "bdi"
+
+    def compress(self, data: bytes) -> bytes:
+        out = bytearray()
+        for start in range(0, len(data), _LINE):
+            line = data[start : start + _LINE]
+            out += _encode_line(line)
+        return bytes(out)
+
+    def decompress(self, blob: bytes, original_len: int) -> bytes:
+        out = bytearray()
+        pos = 0
+        while len(out) < original_len:
+            if pos >= len(blob):
+                raise CorruptDataError("bdi: ran out of encoded lines")
+            line_len = min(_LINE, original_len - len(out))
+            line, pos = _decode_line(blob, pos, line_len)
+            out += line
+        if pos != len(blob):
+            raise CorruptDataError(f"bdi: {len(blob) - pos} trailing bytes in blob")
+        return bytes(out)
+
+
+def _encode_line(line: bytes) -> bytes:
+    n = len(line)
+    if line == b"\x00" * n:
+        return bytes([_ZERO])
+    if n % 8 == 0:
+        first = line[:8]
+        if line == first * (n // 8):
+            return bytes([_REPEAT]) + first
+    best: bytes | None = None
+    for base_bytes, delta_bytes in _SCHEMES:
+        if n % base_bytes != 0:
+            continue
+        encoded = _try_scheme(line, base_bytes, delta_bytes)
+        if encoded is not None and (best is None or len(encoded) < len(best)):
+            best = encoded
+    if best is not None and len(best) < 1 + n:
+        return best
+    return bytes([_RAW]) + line
+
+
+def _try_scheme(line: bytes, base_bytes: int, delta_bytes: int) -> bytes | None:
+    """Encode ``line`` with one (base, delta) scheme, or None if deltas overflow.
+
+    Deltas are computed modulo the word width (two's complement), the way
+    hardware BDI subtracts registers, so values that wrap around zero
+    (e.g. base 0, word 0xFFFF...FF) still encode as small negatives.
+    """
+    words = [
+        int.from_bytes(line[i : i + base_bytes], "little")
+        for i in range(0, len(line), base_bytes)
+    ]
+    base = words[0]
+    modulus = 1 << (8 * base_bytes)
+    half_modulus = modulus >> 1
+    half_range = 1 << (8 * delta_bytes - 1)
+    deltas = []
+    for word in words:
+        delta = (word - base + half_modulus) % modulus - half_modulus
+        if not -half_range <= delta < half_range:
+            return None
+        deltas.append(delta)
+    out = bytearray([_scheme_header(base_bytes, delta_bytes)])
+    out += base.to_bytes(base_bytes, "little")
+    for delta in deltas:
+        out += delta.to_bytes(delta_bytes, "little", signed=True)
+    return bytes(out)
+
+
+def _decode_line(blob: bytes, pos: int, line_len: int) -> tuple[bytes, int]:
+    header = blob[pos]
+    pos += 1
+    if header == _ZERO:
+        return b"\x00" * line_len, pos
+    if header == _REPEAT:
+        if pos + 8 > len(blob):
+            raise CorruptDataError("bdi: truncated repeat value")
+        value = blob[pos : pos + 8]
+        pos += 8
+        if line_len % 8 != 0:
+            raise CorruptDataError("bdi: repeat line with non-multiple-of-8 length")
+        return value * (line_len // 8), pos
+    if header == _RAW:
+        if pos + line_len > len(blob):
+            raise CorruptDataError("bdi: truncated raw line")
+        return blob[pos : pos + line_len], pos + line_len
+    if not header & 0x10:
+        raise CorruptDataError(f"bdi: unknown line header {header:#x}")
+    base_bytes, delta_bytes = _header_scheme(header)
+    if line_len % base_bytes != 0:
+        raise CorruptDataError("bdi: line length not a multiple of base size")
+    if pos + base_bytes > len(blob):
+        raise CorruptDataError("bdi: truncated base value")
+    base = int.from_bytes(blob[pos : pos + base_bytes], "little")
+    pos += base_bytes
+    count = line_len // base_bytes
+    out = bytearray()
+    mask = (1 << (8 * base_bytes)) - 1
+    for _ in range(count):
+        if pos + delta_bytes > len(blob):
+            raise CorruptDataError("bdi: truncated delta")
+        delta = int.from_bytes(blob[pos : pos + delta_bytes], "little", signed=True)
+        pos += delta_bytes
+        out += ((base + delta) & mask).to_bytes(base_bytes, "little")
+    return bytes(out), pos
+
+
+def _unused_guard() -> None:
+    """BDI never encodes a line longer than _LINE; assert the invariant."""
+    if _LINE % 8 != 0:
+        raise CompressionError("BDI line size must be a multiple of 8")

@@ -1,0 +1,101 @@
+"""Chunked compression: split a byte string into fixed-size chunks and
+compress each independently.
+
+This is the operation both schemes in the paper build on: zram compresses
+one 4 KB page per call; Ariadne's AdaptiveComp picks the chunk size by
+hotness level (256 B .. 32 KB).  Smaller chunks decompress with less
+work per accessed page; larger chunks see more history and compress
+better.  :func:`measure_ratio` is what the Figure 6 / 13 / 15 experiments
+call.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..errors import CompressionError
+from .base import ChunkedBlob, CompressedChunk, Compressor
+
+
+def chunk_compress(codec: Compressor, data: bytes, chunk_size: int) -> ChunkedBlob:
+    """Compress ``data`` as independent ``chunk_size``-byte chunks."""
+    if chunk_size <= 0:
+        raise CompressionError(f"chunk_size must be positive, got {chunk_size}")
+    blob = ChunkedBlob(chunk_size=chunk_size, total_original_len=len(data))
+    for start in range(0, len(data), chunk_size):
+        piece = data[start : start + chunk_size]
+        blob.chunks.append(
+            CompressedChunk(
+                payload=codec.compress(piece),
+                original_len=len(piece),
+                codec_name=codec.name,
+            )
+        )
+    return blob
+
+
+def chunk_decompress(codec: Compressor, blob: ChunkedBlob) -> bytes:
+    """Reassemble the original byte string from a :class:`ChunkedBlob`."""
+    out = bytearray()
+    for chunk in blob.chunks:
+        if chunk.codec_name != codec.name:
+            raise CompressionError(
+                f"blob chunk was encoded with {chunk.codec_name!r}, "
+                f"decoding with {codec.name!r}"
+            )
+        out += codec.decompress(chunk.payload, chunk.original_len)
+    if len(out) != blob.total_original_len:
+        raise CompressionError(
+            f"chunked decode produced {len(out)} bytes, "
+            f"expected {blob.total_original_len}"
+        )
+    return bytes(out)
+
+
+def measure_ratio(codec: Compressor, data: bytes, chunk_size: int) -> float:
+    """Compression ratio (original / stored) of ``data`` at ``chunk_size``."""
+    return chunk_compress(codec, data, chunk_size).ratio
+
+
+class SizeCache:
+    """Memoizes compressed sizes keyed by (payload, codec, chunk size).
+
+    The simulator mostly needs compressed *sizes* (for zpool occupancy and
+    ratio metrics), and synthetic workloads reuse page payloads heavily
+    across relaunch sessions, so memoization removes most real compression
+    work from system-level runs without changing any measured number.
+    """
+
+    def __init__(self, max_entries: int = 65536) -> None:
+        if max_entries <= 0:
+            raise CompressionError(f"max_entries must be positive, got {max_entries}")
+        self._max_entries = max_entries
+        self._cache: OrderedDict[tuple[int, str, int], int] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def compressed_size(
+        self, codec: Compressor, data: bytes, chunk_size: int
+    ) -> int:
+        """Stored size of ``data`` compressed with ``codec`` at ``chunk_size``."""
+        key = (hash(data), codec.name, chunk_size)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        size = chunk_compress(codec, data, chunk_size).stored_len
+        self._cache[key] = size
+        if len(self._cache) > self._max_entries:
+            self._cache.popitem(last=False)
+        return size
+
+    def clear(self) -> None:
+        """Drop all cached sizes and reset hit/miss counters."""
+        self._cache.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._cache)

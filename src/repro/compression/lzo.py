@@ -1,0 +1,118 @@
+"""An LZO-class byte-aligned LZ77 codec.
+
+LZO1X (the other codec Android's zram ships) is a family of byte-aligned,
+greedy, minimum-match-3 LZ77 coders optimized for decompression speed.
+Reimplementing LZO1X's exact bitstream serves no evaluation purpose here,
+so this module implements a codec with the same *design point* — byte
+aligned control codes, minimum match 3, 32 KiB window, greedy parse —
+under a simple explicit format:
+
+- control byte ``0x00..0x7F``: a literal run of ``control + 1`` bytes
+  (1..128) follows;
+- control byte ``0x80..0xFF``: a match; ``(control & 0x7F) + 3`` gives a
+  match length of 3..130, followed by a 2-byte little-endian backward
+  distance (1-based, up to 32 KiB).
+
+DESIGN.md records this substitution (real LZO1X -> LZO-class codec).
+"""
+
+from __future__ import annotations
+
+from ..errors import CompressionError, CorruptDataError
+from .base import Compressor
+
+_MIN_MATCH = 3
+_MAX_MATCH = 130
+_MAX_LITERAL_RUN = 128
+_MAX_DISTANCE = 32 * 1024
+
+
+class LzoCompressor(Compressor):
+    """Byte-aligned minimum-match-3 LZ77 codec (LZO design point)."""
+
+    name = "lzo"
+
+    def __init__(self, max_distance: int = _MAX_DISTANCE) -> None:
+        if not 1 <= max_distance <= _MAX_DISTANCE:
+            raise CompressionError(
+                f"max_distance must be in [1, {_MAX_DISTANCE}], got {max_distance}"
+            )
+        self._max_distance = max_distance
+
+    def compress(self, data: bytes) -> bytes:
+        n = len(data)
+        out = bytearray()
+        if n == 0:
+            return b""
+        table: dict[bytes, int] = {}
+        pos = 0
+        literal_start = 0
+        max_distance = self._max_distance
+        while pos + _MIN_MATCH <= n:
+            key = data[pos : pos + _MIN_MATCH]
+            candidate = table.get(key, -1)
+            table[key] = pos
+            if candidate >= 0 and pos - candidate <= max_distance:
+                match_len = _MIN_MATCH
+                limit = min(n - pos, _MAX_MATCH)
+                src = candidate + _MIN_MATCH
+                dst = pos + _MIN_MATCH
+                while match_len < limit and data[src] == data[dst]:
+                    src += 1
+                    dst += 1
+                    match_len += 1
+                _flush_literals(out, data, literal_start, pos)
+                out.append(0x80 | (match_len - _MIN_MATCH))
+                distance = pos - candidate
+                out.append(distance & 0xFF)
+                out.append(distance >> 8)
+                pos += match_len
+                literal_start = pos
+            else:
+                pos += 1
+        _flush_literals(out, data, literal_start, n)
+        return bytes(out)
+
+    def decompress(self, blob: bytes, original_len: int) -> bytes:
+        out = bytearray()
+        pos = 0
+        blob_len = len(blob)
+        while pos < blob_len:
+            control = blob[pos]
+            pos += 1
+            if control < 0x80:
+                run = control + 1
+                if pos + run > blob_len:
+                    raise CorruptDataError("lzo: literal run past end of block")
+                out += blob[pos : pos + run]
+                pos += run
+            else:
+                if pos + 2 > blob_len:
+                    raise CorruptDataError("lzo: truncated match distance")
+                match_len = (control & 0x7F) + _MIN_MATCH
+                distance = blob[pos] | (blob[pos + 1] << 8)
+                pos += 2
+                if distance == 0 or distance > len(out):
+                    raise CorruptDataError(
+                        f"lzo: invalid distance {distance} at output size {len(out)}"
+                    )
+                start = len(out) - distance
+                if distance >= match_len:
+                    out += out[start : start + match_len]
+                else:
+                    for i in range(match_len):
+                        out.append(out[start + i])
+        if len(out) != original_len:
+            raise CorruptDataError(
+                f"lzo: decoded {len(out)} bytes, expected {original_len}"
+            )
+        return bytes(out)
+
+
+def _flush_literals(out: bytearray, data: bytes, start: int, end: int) -> None:
+    """Emit pending literals ``data[start:end]`` as 1..128-byte runs."""
+    while start < end:
+        run = min(end - start, _MAX_LITERAL_RUN)
+        out.append(run - 1)
+        out += data[start : start + run]
+        start += run

@@ -1,0 +1,29 @@
+"""Pass-through codec used as an experimental control."""
+
+from __future__ import annotations
+
+from ..errors import CorruptDataError
+from .base import Compressor
+
+
+class NullCompressor(Compressor):
+    """Stores data verbatim (ratio exactly 1.0).
+
+    Used by tests and by the SWAP baseline, which moves uncompressed
+    pages to flash.
+    """
+
+    name = "null"
+
+    def compress(self, data: bytes) -> bytes:
+        return data
+
+    def decompress(self, blob: bytes, original_len: int) -> bytes:
+        if len(blob) != original_len:
+            raise CorruptDataError(
+                f"null codec: blob is {len(blob)} bytes, expected {original_len}"
+            )
+        return blob
+
+    def compressed_size(self, data: bytes) -> int:
+        return len(data)

@@ -1,0 +1,39 @@
+"""Name-based codec lookup, mirroring zram's ``comp_algorithm`` knob."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ConfigError
+from .base import Compressor
+from .bdi import BdiCompressor
+from .lz4 import Lz4Compressor
+from .lzo import LzoCompressor
+from .null import NullCompressor
+
+_FACTORIES: dict[str, Callable[[], Compressor]] = {
+    "lz4": Lz4Compressor,
+    "lzo": LzoCompressor,
+    "bdi": BdiCompressor,
+    "null": NullCompressor,
+}
+
+
+def get_compressor(name: str) -> Compressor:
+    """Instantiate the codec registered under ``name``.
+
+    Raises :class:`~repro.errors.ConfigError` for unknown names, listing
+    what is available, because a typo in a config should fail loudly.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown compressor {name!r}; available: {sorted(_FACTORIES)}"
+        ) from None
+    return factory()
+
+
+def available_compressors() -> list[str]:
+    """Sorted names of all registered codecs."""
+    return sorted(_FACTORIES)

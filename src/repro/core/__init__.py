@@ -1,0 +1,46 @@
+"""The paper's contribution and its baselines.
+
+- :class:`ZramScheme` — the state-of-the-art baseline: LRU victim order,
+  one-page (4 KB) compression chunks, on-demand decompression only.
+- :class:`FlashSwapScheme` — the SWAP baseline (uncompressed pages to
+  flash).
+- :class:`DramScheme` — the optimistic no-swap lower bound.
+- :class:`AriadneScheme` — HotnessOrg + AdaptiveComp + PreDecomp (+
+  compressed cold writeback to flash).
+
+All schemes implement :class:`SwapScheme` and run against the same
+substrates (DRAM model, zpool, flash, codecs, latency model), so every
+comparison in the experiment suite is apples-to-apples.
+"""
+
+from .ariadne import AriadneScheme
+from .config import (
+    AriadneConfig,
+    PlatformConfig,
+    RelaunchScenario,
+    pixel7_platform,
+)
+from .context import SchemeContext, build_context
+from .dram_scheme import DramScheme
+from .predecomp import StagingBuffer
+from .scheme import AccessResult, SwapScheme
+from .stored import StoredChunk
+from .swap_scheme import FlashSwapScheme
+from .zram import ZramScheme
+
+__all__ = [
+    "AccessResult",
+    "AriadneConfig",
+    "AriadneScheme",
+    "DramScheme",
+    "FlashSwapScheme",
+    "PlatformConfig",
+    "RelaunchScenario",
+    "SchemeContext",
+    "StagingBuffer",
+    "StoredChunk",
+    "SwapScheme",
+    "ZramScheme",
+    "build_context",
+    "pixel7_platform",
+]

@@ -1,0 +1,227 @@
+"""Platform and scheme configuration.
+
+:class:`PlatformConfig` captures the hardware/kernel constants of the
+evaluation platform (paper Table 4: Google Pixel 7, 12 GB DRAM,
+UFS 3.1), scaled to simulation size.  :class:`AriadneConfig` captures
+the paper's Table 5 parameter space (zpool size ``S`` and the
+Small/Medium/LargeSize compression chunk sizes) plus the EHL/AL relaunch
+scenarios of Section 5.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..units import GIB, KIB, MIB, MS, PAGE_SIZE, SCALE_FACTOR, US, fmt_chunk
+
+
+class RelaunchScenario(enum.Enum):
+    """The two relaunch data placements evaluated in the paper.
+
+    - EHL ("exclude hot list"): hot-list data stays uncompressed in main
+      memory; warm and cold data start compressed.
+    - AL ("all lists"): every list's data starts compressed.
+    """
+
+    EHL = "EHL"
+    AL = "AL"
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Simulated platform constants (all sizes at simulation scale).
+
+    Attributes:
+        dram_bytes: DRAM budget available to background anonymous data.
+        zpool_bytes: zpool capacity (paper Table 5: ``S``).
+        swap_bytes: Flash swap area capacity.
+        scale: Real pages represented by one simulated page.
+        parallelism: Effective concurrency hiding critical-path stalls
+            (multiple big cores decompress/swap-in concurrently).
+        flash_queue_depth: Effective overlap of flash commands (swap-in
+            readahead keeps the UFS queue busy, so per-page latency is
+            the device latency divided by the achieved queue depth).
+        fault_overhead_ns: Kernel page-fault + swap-entry path cost per
+            *real* page.
+        staging_hit_ns: Cost to adopt a pre-decompressed page per real
+            page (page-table fixup + copy avoidance).
+        process_create_ns: Process re-creation penalty when an app was
+            terminated (dominates cold launches, Section 2.1).
+        low_watermark: Free-memory fraction below which reclaim becomes
+            direct (synchronous, on the faulting path).
+        high_watermark: Free-memory fraction kswapd reclaims up to in the
+            background.
+        kswapd_batch_pages: Pages reclaimed per kswapd wakeup iteration.
+        list_op_ns: CPU cost of one LRU-list manipulation.
+        file_writeback_ns: kswapd CPU cost per reclaimed file-backed page.
+            Calibration anchor: under identical pressure the DRAM
+            baseline's kswapd reclaims file pages instead of compressing
+            anonymous pages; the paper measures ZRAM's kswapd at 2.6x the
+            DRAM baseline's (Figure 3), and LZO compression costs ~13 us
+            per real page, so file reclaim lands near 5 us per real page.
+        swap_submit_ns: kswapd CPU cost to scan, unmap and submit one real
+            page of swap I/O.  Anchor: ZRAM's kswapd CPU is 2.0x SWAP's
+            (Figure 3), putting SWAP's per-page reclaim work near 6.5 us.
+        relaunch_fixed_fraction: Share of the DRAM-resident relaunch
+            latency that is fixed app work (the rest scales per hot page).
+    """
+
+    dram_bytes: int
+    zpool_bytes: int
+    swap_bytes: int
+    scale: int = SCALE_FACTOR
+    parallelism: int = 6
+    flash_queue_depth: int = 8
+    fault_overhead_ns: int = 8 * US
+    staging_hit_ns: int = 1 * US
+    process_create_ns: int = 800 * MS
+    low_watermark: float = 0.004
+    high_watermark: float = 0.01
+    kswapd_batch_pages: int = 32
+    list_op_ns: int = 150
+    file_writeback_ns: int = 5 * US
+    swap_submit_ns: int = 6500
+    relaunch_fixed_fraction: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.dram_bytes < PAGE_SIZE:
+            raise ConfigError("dram_bytes must hold at least one page")
+        if not 0.0 <= self.low_watermark <= self.high_watermark <= 0.5:
+            raise ConfigError(
+                "watermarks must satisfy 0 <= low <= high <= 0.5, got "
+                f"{self.low_watermark}/{self.high_watermark}"
+            )
+        if self.parallelism < 1:
+            raise ConfigError("parallelism must be >= 1")
+        if self.scale < 1:
+            raise ConfigError("scale must be >= 1")
+        if not 0.0 <= self.relaunch_fixed_fraction < 1.0:
+            raise ConfigError("relaunch_fixed_fraction must be in [0, 1)")
+
+    @property
+    def low_watermark_bytes(self) -> int:
+        """Free-byte threshold that triggers direct reclaim."""
+        return int(self.dram_bytes * self.low_watermark)
+
+    @property
+    def high_watermark_bytes(self) -> int:
+        """Free-byte level background reclaim restores."""
+        return int(self.dram_bytes * self.high_watermark)
+
+
+def pixel7_platform(
+    dram_gb: float = 2.5,
+    zpool_gb: float = 3.0,
+    swap_gb: float = 8.0,
+    scale: int = SCALE_FACTOR,
+) -> PlatformConfig:
+    """Platform constants for the paper's Pixel 7 testbed.
+
+    The phone has 12 GB of DRAM; after the OS, file cache, and the
+    foreground app's reservation, roughly ``dram_gb`` is available to
+    background anonymous data — small enough that ten concurrent apps
+    (~4.9 GB of anonymous data, Table 1) create the memory pressure the
+    paper studies.  The zpool default is the paper's ``S`` = 3 GB.
+    """
+    return PlatformConfig(
+        dram_bytes=int(dram_gb * GIB) // scale,
+        zpool_bytes=int(zpool_gb * GIB) // scale,
+        swap_bytes=int(swap_gb * GIB) // scale,
+        scale=scale,
+    )
+
+
+#: Chunk sizes the paper sweeps (Table 5).
+SMALL_SIZES = (256, 512, 1 * KIB)
+MEDIUM_SIZES = (2 * KIB, 4 * KIB)
+LARGE_SIZES = (16 * KIB, 32 * KIB)
+
+
+@dataclass(frozen=True)
+class AriadneConfig:
+    """Ariadne's tunables (paper Table 5).
+
+    Attributes:
+        small_size: Compression chunk size for the hot list.
+        medium_size: Compression chunk size for the warm list.
+        large_size: Compression chunk size for the cold list (multiples
+            of the page size group several pages into one chunk).
+        scenario: EHL or AL relaunch data placement.
+        predecomp_enabled: Whether PreDecomp runs (ablation knob).
+        predecomp_depth: Pages pre-decompressed per trigger (the paper
+            uses one; Table 3 shows deeper prefetch pollutes).
+        staging_pages: Capacity of the pre-decompression FIFO buffer.
+        writeback_enabled: Whether compressed cold chunks overflow to
+            flash (the ZSWAP role; ablation knob).
+        writeback_threshold: zpool utilization that triggers writeback.
+        hotness_org_enabled: Whether HotnessOrg replaces LRU (ablation
+            knob; off = baseline two-list organizer).
+    """
+
+    small_size: int = 1 * KIB
+    medium_size: int = 2 * KIB
+    large_size: int = 16 * KIB
+    scenario: RelaunchScenario = RelaunchScenario.EHL
+    predecomp_enabled: bool = True
+    predecomp_depth: int = 1
+    staging_pages: int = 8
+    writeback_enabled: bool = True
+    writeback_threshold: float = 0.85
+    hotness_org_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if not 64 <= self.small_size <= PAGE_SIZE:
+            raise ConfigError(
+                f"small_size must be in [64, {PAGE_SIZE}], got {self.small_size}"
+            )
+        if not self.small_size <= self.medium_size <= PAGE_SIZE:
+            raise ConfigError(
+                "medium_size must lie between small_size and one page, got "
+                f"{self.medium_size}"
+            )
+        if self.large_size < PAGE_SIZE or self.large_size % PAGE_SIZE != 0:
+            if self.large_size < self.medium_size:
+                raise ConfigError(
+                    f"large_size must be >= medium_size, got {self.large_size}"
+                )
+        if self.large_size > 128 * KIB:
+            raise ConfigError(
+                f"large_size above 128K is outside the studied range "
+                f"(got {self.large_size}); Section 6.3 advises against it"
+            )
+        if self.predecomp_depth < 0:
+            raise ConfigError("predecomp_depth cannot be negative")
+        if self.staging_pages < 1:
+            raise ConfigError("staging_pages must be >= 1")
+        if not 0.0 < self.writeback_threshold <= 1.0:
+            raise ConfigError("writeback_threshold must be in (0, 1]")
+
+    @property
+    def label(self) -> str:
+        """Paper-style name, e.g. ``Ariadne-EHL-1K-2K-16K``."""
+        return (
+            f"Ariadne-{self.scenario.value}-{fmt_chunk(self.small_size)}-"
+            f"{fmt_chunk(self.medium_size)}-{fmt_chunk(self.large_size)}"
+        )
+
+    @property
+    def cold_group_pages(self) -> int:
+        """How many pages a cold (LargeSize) chunk groups together."""
+        return max(1, self.large_size // PAGE_SIZE)
+
+
+#: The configurations highlighted in the paper's figures.
+PAPER_CONFIGS: tuple[AriadneConfig, ...] = (
+    AriadneConfig(small_size=1 * KIB, medium_size=2 * KIB, large_size=16 * KIB,
+                  scenario=RelaunchScenario.EHL),
+    AriadneConfig(small_size=1 * KIB, medium_size=2 * KIB, large_size=16 * KIB,
+                  scenario=RelaunchScenario.AL),
+    AriadneConfig(small_size=256, medium_size=2 * KIB, large_size=32 * KIB,
+                  scenario=RelaunchScenario.AL),
+    AriadneConfig(small_size=1 * KIB, medium_size=4 * KIB, large_size=16 * KIB,
+                  scenario=RelaunchScenario.EHL),
+    AriadneConfig(small_size=512, medium_size=2 * KIB, large_size=16 * KIB,
+                  scenario=RelaunchScenario.AL),
+)

@@ -1,0 +1,75 @@
+"""Shared simulation context handed to every scheme.
+
+Bundles the substrates (clock, DRAM, zpool, flash, codec, latency model,
+accounting) so schemes receive one object and experiments construct one
+line at a time.  :func:`build_context` is the canonical factory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..clock import SimClock
+from ..compression import Compressor, LatencyModel, get_compressor
+from ..compression.chunking import SizeCache
+from ..flash import FlashDevice, FlashSwapArea
+from ..mem import MainMemory
+from ..metrics import Counters, CpuAccount
+from ..zpool import Zpool
+from .config import PlatformConfig, pixel7_platform
+
+
+@dataclass
+class SchemeContext:
+    """Everything a swap scheme needs to operate."""
+
+    platform: PlatformConfig
+    clock: SimClock
+    dram: MainMemory
+    zpool: Zpool
+    flash_device: FlashDevice
+    flash_swap: FlashSwapArea
+    codec: Compressor
+    latency: LatencyModel
+    sizes: SizeCache
+    cpu: CpuAccount = field(default_factory=CpuAccount)
+    counters: Counters = field(default_factory=Counters)
+
+    def compressed_size(self, payload: bytes, chunk_size: int) -> int:
+        """Measured compressed size of ``payload`` at ``chunk_size``.
+
+        Incompressible chunks are stored raw plus a small header, exactly
+        as zram does, so stored size never exceeds original size by more
+        than the header.
+        """
+        measured = self.sizes.compressed_size(self.codec, payload, chunk_size)
+        raw_limit = len(payload) + 16
+        return min(measured, raw_limit)
+
+
+def build_context(
+    platform: PlatformConfig | None = None,
+    codec_name: str = "lzo",
+    latency: LatencyModel | None = None,
+) -> SchemeContext:
+    """Construct a fresh context (new clock, empty pools, zero counters).
+
+    Args:
+        platform: Platform constants; defaults to the Pixel 7 preset.
+        codec_name: Which codec the swap path uses (the paper evaluates
+            LZO, the Pixel 7 default; LZ4 is also available).
+        latency: Override latency model (tests inject simplified ones).
+    """
+    config = platform if platform is not None else pixel7_platform()
+    device = FlashDevice()
+    return SchemeContext(
+        platform=config,
+        clock=SimClock(),
+        dram=MainMemory(config.dram_bytes),
+        zpool=Zpool(config.zpool_bytes),
+        flash_device=device,
+        flash_swap=FlashSwapArea(device, config.swap_bytes, byte_scale=config.scale),
+        codec=get_compressor(codec_name),
+        latency=latency if latency is not None else LatencyModel(),
+        sizes=SizeCache(),
+    )

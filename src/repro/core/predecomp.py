@@ -1,0 +1,79 @@
+"""PreDecomp: proactive, predictive decompression (Section 4.4).
+
+Two pieces:
+
+- :class:`StagingBuffer` — the FIFO main-memory buffer holding
+  pre-decompressed pages.  Capacity-bounded; when full, the oldest
+  staged page is evicted, and if it was never used it must be compressed
+  again (the cost Section 4.4 warns about — callers get the evicted page
+  back so they can recompress it).
+- next-sector prediction lives in the Ariadne scheme itself: on a fault
+  at zpool sector ``s`` it pre-decompresses the chunk at the next live
+  sector, one page ahead (Table 3 shows deeper prefetch pollutes).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..errors import ConfigError
+from ..mem.page import Page, PageLocation
+
+
+class StagingBuffer:
+    """FIFO buffer of pre-decompressed pages."""
+
+    def __init__(self, capacity_pages: int) -> None:
+        if capacity_pages < 1:
+            raise ConfigError(
+                f"staging buffer needs at least one page, got {capacity_pages}"
+            )
+        self.capacity_pages = capacity_pages
+        self._pages: OrderedDict[int, Page] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evicted_unused = 0
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, pfn: int) -> bool:
+        return pfn in self._pages
+
+    def stage(self, page: Page) -> list[Page]:
+        """Add a pre-decompressed page; returns any FIFO-evicted pages.
+
+        Evicted pages were staged but never claimed — the caller must
+        recompress them (wasted work the prediction accuracy keeps rare).
+        """
+        evicted: list[Page] = []
+        while len(self._pages) >= self.capacity_pages:
+            _, old = self._pages.popitem(last=False)
+            self.evicted_unused += 1
+            evicted.append(old)
+        self._pages[page.pfn] = page
+        page.location = PageLocation.STAGING
+        return evicted
+
+    def claim(self, pfn: int) -> Page | None:
+        """Take a staged page on access (a PreDecomp hit), if present."""
+        page = self._pages.pop(pfn, None)
+        if page is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return page
+
+    def drain(self) -> list[Page]:
+        """Remove and return everything (used at teardown/ablation)."""
+        pages = list(self._pages.values())
+        self._pages.clear()
+        return pages
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit the buffer."""
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total

@@ -1,0 +1,478 @@
+"""Swap-scheme interface and shared machinery.
+
+All four schemes (DRAM / SWAP / ZRAM / Ariadne) share the same skeleton:
+
+- resident pages are tracked per app by a :class:`DataOrganizer`;
+- apps are ordered by recency (the kernel's per-memcg reclaim order —
+  least-recently-switched-to apps are reclaimed from first);
+- memory accounting follows zram's reality: the zpool lives *in* DRAM,
+  so ``free = dram_budget - resident - zpool_used``.  Compressing a page
+  frees ``4 KB - compressed_size``; writing a compressed chunk back to
+  flash frees its full zpool footprint;
+- when an allocation or fault would push free memory below the low
+  watermark, reclaim is *direct* (synchronous — its latency lands on the
+  faulting path: the paper's "on-demand compression"); between events the
+  system lets kswapd restore the high watermark in the background
+  (CPU time, no stall).
+
+Latency/CPU scaling: one simulated page stands for ``platform.scale``
+real pages, so every per-page charge is multiplied by ``scale``;
+critical-path stalls are divided by ``platform.parallelism`` (several
+big cores service a relaunch's swap-in storm concurrently) while CPU
+*time* is charged undivided.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..errors import MemoryPressureError, PageStateError
+from ..mem.organizer import DataOrganizer
+from ..mem.page import Hotness, Page, PageLocation
+from ..metrics import APP, KSWAPD, LatencyBreakdown
+from ..units import PAGE_SIZE
+from .context import SchemeContext
+from .stored import StoredChunk
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one page access."""
+
+    stall_ns: int
+    source: PageLocation
+    breakdown: LatencyBreakdown = field(default_factory=LatencyBreakdown)
+
+
+class SwapScheme(ABC):
+    """Base class for all compressed/flash swap schemes."""
+
+    #: Scheme identifier used in reports ("ZRAM", "SWAP", "DRAM", config label).
+    name: str = "abstract"
+    #: Whether this scheme keeps a zpool in DRAM.
+    uses_zpool: bool = True
+
+    def __init__(self, ctx: SchemeContext) -> None:
+        self.ctx = ctx
+        self._organizers: dict[int, DataOrganizer] = {}
+        #: Recency order over apps: first key is least recently used.
+        self._app_lru: OrderedDict[int, None] = OrderedDict()
+        self._stored_by_pfn: dict[int, StoredChunk] = {}
+        self._chunks: OrderedDict[int, StoredChunk] = OrderedDict()
+        self._by_zpool_handle: dict[int, StoredChunk] = {}
+        self._chunk_seq = 0
+        self._foreground_uid: int | None = None
+        self._lost_pfns: set[int] = set()
+        #: (uid, ground-truth hotness) per page in compression order
+        #: (the Figure 4 measurement).
+        self.compression_log: list[tuple[int, Hotness]] = []
+        #: (uid, zpool sector) per zpool fault in access order (the
+        #: Table 3 locality measurement).
+        self.sector_access_log: list[tuple[int, int]] = []
+
+    # ------------------------------------------------------------------ setup
+
+    @abstractmethod
+    def _make_organizer(self, uid: int, hot_seed_limit: int) -> DataOrganizer:
+        """Create this scheme's per-app resident-page organizer."""
+
+    def register_app(self, uid: int, hot_seed_limit: int = 0) -> None:
+        """Introduce an application to the scheme."""
+        if uid in self._organizers:
+            raise PageStateError(f"app {uid} already registered")
+        self._organizers[uid] = self._make_organizer(uid, hot_seed_limit)
+        self._app_lru[uid] = None
+
+    def organizer(self, uid: int) -> DataOrganizer:
+        """The per-app organizer (raises for unknown apps)."""
+        try:
+            return self._organizers[uid]
+        except KeyError:
+            raise PageStateError(f"app {uid} is not registered") from None
+
+    # -------------------------------------------------------------- accounting
+
+    def free_dram_bytes(self) -> int:
+        """Free DRAM under the shared resident+zpool budget."""
+        used = self.ctx.dram.used_bytes
+        if self.uses_zpool:
+            used += self.ctx.zpool.used_bytes
+        return self.ctx.platform.dram_bytes - used
+
+    def _charge(self, thread: str, activity: str, ns: int) -> None:
+        self.ctx.cpu.charge(thread, activity, ns)
+
+    def _stall(self, ns: int) -> int:
+        """Convert modeled work into critical-path stall time."""
+        return max(0, ns // self.ctx.platform.parallelism)
+
+    # ------------------------------------------------------------ app switching
+
+    def note_app_switch(self, uid: int) -> None:
+        """Record that the user switched to app ``uid`` (app-level LRU)."""
+        if uid not in self._app_lru:
+            raise PageStateError(f"app {uid} is not registered")
+        self._app_lru.move_to_end(uid)
+        self._foreground_uid = uid
+
+    def begin_relaunch(self, uid: int) -> None:
+        """Hook: a measured relaunch of ``uid`` is starting."""
+        self.note_app_switch(uid)
+
+    def end_relaunch(self, uid: int) -> None:
+        """Hook: the measured relaunch of ``uid`` finished."""
+
+    def end_launch(self, uid: int) -> None:
+        """Hook: app ``uid``'s initial launch window has closed."""
+
+    # -------------------------------------------------------------- allocation
+
+    def on_pages_created(self, uid: int, pages: list[Page]) -> None:
+        """An app allocated new anonymous pages (launch or execution).
+
+        Allocation itself is not a measured path, so reclaim here is
+        treated as background work (CPU charged, no stall returned).
+        """
+        organizer = self.organizer(uid)
+        for page in pages:
+            self._make_room(1, direct=False, thread=KSWAPD)
+            self.ctx.dram.add_page(page)
+            organizer.add_page(page)
+            self._charge(APP, "list_ops", self.ctx.platform.list_op_ns)
+
+    # ----------------------------------------------------------------- access
+
+    def access(self, page: Page, thread: str = APP) -> AccessResult:
+        """Touch ``page``, faulting it in if necessary."""
+        now = self.ctx.clock.now_ns
+        staged = self._staging_hit(page)
+        if staged is not None:
+            return staged
+        if self.ctx.dram.is_resident(page):
+            self.organizer(page.uid).on_access(page, now)
+            self._charge(thread, "list_ops", self.ctx.platform.list_op_ns)
+            return AccessResult(stall_ns=0, source=PageLocation.DRAM)
+        if page.pfn in self._lost_pfns:
+            return self._access_lost(page, thread)
+        chunk = self._stored_by_pfn.get(page.pfn)
+        if chunk is None:
+            raise PageStateError(
+                f"page {page.pfn} is neither resident, staged, stored, nor lost"
+            )
+        return self._fault_in(page, chunk, thread)
+
+    def _staging_hit(self, page: Page) -> AccessResult | None:
+        """Hook for PreDecomp's staging buffer (Ariadne overrides)."""
+        return None
+
+    def _access_lost(self, page: Page, thread: str) -> AccessResult:
+        """Access to data the scheme dropped (app was terminated).
+
+        The real system would pay a full cold launch; we charge the
+        fault path and re-materialize the page, and count the event so
+        experiments can report termination rates.
+        """
+        platform = self.ctx.platform
+        self.ctx.counters.incr("lost_page_accesses")
+        stall = self._make_room(1, direct=True, thread=thread)
+        fault_ns = platform.fault_overhead_ns * platform.scale
+        self._charge(thread, "fault", fault_ns // 4)
+        stall += self._stall(fault_ns)
+        self._lost_pfns.discard(page.pfn)
+        self.ctx.dram.add_page(page)
+        organizer = self.organizer(page.uid)
+        organizer.add_page(page)
+        organizer.on_access(page, self.ctx.clock.now_ns)
+        breakdown = LatencyBreakdown(other_ns=stall)
+        return AccessResult(stall_ns=stall, source=PageLocation.DRAM,
+                            breakdown=breakdown)
+
+    @abstractmethod
+    def _fault_in(self, page: Page, chunk: StoredChunk, thread: str) -> AccessResult:
+        """Service a fault for a stored page."""
+
+    # ----------------------------------------------------------------- reclaim
+
+    def background_reclaim(self) -> None:
+        """kswapd: restore the high watermark without stalling anyone.
+
+        Every wakeup also shrinks the file LRU (kswapd balances both
+        LRUs), so a fixed batch of file-writeback CPU is charged per
+        wakeup for every scheme — the common floor under the per-scheme
+        anonymous-reclaim costs in Figure 3.
+        """
+        platform = self.ctx.platform
+        file_ns = (
+            platform.file_writeback_ns
+            * platform.kswapd_batch_pages
+            * platform.scale
+        )
+        self._charge(KSWAPD, "file_writeback", file_ns)
+        self.ctx.counters.incr("file_pages_written", platform.kswapd_batch_pages)
+        self._make_room(0, direct=False, thread=KSWAPD)
+
+    def _make_room(self, incoming_pages: int, direct: bool, thread: str) -> int:
+        """Ensure room for ``incoming_pages`` plus the watermark; returns stall.
+
+        Background mode restores the high watermark; direct mode only
+        clears the low watermark (the kernel's direct-reclaim exit
+        condition) so faulting paths do the minimum synchronous work.
+        """
+        platform = self.ctx.platform
+        target_free = incoming_pages * PAGE_SIZE + (
+            platform.low_watermark_bytes
+            if direct
+            else platform.high_watermark_bytes
+        )
+        stall_total = 0
+        guard = 0
+        while self.free_dram_bytes() < target_free:
+            victim = self._pop_victim()
+            if victim is None:
+                if self.free_dram_bytes() >= incoming_pages * PAGE_SIZE:
+                    break  # watermark missed but the allocation itself fits
+                raise MemoryPressureError(
+                    "reclaim found no victims and the allocation does not fit"
+                )
+            stall_ns = self._evict(victim, thread)
+            if direct:
+                stall_total += stall_ns
+            guard += 1
+            if guard > 1_000_000:
+                raise MemoryPressureError("reclaim loop failed to make progress")
+        return stall_total
+
+    def _pop_victim(self) -> Page | None:
+        """Next page to reclaim: least-recent app first, foreground last."""
+        candidates = [uid for uid in self._app_lru if uid != self._foreground_uid]
+        if self._foreground_uid is not None:
+            # The foreground app is reclaimed from only as a last resort.
+            candidates.append(self._foreground_uid)
+        for uid in candidates:
+            organizer = self._organizers.get(uid)
+            if organizer is not None and organizer.has_victims():
+                return self._pop_victim_from(organizer)
+        return None
+
+    def _pop_victim_from(self, organizer: DataOrganizer) -> Page:
+        """Detach the next victim from one organizer (and from DRAM)."""
+        page = organizer.pop_victim()
+        self.ctx.dram.remove_page(page)
+        return page
+
+    def force_compress_app(self, uid: int, exclude_hot: bool = False) -> None:
+        """Evict an app's resident data (the EHL/AL relaunch setups).
+
+        With ``exclude_hot`` the hot list stays resident (EHL); otherwise
+        everything is compressed/swapped (AL).  Runs as background work.
+        """
+        organizer = self.organizer(uid)
+        while True:
+            if exclude_hot and not self._has_non_hot_victims(organizer):
+                break
+            if not organizer.has_victims():
+                break
+            page = self._pop_victim_from(organizer)
+            self._evict(page, KSWAPD)
+
+    def _has_non_hot_victims(self, organizer: DataOrganizer) -> bool:
+        """Whether eviction can proceed without touching hot data."""
+        checker = getattr(organizer, "has_non_hot_victims", None)
+        if checker is not None:
+            return checker()
+        return organizer.has_victims()
+
+    @abstractmethod
+    def _evict(self, page: Page, thread: str) -> int:
+        """Move one page out of DRAM; returns the synchronous cost in ns.
+
+        The page has already been detached from DRAM and its organizer.
+        """
+
+    # ------------------------------------------------------- chunk bookkeeping
+
+    def _next_chunk_id(self) -> int:
+        self._chunk_seq += 1
+        return self._chunk_seq
+
+    def _register_chunk(self, chunk: StoredChunk) -> None:
+        self._chunks[chunk.chunk_id] = chunk
+        for page in chunk.pages:
+            self._stored_by_pfn[page.pfn] = chunk
+        self.compression_log.extend(
+            (page.uid, page.true_hotness) for page in chunk.pages
+        )
+
+    def _unregister_chunk(self, chunk: StoredChunk) -> None:
+        self._chunks.pop(chunk.chunk_id, None)
+        if chunk.zpool_handle is not None:
+            self._by_zpool_handle.pop(chunk.zpool_handle, None)
+        for page in chunk.pages:
+            self._stored_by_pfn.pop(page.pfn, None)
+
+    def chunk_by_zpool_handle(self, handle: int) -> StoredChunk | None:
+        """Live chunk stored under a zpool handle, if any."""
+        return self._by_zpool_handle.get(handle)
+
+    def stored_chunks(self) -> list[StoredChunk]:
+        """Live stored chunks in storage order."""
+        return list(self._chunks.values())
+
+    def stored_page_count(self) -> int:
+        """Number of pages currently swapped out."""
+        return len(self._stored_by_pfn)
+
+    def hotness_estimate(self, page: Page) -> Hotness:
+        """The scheme's current belief about ``page``'s hotness."""
+        if self.ctx.dram.is_resident(page):
+            return self.organizer(page.uid).hotness_estimate(page)
+        chunk = self._stored_by_pfn.get(page.pfn)
+        if chunk is not None:
+            return chunk.hotness_at_compress
+        return Hotness.COLD
+
+    # -------------------------------------------------------- shared evict path
+
+    def _zpool_lane(self, uid: int, hotness: Hotness) -> int:
+        """Sector lane for a chunk.  Android groups compressed data by
+        application (Section 5), so the baseline keeps one lane per app;
+        Ariadne refines this per hotness level (see
+        :meth:`repro.core.ariadne.AriadneScheme._zpool_lane`)."""
+        return uid % 1024
+
+    def _compress_and_store(
+        self,
+        pages: list[Page],
+        chunk_size: int,
+        hotness: Hotness,
+        thread: str,
+    ) -> tuple[StoredChunk, int]:
+        """Compress ``pages`` at ``chunk_size`` into the zpool.
+
+        Returns (chunk, synchronous latency ns).  The caller has already
+        removed the pages from DRAM/organizer.  If the zpool is full the
+        scheme-specific overflow hook runs first.
+        """
+        ctx = self.ctx
+        platform = ctx.platform
+        payload = b"".join(page.payload for page in pages)
+        stored = ctx.compressed_size(payload, chunk_size)
+        while not ctx.zpool.has_room_for(stored):
+            if not self._relieve_zpool():
+                break
+        comp_ns = platform.scale * ctx.latency.compress_ns(
+            ctx.codec.name, len(payload), chunk_size
+        )
+        self._charge(thread, "compress", comp_ns)
+        ctx.counters.incr("pages_compressed", len(pages))
+        ctx.counters.incr("compress_ops")
+        ctx.counters.incr(
+            "dram_bytes_moved", 2 * len(payload) * platform.scale
+        )
+        entry = ctx.zpool.store(stored, lane=self._zpool_lane(pages[0].uid, hotness))
+        chunk = StoredChunk(
+            chunk_id=self._next_chunk_id(),
+            uid=pages[0].uid,
+            pages=tuple(pages),
+            chunk_size=chunk_size,
+            codec_name=ctx.codec.name,
+            stored_bytes=stored,
+            hotness_at_compress=hotness,
+            location=PageLocation.ZPOOL,
+            zpool_handle=entry.handle,
+            sector=entry.sector,
+        )
+        for page in pages:
+            page.location = PageLocation.ZPOOL
+        self._register_chunk(chunk)
+        self._by_zpool_handle[entry.handle] = chunk
+        ctx.counters.incr("bytes_original", len(payload))
+        ctx.counters.incr("bytes_stored", stored)
+        return chunk, self._stall(comp_ns)
+
+    def _relieve_zpool(self) -> bool:
+        """Scheme-specific response to zpool pressure; returns progress."""
+        return self._drop_oldest_chunk()
+
+    def _drop_oldest_chunk(self) -> bool:
+        """ZRAM's last resort: delete the oldest compressed data.
+
+        Deleting a process's anonymous data terminates it (Section 2.2);
+        we count the event and mark the pages lost.
+        """
+        for chunk in self._chunks.values():
+            if chunk.in_zpool:
+                self.ctx.zpool.free(chunk.zpool_handle)
+                self._unregister_chunk(chunk)
+                for page in chunk.pages:
+                    self._lost_pfns.add(page.pfn)
+                self.ctx.counters.incr("chunks_dropped")
+                self.ctx.counters.incr("pages_lost", chunk.page_count)
+                return True
+        return False
+
+    def _decompress_chunk(
+        self, chunk: StoredChunk, faulted: Page, thread: str
+    ) -> tuple[int, LatencyBreakdown]:
+        """Decompress a chunk for a faulting page; returns (stall, breakdown).
+
+        Sub-page chunks decompress only the faulted page's own sub-chunks;
+        multi-page chunks decompress everything they cover.
+        """
+        ctx = self.ctx
+        platform = ctx.platform
+        breakdown = LatencyBreakdown()
+        stall = 0
+        if chunk.in_flash:
+            slot, read_ns = ctx.flash_swap.load(chunk.flash_slot)
+            ctx.flash_swap.free(chunk.flash_slot)
+            ctx.counters.incr("flash_reads")
+            read_stall = read_ns // platform.flash_queue_depth
+            stall += read_stall
+            breakdown.flash_read_ns += read_stall
+            self._charge(thread, "flash_read", platform.swap_submit_ns * platform.scale)
+        else:
+            self.sector_access_log.append((faulted.uid, chunk.sector))
+            ctx.zpool.free(chunk.zpool_handle)
+        if chunk.chunk_size > PAGE_SIZE:
+            span = chunk.page_count * PAGE_SIZE
+        else:
+            span = PAGE_SIZE
+        decomp_ns = platform.scale * ctx.latency.decompress_ns(
+            chunk.codec_name, span, chunk.chunk_size
+        )
+        self._charge(thread, "decompress", decomp_ns)
+        ctx.counters.incr("pages_decompressed", chunk.page_count)
+        ctx.counters.incr("decompress_ops")
+        ctx.counters.incr("dram_bytes_moved", 2 * span * platform.scale)
+        stall += self._stall(decomp_ns)
+        breakdown.decompress_ns += self._stall(decomp_ns)
+        self._unregister_chunk(chunk)
+        return stall, breakdown
+
+    def _admit_pages(
+        self,
+        chunk: StoredChunk,
+        faulted: Page,
+        thread: str,
+    ) -> tuple[int, LatencyBreakdown]:
+        """Make a decompressed chunk's pages resident; returns (stall, bd)."""
+        platform = self.ctx.platform
+        breakdown = LatencyBreakdown()
+        room_stall = self._make_room(chunk.page_count, direct=True, thread=thread)
+        breakdown.compress_ns += room_stall  # on-demand compression stalls
+        fault_ns = platform.fault_overhead_ns * platform.scale
+        # Most of the fault path is waiting (IRQ/device), not busy CPU:
+        # the full cost stalls the app, a quarter of it burns cycles.
+        self._charge(thread, "fault", fault_ns // 4)
+        fault_stall = self._stall(fault_ns)
+        breakdown.other_ns += fault_stall
+        organizer = self.organizer(chunk.uid)
+        for page in chunk.pages:
+            self.ctx.dram.add_page(page)
+            organizer.add_page(page)
+        organizer.on_access(faulted, self.ctx.clock.now_ns)
+        self.ctx.counters.incr("pages_swapped_in", chunk.page_count)
+        return room_stall + fault_stall, breakdown

@@ -1,0 +1,90 @@
+"""Compressed-chunk bookkeeping shared by all swap schemes.
+
+A :class:`StoredChunk` records one compression operation's output: which
+pages it covers, at what chunk granularity, how many bytes it stores, and
+where it currently lives (zpool or flash).
+
+Granularity semantics (one simulated page stands for ``scale`` real
+pages):
+
+- ``chunk_size <= PAGE_SIZE``: the chunk covers exactly one page, whose
+  4 KB were compressed as ``PAGE_SIZE / chunk_size`` independent
+  sub-chunks.  Decompressing the page touches only its own sub-chunks —
+  the fast path AdaptiveComp buys for hot/warm data.
+- ``chunk_size > PAGE_SIZE``: the chunk groups ``chunk_size / PAGE_SIZE``
+  pages whose real pages interleave across the underlying real chunks, so
+  decompressing *any* member materializes *all* members (the Figure 9(b)
+  worst case: whole-chunk decompression, wasted work if the neighbours
+  were not wanted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import PageStateError
+from ..mem.page import Hotness, Page, PageLocation
+from ..units import PAGE_SIZE
+
+
+@dataclass
+class StoredChunk:
+    """One compressed chunk and its placement."""
+
+    chunk_id: int
+    uid: int
+    pages: tuple[Page, ...]
+    chunk_size: int
+    codec_name: str
+    stored_bytes: int
+    hotness_at_compress: Hotness
+    location: PageLocation = PageLocation.ZPOOL
+    zpool_handle: int | None = None
+    sector: int | None = None
+    flash_slot: int | None = None
+    #: Ground-truth hotness per page at compression time (Figure 4 data).
+    true_hotness_log: tuple[Hotness, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.pages:
+            raise PageStateError(f"chunk {self.chunk_id} covers no pages")
+        if self.stored_bytes <= 0:
+            raise PageStateError(
+                f"chunk {self.chunk_id} has non-positive stored size "
+                f"{self.stored_bytes}"
+            )
+        expected = max(1, self.chunk_size // PAGE_SIZE)
+        if self.chunk_size > PAGE_SIZE and len(self.pages) > expected:
+            raise PageStateError(
+                f"chunk {self.chunk_id} groups {len(self.pages)} pages but "
+                f"chunk_size {self.chunk_size} allows at most {expected}"
+            )
+        if self.chunk_size <= PAGE_SIZE and len(self.pages) != 1:
+            raise PageStateError(
+                f"sub-page chunk {self.chunk_id} must cover exactly one page"
+            )
+
+    @property
+    def original_bytes(self) -> int:
+        """Uncompressed size of the covered pages."""
+        return len(self.pages) * PAGE_SIZE
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio achieved by this chunk."""
+        return self.original_bytes / self.stored_bytes
+
+    @property
+    def page_count(self) -> int:
+        """Number of simulated pages covered."""
+        return len(self.pages)
+
+    @property
+    def in_zpool(self) -> bool:
+        """Whether the chunk currently sits in the zpool."""
+        return self.location is PageLocation.ZPOOL
+
+    @property
+    def in_flash(self) -> bool:
+        """Whether the chunk was written back to flash."""
+        return self.location is PageLocation.FLASH

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the Ariadne reproduction library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one base class.  Subclasses are grouped by subsystem and
+carry enough context in their message to debug a failing simulation without
+a debugger.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied by the caller."""
+
+
+class CompressionError(ReproError):
+    """A codec failed to compress or decompress a payload."""
+
+
+class CorruptDataError(CompressionError):
+    """Decompression produced output that fails integrity checks."""
+
+
+class MemoryPressureError(ReproError):
+    """The simulated system could not free enough memory to proceed."""
+
+
+class ZpoolFullError(MemoryPressureError):
+    """The zpool has no room for a compressed block and writeback is off."""
+
+
+class FlashFullError(MemoryPressureError):
+    """The flash swap area ran out of slots."""
+
+
+class PageStateError(ReproError):
+    """A page was found in a state inconsistent with the requested move."""
+
+
+class TraceFormatError(ReproError):
+    """A trace file could not be parsed."""
+
+
+class SchedulingError(ReproError):
+    """The simulated clock or an event was manipulated inconsistently."""

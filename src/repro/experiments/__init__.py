@@ -1,0 +1,51 @@
+"""Experiment harness: one module per table/figure in the paper.
+
+Every experiment exposes ``run(quick: bool = False) -> <Result>`` where
+the result dataclass carries structured rows plus ``render()`` producing
+a paper-style text table.  ``quick=True`` shrinks the workload for CI;
+benchmarks run the full versions.
+
+Run from the command line::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig10
+    python -m repro.experiments all
+"""
+
+from . import (
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    platform_info,
+    table1,
+    table2,
+    table3,
+)
+
+EXPERIMENTS = {
+    "table1": table1.run,
+    "fig2": fig2.run,
+    "fig3": fig3.run,
+    "table2": table2.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "table3": table3.run,
+    "platform": platform_info.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+    "fig14": fig14.run,
+    "fig15": fig15.run,
+}
+
+__all__ = ["EXPERIMENTS"]

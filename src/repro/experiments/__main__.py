@@ -1,0 +1,48 @@
+"""Command-line entry point: ``python -m repro.experiments <name>``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "name",
+        help="experiment id (e.g. fig10, table1), 'list', or 'all'",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run a reduced workload (for smoke testing)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.name == "list":
+        for key in EXPERIMENTS:
+            print(key)
+        return 0
+
+    names = list(EXPERIMENTS) if args.name == "all" else [args.name]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; try 'list'", file=sys.stderr)
+        return 2
+    for name in names:
+        start = time.perf_counter()
+        result = EXPERIMENTS[name](quick=args.quick)
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        print(f"[{name} finished in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,153 @@
+"""Shared experiment plumbing: cached traces, platforms, protocols,
+and text-table rendering."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..compression.chunking import SizeCache
+from ..core import AriadneConfig, PlatformConfig, RelaunchScenario, pixel7_platform
+from ..core.config import PAPER_CONFIGS
+from ..metrics import RelaunchResult
+from ..sim import MobileSystem, make_system
+from ..trace import TraceGenerator, WorkloadTrace
+from ..workload import APP_CATALOG, TABLE1_APPS
+
+#: Seed used by every experiment unless overridden.
+DEFAULT_SEED = 2025
+
+#: Compressed sizes depend only on (payload, codec, chunk size), so all
+#: experiment systems can share one memo cache; this removes most real
+#: compression work from repeated runs without changing any number.
+_SHARED_SIZES = SizeCache(max_entries=262144)
+
+#: The five apps the paper's figures plot.
+FIGURE_APPS = list(TABLE1_APPS)
+
+
+@lru_cache(maxsize=8)
+def workload_trace(
+    n_apps: int = 5, sessions: int = 4, seed: int = DEFAULT_SEED
+) -> WorkloadTrace:
+    """Cached workload trace over the first ``n_apps`` catalog apps."""
+    generator = TraceGenerator(seed=seed)
+    return generator.generate_workload(
+        profiles=APP_CATALOG[:n_apps], n_sessions=sessions
+    )
+
+
+def experiment_platform(n_apps: int) -> PlatformConfig:
+    """Platform whose DRAM pressure matches the paper's 10-app setup.
+
+    The paper runs ten apps (~4.9 GB anonymous data) against ~2.5 GB of
+    available DRAM — a ~1.9x oversubscription.  We keep that ratio for
+    any app count so smaller (faster) experiments see the same pressure.
+    """
+    return pixel7_platform(dram_gb=0.26 * n_apps)
+
+
+def build(
+    scheme_name: str,
+    trace: WorkloadTrace,
+    config: AriadneConfig | None = None,
+    codec_name: str = "lzo",
+) -> MobileSystem:
+    """System factory bound to the experiment platform."""
+    system = make_system(
+        scheme_name,
+        trace,
+        platform=experiment_platform(len(trace.apps)),
+        codec_name=codec_name,
+        ariadne_config=config,
+    )
+    system.ctx.sizes = _SHARED_SIZES
+    return system
+
+
+def scenario_build(
+    scheme_name: str,
+    trace: WorkloadTrace,
+    config: AriadneConfig | None = None,
+) -> MobileSystem:
+    """System factory for the 60 s switching scenarios (Fig. 3, Table 2).
+
+    The paper's phone is not absolutely overcommitted during switching
+    (12 GB DRAM vs ~4.9 GB of anonymous data); swap activity comes from
+    watermark-driven reclaim at the margin.  The scenario platform keeps
+    ~8% of the workload beyond the anonymous budget, which yields the
+    moderate, continuous churn the scenario measurements rely on.
+    """
+    total = sum(app.total_bytes() for app in trace.apps)
+    base = experiment_platform(len(trace.apps))
+    platform = PlatformConfig(
+        dram_bytes=int(total * 0.92),
+        zpool_bytes=base.zpool_bytes,
+        swap_bytes=base.swap_bytes,
+        scale=base.scale,
+        parallelism=base.parallelism,
+    )
+    system = make_system(
+        scheme_name, trace, platform=platform, ariadne_config=config
+    )
+    system.ctx.sizes = _SHARED_SIZES
+    return system
+
+
+def scenario_for(scheme_name: str, config: AriadneConfig | None):
+    """The relaunch data placement each scheme is measured under.
+
+    DRAM never compresses; ZRAM/SWAP start with everything swapped (the
+    state-of-practice); Ariadne follows its config's EHL/AL scenario.
+    """
+    if scheme_name == "DRAM":
+        return None
+    if config is not None:
+        return config.scenario
+    return RelaunchScenario.AL
+
+
+def measured_relaunch(
+    system: MobileSystem,
+    target: str,
+    session_index: int,
+    scenario,
+    pressure_apps: list[str],
+) -> RelaunchResult:
+    """The paper's measurement protocol for one relaunch.
+
+    Let other apps run first (the paper restores memory pressure by
+    launching the other nine apps), then establish the scenario's data
+    placement — Section 5 defines EHL/AL as the state *at relaunch time*
+    ("data in the hot list is in main memory while other data is in
+    either ZRAM or flash") — and measure the target's relaunch.
+    """
+    for other in pressure_apps:
+        if other != target:
+            system.relaunch(other)
+    system.prepare_relaunch(target, scenario)
+    return system.relaunch(target, session_index)
+
+
+def paper_scheme_matrix(quick: bool) -> list[tuple[str, AriadneConfig | None]]:
+    """The scheme column set of Figures 10/11: DRAM, ZRAM, Ariadne configs."""
+    configs = PAPER_CONFIGS[:2] if quick else PAPER_CONFIGS
+    matrix: list[tuple[str, AriadneConfig | None]] = [
+        ("DRAM", None),
+        ("ZRAM", None),
+    ]
+    matrix.extend(("Ariadne", config) for config in configs)
+    return matrix
+
+
+def render_table(title: str, headers: list[str], rows: list[list[str]]) -> str:
+    """Render a fixed-width text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""Figure 10: application relaunch latency — ZRAM vs Ariadne configs
+vs the DRAM lower bound.
+
+Paper numbers: every Ariadne configuration cuts relaunch latency by
+~50% versus ZRAM and lands within ~10% of DRAM; EHL vs AL differ only
+marginally for the same size configuration.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from .common import (
+    FIGURE_APPS,
+    build,
+    measured_relaunch,
+    paper_scheme_matrix,
+    render_table,
+    scenario_for,
+    workload_trace,
+)
+
+
+@dataclass
+class Fig10Result:
+    """Relaunch latency (ms) per app per scheme column."""
+
+    columns: list[str]
+    latency_ms: dict[str, dict[str, float]]  # column -> app -> ms
+
+    def _mean(self, column: str) -> float:
+        return statistics.mean(self.latency_ms[column].values())
+
+    @property
+    def ariadne_reduction_vs_zram(self) -> float:
+        """Average latency reduction of Ariadne columns vs ZRAM (paper ~0.5)."""
+        zram = self._mean("ZRAM")
+        ariadne_means = [
+            self._mean(col) for col in self.columns if col.startswith("Ariadne")
+        ]
+        return 1.0 - statistics.mean(ariadne_means) / zram
+
+    @property
+    def ariadne_over_dram(self) -> float:
+        """Average Ariadne latency relative to DRAM (paper: within 1.10x)."""
+        dram = self._mean("DRAM")
+        ariadne_means = [
+            self._mean(col) for col in self.columns if col.startswith("Ariadne")
+        ]
+        return statistics.mean(ariadne_means) / dram
+
+    def render(self) -> str:
+        apps = list(self.latency_ms[self.columns[0]])
+        rows = [
+            [column] + [f"{self.latency_ms[column][app]:.0f}" for app in apps]
+            for column in self.columns
+        ]
+        table = render_table(
+            "Figure 10: relaunch latency (ms)", ["Scheme"] + apps, rows
+        )
+        return (
+            f"{table}\n"
+            f"Ariadne reduction vs ZRAM = "
+            f"{self.ariadne_reduction_vs_zram:.0%} (paper: ~50%); "
+            f"Ariadne/DRAM = {self.ariadne_over_dram:.2f}x (paper: <=1.10x)"
+        )
+
+
+def run(quick: bool = False) -> Fig10Result:
+    """Measure relaunch latency for the paper's scheme matrix.
+
+    Mirrors the paper's per-trace methodology: each target app gets a
+    fresh system (the paper collects one trace per target, launching the
+    other apps for pressure, then relaunching the target).
+    """
+    apps = FIGURE_APPS[:3] if quick else FIGURE_APPS
+    trace = workload_trace(n_apps=5)
+    columns: list[str] = []
+    latency: dict[str, dict[str, float]] = {}
+    for scheme_name, config in paper_scheme_matrix(quick):
+        scenario = scenario_for(scheme_name, config)
+        column = None
+        for target in apps:
+            system = build(scheme_name, trace, config)
+            system.launch_all()
+            column = system.scheme.name
+            pressure = [a for a in apps if a != target][:2]
+            result = measured_relaunch(system, target, 1, scenario, pressure)
+            latency.setdefault(column, {})[target] = result.latency_ms
+        if column is not None:
+            columns.append(column)
+    return Fig10Result(columns=columns, latency_ms=latency)

@@ -1,0 +1,81 @@
+"""Figure 12: compression and decompression latency per scheme.
+
+Paper numbers (LZO): Ariadne-1K-2K-16K cuts decompression latency by
+~60% for YouTube/Twitter and ~90% for BangDream; compression latency
+drops ~20% for hot-heavy apps under EHL, while BangDream's compression
+can grow (more data in large chunks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..compression import LatencyModel, get_compressor
+from ..compression.chunking import SizeCache
+from ..core import AriadneConfig, RelaunchScenario
+from ..units import KIB
+from .common import FIGURE_APPS, render_table, workload_trace
+from .codec_profile import CodecProfile, profile_app
+
+SCHEMES: tuple[AriadneConfig | None, ...] = (
+    None,  # ZRAM
+    AriadneConfig(small_size=1 * KIB, medium_size=2 * KIB, large_size=16 * KIB,
+                  scenario=RelaunchScenario.EHL),
+    AriadneConfig(small_size=1 * KIB, medium_size=2 * KIB, large_size=16 * KIB,
+                  scenario=RelaunchScenario.AL),
+)
+
+
+@dataclass
+class Fig12Result:
+    """Comp/decomp latency per (scheme, app), paper scale (ms)."""
+
+    profiles: list[CodecProfile]
+
+    def profile(self, scheme: str, app: str) -> CodecProfile:
+        for entry in self.profiles:
+            if entry.scheme == scheme and entry.app == app:
+                return entry
+        raise KeyError((scheme, app))
+
+    def decomp_reduction(self, scheme: str, app: str) -> float:
+        """Decompression-latency reduction versus ZRAM."""
+        zram = self.profile("ZRAM", app)
+        ours = self.profile(scheme, app)
+        return 1.0 - ours.decomp_ms / zram.decomp_ms
+
+    def render(self) -> str:
+        rows = [
+            [p.scheme, p.app, f"{p.comp_ms:.0f}", f"{p.decomp_ms:.0f}"]
+            for p in self.profiles
+        ]
+        table = render_table(
+            "Figure 12: codec latency per scheme (trace-fed, LZO, ms)",
+            ["Scheme", "App", "CompTime", "DecompTime"],
+            rows,
+        )
+        ehl = SCHEMES[1].label
+        notes = ", ".join(
+            f"{app} -{self.decomp_reduction(ehl, app):.0%}"
+            for app in {p.app for p in self.profiles}
+        )
+        return (
+            f"{table}\ndecomp reduction vs ZRAM ({ehl}): {notes} "
+            f"(paper: -60% YouTube/Twitter, -90% BangDream)"
+        )
+
+
+def run(quick: bool = False) -> Fig12Result:
+    """Feed trace data to the codecs under each scheme's chunk policy."""
+    apps = FIGURE_APPS[:3] if quick else FIGURE_APPS
+    trace = workload_trace(n_apps=5)
+    codec = get_compressor("lzo")
+    model = LatencyModel()
+    cache = SizeCache()
+    profiles = []
+    for config in SCHEMES:
+        for app_name in apps:
+            profiles.append(
+                profile_app(trace.app(app_name), config, codec, model, cache)
+            )
+    return Fig12Result(profiles=profiles)

@@ -1,0 +1,86 @@
+"""Figure 13: compression ratio per scheme.
+
+Paper shape: Ariadne-EHL-1K-4K-16K beats ZRAM's ratio for every app
+(large cold chunks compress better); Ariadne-AL-512-2K-16K roughly ties
+ZRAM (small hot chunks give some ratio back).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..compression import LatencyModel, get_compressor
+from ..compression.chunking import SizeCache
+from ..core import AriadneConfig, RelaunchScenario
+from ..units import KIB
+from .common import FIGURE_APPS, render_table, workload_trace
+from .codec_profile import CodecProfile, profile_app
+
+SCHEMES: tuple[AriadneConfig | None, ...] = (
+    None,  # ZRAM
+    AriadneConfig(small_size=1 * KIB, medium_size=4 * KIB, large_size=16 * KIB,
+                  scenario=RelaunchScenario.EHL),
+    AriadneConfig(small_size=512, medium_size=2 * KIB, large_size=16 * KIB,
+                  scenario=RelaunchScenario.AL),
+)
+
+
+@dataclass
+class Fig13Result:
+    """Compression ratio per (scheme, app)."""
+
+    profiles: list[CodecProfile]
+
+    def ratio(self, scheme: str, app: str) -> float:
+        for entry in self.profiles:
+            if entry.scheme == scheme and entry.app == app:
+                return entry.ratio
+        raise KeyError((scheme, app))
+
+    @property
+    def apps(self) -> list[str]:
+        seen = []
+        for entry in self.profiles:
+            if entry.app not in seen:
+                seen.append(entry.app)
+        return seen
+
+    def ehl_beats_zram_everywhere(self) -> bool:
+        """The paper's headline Figure 13 claim."""
+        ehl = SCHEMES[1].label
+        return all(self.ratio(ehl, app) > self.ratio("ZRAM", app)
+                   for app in self.apps)
+
+    def render(self) -> str:
+        schemes = ["ZRAM", SCHEMES[1].label, SCHEMES[2].label]
+        rows = [
+            [scheme] + [f"{self.ratio(scheme, app):.2f}" for app in self.apps]
+            for scheme in schemes
+        ]
+        table = render_table(
+            "Figure 13: compression ratio (higher is better)",
+            ["Scheme"] + self.apps,
+            rows,
+        )
+        verdict = (
+            "EHL-1K-4K-16K > ZRAM for every app"
+            if self.ehl_beats_zram_everywhere()
+            else "WARNING: EHL-1K-4K-16K does not beat ZRAM everywhere"
+        )
+        return f"{table}\n{verdict} (paper: consistently better)"
+
+
+def run(quick: bool = False) -> Fig13Result:
+    """Measure real compressed sizes under each scheme's chunk policy."""
+    apps = FIGURE_APPS[:3] if quick else FIGURE_APPS
+    trace = workload_trace(n_apps=5)
+    codec = get_compressor("lzo")
+    model = LatencyModel()
+    cache = SizeCache()
+    profiles = []
+    for config in SCHEMES:
+        for app_name in apps:
+            profiles.append(
+                profile_app(trace.app(app_name), config, codec, model, cache)
+            )
+    return Fig13Result(profiles=profiles)

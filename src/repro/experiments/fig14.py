@@ -1,0 +1,82 @@
+"""Figure 14: coverage and accuracy of hot-data identification.
+
+Paper numbers: HotnessOrg's hot list covers ~70% of the data a relaunch
+actually uses (Coverage), and ~92% of what it keeps in the hot list is
+used by the next relaunch or execution phase (Accuracy).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from ..core import AriadneConfig, AriadneScheme, RelaunchScenario
+from .common import FIGURE_APPS, build, render_table, workload_trace
+
+
+@dataclass
+class Fig14Result:
+    """Mean coverage/accuracy per app across measured relaunches."""
+
+    coverage: dict[str, float]
+    accuracy: dict[str, float]
+
+    @property
+    def mean_coverage(self) -> float:
+        """Across-app mean (paper: ~0.70)."""
+        return statistics.mean(self.coverage.values())
+
+    @property
+    def mean_accuracy(self) -> float:
+        """Across-app mean (paper: ~0.92)."""
+        return statistics.mean(self.accuracy.values())
+
+    def render(self) -> str:
+        rows = [
+            [app, f"{self.coverage[app]:.2f}", f"{self.accuracy[app]:.2f}"]
+            for app in self.coverage
+        ]
+        table = render_table(
+            "Figure 14: hot-data identification quality",
+            ["App", "Coverage", "Accuracy"],
+            rows,
+        )
+        return (
+            f"{table}\n"
+            f"mean coverage = {self.mean_coverage:.2f} (paper: ~0.70); "
+            f"mean accuracy = {self.mean_accuracy:.2f} (paper: ~0.92)"
+        )
+
+
+def run(quick: bool = False) -> Fig14Result:
+    """Score Ariadne's hot list against what relaunches actually use."""
+    apps = FIGURE_APPS[:3] if quick else FIGURE_APPS
+    sessions = 3 if quick else 4
+    trace = workload_trace(n_apps=5, sessions=max(sessions, 4))
+    config = AriadneConfig(scenario=RelaunchScenario.EHL)
+    system = build("Ariadne", trace, config)
+    system.launch_all()
+    scheme = system.scheme
+    assert isinstance(scheme, AriadneScheme)
+    coverage: dict[str, list[float]] = {app: [] for app in apps}
+    accuracy: dict[str, list[float]] = {app: [] for app in apps}
+    for session_index in range(1, sessions):
+        for app_name in apps:
+            app_trace = trace.app(app_name)
+            session = app_trace.sessions[session_index]
+            predicted = scheme.hot_prediction(app_trace.uid)
+            actual_hot = set(session.hot_set)
+            used_next = actual_hot | set(session.warm_set)
+            if actual_hot:
+                coverage[app_name].append(
+                    len(predicted & actual_hot) / len(actual_hot)
+                )
+            if predicted:
+                accuracy[app_name].append(
+                    len(predicted & used_next) / len(predicted)
+                )
+            system.relaunch(app_name, session_index)
+    return Fig14Result(
+        coverage={app: statistics.mean(v) for app, v in coverage.items()},
+        accuracy={app: statistics.mean(v) for app, v in accuracy.items()},
+    )

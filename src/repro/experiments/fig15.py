@@ -1,0 +1,86 @@
+"""Figure 15: sensitivity to compression chunk-size configuration.
+
+The paper contrasts two extreme Ariadne configurations against ZRAM:
+
+- ``Ariadne-AL-1K-4K-64K`` — very large cold chunks: best ratio, but a
+  misclassified page decompresses a 64 KB chunk (long latency risk);
+- ``Ariadne-AL-256-1K-4K`` — very small chunks everywhere: fastest
+  decompression, weakest ratio.
+
+The takeaway (Section 6.3): inappropriate sizes either inflate latency
+or deflate ratio, and >= 64 KB cold chunks are risky.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..compression import LatencyModel, get_compressor
+from ..compression.chunking import SizeCache
+from ..core import AriadneConfig, RelaunchScenario
+from ..units import KIB
+from .common import FIGURE_APPS, render_table, workload_trace
+from .codec_profile import CodecProfile, profile_app
+
+SCHEMES: tuple[AriadneConfig | None, ...] = (
+    None,  # ZRAM
+    AriadneConfig(small_size=1 * KIB, medium_size=4 * KIB, large_size=64 * KIB,
+                  scenario=RelaunchScenario.AL),
+    AriadneConfig(small_size=256, medium_size=1 * KIB, large_size=4 * KIB,
+                  scenario=RelaunchScenario.AL),
+)
+
+
+@dataclass
+class Fig15Result:
+    """Comp/decomp latency and ratio for the sensitivity configs."""
+
+    profiles: list[CodecProfile]
+
+    def by_scheme(self, scheme: str) -> list[CodecProfile]:
+        return [p for p in self.profiles if p.scheme == scheme]
+
+    def mean_ratio(self, scheme: str) -> float:
+        entries = self.by_scheme(scheme)
+        return sum(p.ratio for p in entries) / len(entries)
+
+    def render(self) -> str:
+        rows = [
+            [
+                p.scheme,
+                p.app,
+                f"{p.comp_ms:.0f}",
+                f"{p.decomp_ms:.0f}",
+                f"{p.ratio:.2f}",
+            ]
+            for p in self.profiles
+        ]
+        table = render_table(
+            "Figure 15: sensitivity to chunk-size configuration",
+            ["Scheme", "App", "CompTime (ms)", "DecompTime (ms)", "Ratio"],
+            rows,
+        )
+        big = SCHEMES[1].label
+        small = SCHEMES[2].label
+        return (
+            f"{table}\n"
+            f"mean ratio: ZRAM {self.mean_ratio('ZRAM'):.2f}, "
+            f"{big} {self.mean_ratio(big):.2f} (best ratio), "
+            f"{small} {self.mean_ratio(small):.2f} (fastest, weakest ratio)"
+        )
+
+
+def run(quick: bool = False) -> Fig15Result:
+    """Profile the two extreme configurations of Section 6.3."""
+    apps = FIGURE_APPS[:3] if quick else FIGURE_APPS
+    trace = workload_trace(n_apps=5)
+    codec = get_compressor("lzo")
+    model = LatencyModel()
+    cache = SizeCache()
+    profiles = []
+    for config in SCHEMES:
+        for app_name in apps:
+            profiles.append(
+                profile_app(trace.app(app_name), config, codec, model, cache)
+            )
+    return Fig15Result(profiles=profiles)

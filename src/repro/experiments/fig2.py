@@ -1,0 +1,73 @@
+"""Figure 2: application relaunch latency under DRAM / ZRAM / SWAP.
+
+Paper shape: ZRAM beats SWAP but still prolongs relaunch by ~2.1x over
+reading everything from DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import RelaunchScenario
+from .common import FIGURE_APPS, build, measured_relaunch, render_table, workload_trace
+
+
+@dataclass
+class Fig2Result:
+    """Relaunch latency (ms) per app per scheme."""
+
+    schemes: list[str]
+    latency_ms: dict[str, dict[str, float]]  # scheme -> app -> ms
+
+    @property
+    def zram_over_dram(self) -> float:
+        """Average ZRAM latency inflation over DRAM (paper: ~2.1x)."""
+        ratios = [
+            self.latency_ms["ZRAM"][app] / self.latency_ms["DRAM"][app]
+            for app in self.latency_ms["DRAM"]
+        ]
+        return sum(ratios) / len(ratios)
+
+    @property
+    def swap_over_dram(self) -> float:
+        """Average SWAP latency inflation over DRAM."""
+        ratios = [
+            self.latency_ms["SWAP"][app] / self.latency_ms["DRAM"][app]
+            for app in self.latency_ms["DRAM"]
+        ]
+        return sum(ratios) / len(ratios)
+
+    def render(self) -> str:
+        apps = list(self.latency_ms["DRAM"])
+        rows = [
+            [scheme] + [f"{self.latency_ms[scheme][app]:.0f}" for app in apps]
+            for scheme in self.schemes
+        ]
+        table = render_table(
+            "Figure 2: relaunch latency (ms) under memory swap schemes",
+            ["Scheme"] + apps,
+            rows,
+        )
+        return (
+            f"{table}\n"
+            f"ZRAM/DRAM avg = {self.zram_over_dram:.2f}x (paper: 2.1x); "
+            f"SWAP/DRAM avg = {self.swap_over_dram:.2f}x (paper: worse than ZRAM)"
+        )
+
+
+def run(quick: bool = False) -> Fig2Result:
+    """Measure per-app relaunch latency for the three baseline schemes."""
+    apps = FIGURE_APPS[:3] if quick else FIGURE_APPS
+    trace = workload_trace(n_apps=5)
+    schemes = ["DRAM", "ZRAM", "SWAP"]
+    latency: dict[str, dict[str, float]] = {}
+    for scheme_name in schemes:
+        system = build(scheme_name, trace)
+        system.launch_all()
+        scenario = None if scheme_name == "DRAM" else RelaunchScenario.AL
+        latency[scheme_name] = {}
+        for target in apps:
+            pressure = [a for a in apps if a != target][:2]
+            result = measured_relaunch(system, target, 1, scenario, pressure)
+            latency[scheme_name][target] = result.latency_ms
+    return Fig2Result(schemes=schemes, latency_ms=latency)

@@ -1,0 +1,59 @@
+"""Figure 3: CPU usage of the memory reclamation thread (kswapd).
+
+Paper shape: ZRAM's kswapd burns ~2.6x the CPU of the DRAM baseline
+(whose kswapd only writes file-backed pages back) and ~2.0x SWAP's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim import run_light_scenario
+from .common import render_table, scenario_build, workload_trace
+
+
+@dataclass
+class Fig3Result:
+    """kswapd CPU seconds over the 60 s light scenario."""
+
+    kswapd_cpu_s: dict[str, float]
+
+    @property
+    def zram_over_dram(self) -> float:
+        """ZRAM kswapd CPU relative to DRAM (paper: ~2.6x)."""
+        return self.kswapd_cpu_s["ZRAM"] / max(self.kswapd_cpu_s["DRAM"], 1e-9)
+
+    @property
+    def zram_over_swap(self) -> float:
+        """ZRAM kswapd CPU relative to SWAP (paper: ~2.0x)."""
+        return self.kswapd_cpu_s["ZRAM"] / max(self.kswapd_cpu_s["SWAP"], 1e-9)
+
+    def render(self) -> str:
+        rows = [
+            [scheme, f"{seconds:.2f}"]
+            for scheme, seconds in self.kswapd_cpu_s.items()
+        ]
+        table = render_table(
+            "Figure 3: kswapd CPU time over a 60 s switching scenario",
+            ["Scheme", "kswapd CPU (s)"],
+            rows,
+        )
+        return (
+            f"{table}\n"
+            f"ZRAM/DRAM = {self.zram_over_dram:.1f}x (paper: 2.6x); "
+            f"ZRAM/SWAP = {self.zram_over_swap:.1f}x (paper: 2.0x)"
+        )
+
+
+def run(quick: bool = False) -> Fig3Result:
+    """Run the light switching scenario under each baseline scheme and
+    compare reclaim-thread CPU."""
+    n_apps = 3 if quick else 5
+    duration = 20.0 if quick else 60.0
+    kswapd: dict[str, float] = {}
+    for scheme_name in ("DRAM", "ZRAM", "SWAP"):
+        trace = workload_trace(n_apps=n_apps)
+        system = scenario_build(scheme_name, trace)
+        result = run_light_scenario(system, duration_s=duration)
+        kswapd[scheme_name] = result.kswapd_cpu_ns / 1e9
+    return Fig3Result(kswapd_cpu_s=kswapd)

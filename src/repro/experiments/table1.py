@@ -1,0 +1,66 @@
+"""Table 1: anonymous data volume of five applications at 10 s / 5 min."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..units import PAGE_SIZE, SCALE_FACTOR
+from ..workload import profile_by_name
+from .common import FIGURE_APPS, render_table, workload_trace
+
+
+@dataclass
+class Table1Row:
+    """One application's measured anonymous-data volumes."""
+
+    app: str
+    measured_10s_mb: float
+    measured_5min_mb: float
+    paper_10s_mb: float
+    paper_5min_mb: float
+
+
+@dataclass
+class Table1Result:
+    """Anonymous-data volumes (paper-scale MB)."""
+
+    rows: list[Table1Row]
+
+    def render(self) -> str:
+        return render_table(
+            "Table 1: anonymous data volume (MB), measured vs paper",
+            ["App", "10s (meas)", "10s (paper)", "5min (meas)", "5min (paper)"],
+            [
+                [
+                    row.app,
+                    f"{row.measured_10s_mb:.0f}",
+                    f"{row.paper_10s_mb:.0f}",
+                    f"{row.measured_5min_mb:.0f}",
+                    f"{row.paper_5min_mb:.0f}",
+                ]
+                for row in self.rows
+            ],
+        )
+
+
+def run(quick: bool = False) -> Table1Result:
+    """Measure generated anonymous-data volume at the paper's two
+    sampling points and compare with Table 1."""
+    trace = workload_trace(n_apps=5)
+    rows = []
+    for name in FIGURE_APPS:
+        app_trace = trace.app(name)
+        profile = profile_by_name(name)
+        pages_10s = app_trace.pages_created_by(10.0)
+        pages_5min = app_trace.pages_created_by(300.0)
+        to_mb = PAGE_SIZE * SCALE_FACTOR / (1024 * 1024)
+        rows.append(
+            Table1Row(
+                app=name,
+                measured_10s_mb=pages_10s * to_mb,
+                measured_5min_mb=pages_5min * to_mb,
+                paper_10s_mb=profile.anon_mb_10s,
+                paper_5min_mb=profile.anon_mb_5min,
+            )
+        )
+    return Table1Result(rows=rows)

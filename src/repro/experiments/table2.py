@@ -1,0 +1,67 @@
+"""Table 2: energy consumption under DRAM / ZRAM / SWAP.
+
+Paper shape: over 60 s, ZRAM costs +12.2% (light) / +19.5% (heavy)
+energy versus the DRAM baseline, while SWAP is roughly level (+0.3% /
++1.7%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim import run_heavy_scenario, run_light_scenario
+from .common import render_table, scenario_build, workload_trace
+
+
+@dataclass
+class Table2Result:
+    """Energy (J) per workload class per scheme."""
+
+    light_j: dict[str, float]
+    heavy_j: dict[str, float]
+
+    def normalized(self, workload: str, scheme: str) -> float:
+        """Energy relative to the DRAM baseline for one workload class."""
+        table = self.light_j if workload == "light" else self.heavy_j
+        return table[scheme] / table["DRAM"]
+
+    def render(self) -> str:
+        rows = []
+        for scheme in ("DRAM", "ZRAM", "SWAP"):
+            rows.append(
+                [
+                    scheme,
+                    f"{self.light_j[scheme]:.1f}",
+                    f"{self.normalized('light', scheme):.3f}",
+                    f"{self.heavy_j[scheme]:.1f}",
+                    f"{self.normalized('heavy', scheme):.3f}",
+                ]
+            )
+        table = render_table(
+            "Table 2: energy (J) under three swap schemes (60 s scenarios)",
+            ["Scheme", "Light (J)", "Light norm", "Heavy (J)", "Heavy norm"],
+            rows,
+        )
+        return (
+            f"{table}\n"
+            "Paper normalized: ZRAM 1.122 (light) / 1.195 (heavy); "
+            "SWAP 1.003 / 1.017"
+        )
+
+
+def run(quick: bool = False) -> Table2Result:
+    """Measure scenario energy for the three baseline schemes."""
+    n_apps = 3 if quick else 5
+    duration = 20.0 if quick else 60.0
+    light: dict[str, float] = {}
+    heavy: dict[str, float] = {}
+    for scheme_name in ("DRAM", "ZRAM", "SWAP"):
+        system = scenario_build(scheme_name, workload_trace(n_apps=n_apps))
+        light[scheme_name] = run_light_scenario(
+            system, duration_s=duration
+        ).energy.total_j
+        system = scenario_build(scheme_name, workload_trace(n_apps=n_apps))
+        heavy[scheme_name] = run_heavy_scenario(
+            system, duration_s=duration
+        ).energy.total_j
+    return Table2Result(light_j=light, heavy_j=heavy)

@@ -1,0 +1,6 @@
+"""Flash-storage substrate: a UFS-like device model and a swap area."""
+
+from .device import FlashDevice, FlashDeviceConfig
+from .swaparea import FlashSwapArea, SwapSlot
+
+__all__ = ["FlashDevice", "FlashDeviceConfig", "FlashSwapArea", "SwapSlot"]

@@ -1,0 +1,101 @@
+"""UFS-like flash device latency and wear model.
+
+The Pixel 7's UFS 3.1 storage serves ~4 KB random reads in the
+80-100 us range and sustains roughly 2 GB/s sequential reads; writes are
+slower and, critically for the paper's lifetime argument, wear out flash
+cells.  The model charges a fixed per-command cost plus a per-byte
+transfer cost and counts every byte written (the wear figure the paper's
+Section 2.2 cares about).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..units import US
+
+
+@dataclass(frozen=True)
+class FlashDeviceConfig:
+    """Latency/wear coefficients for the flash device.
+
+    Defaults approximate a UFS 3.1 part like the Pixel 7's.
+    """
+
+    read_command_ns: int = 80 * US
+    write_command_ns: int = 120 * US
+    #: Transfer cost per byte on reads (~2 GB/s sequential).
+    read_per_byte_ns: float = 0.5
+    #: Transfer cost per byte on writes (~1 GB/s sustained program rate).
+    write_per_byte_ns: float = 1.0
+    #: NAND write amplification applied to wear accounting.
+    write_amplification: float = 1.5
+
+    def validate(self) -> None:
+        if self.read_command_ns < 0 or self.write_command_ns < 0:
+            raise ConfigError("flash command latencies cannot be negative")
+        if self.read_per_byte_ns < 0 or self.write_per_byte_ns < 0:
+            raise ConfigError("flash per-byte latencies cannot be negative")
+        if self.write_amplification < 1.0:
+            raise ConfigError("write amplification cannot be below 1.0")
+
+
+class FlashDevice:
+    """Charges latency for flash I/O and tracks wear."""
+
+    def __init__(self, config: FlashDeviceConfig | None = None) -> None:
+        self.config = config if config is not None else FlashDeviceConfig()
+        self.config.validate()
+        self.host_bytes_read = 0
+        self.host_bytes_written = 0
+        self.read_commands = 0
+        self.write_commands = 0
+
+    def read(self, nbytes: int) -> int:
+        """Perform a read; returns latency in ns and updates counters."""
+        if nbytes < 0:
+            raise ConfigError(f"cannot read negative bytes: {nbytes}")
+        self.host_bytes_read += nbytes
+        self.read_commands += 1
+        return self.config.read_command_ns + int(nbytes * self.config.read_per_byte_ns)
+
+    def write(self, nbytes: int) -> int:
+        """Perform a write; returns latency in ns and updates counters."""
+        if nbytes < 0:
+            raise ConfigError(f"cannot write negative bytes: {nbytes}")
+        self.host_bytes_written += nbytes
+        self.write_commands += 1
+        return self.config.write_command_ns + int(
+            nbytes * self.config.write_per_byte_ns
+        )
+
+    def read_many(self, total_bytes: int, n_commands: int) -> int:
+        """Read ``total_bytes`` spread over ``n_commands`` random commands.
+
+        Swap-in of one simulated page is ``scale`` real 4 KB reads, each
+        its own command — this is what makes flash swap-in slow even
+        though the aggregate bandwidth looks fine.
+        """
+        if n_commands < 1:
+            raise ConfigError(f"n_commands must be >= 1, got {n_commands}")
+        self.host_bytes_read += total_bytes
+        self.read_commands += n_commands
+        return n_commands * self.config.read_command_ns + int(
+            total_bytes * self.config.read_per_byte_ns
+        )
+
+    def write_many(self, total_bytes: int, n_commands: int) -> int:
+        """Write ``total_bytes`` over ``n_commands`` commands."""
+        if n_commands < 1:
+            raise ConfigError(f"n_commands must be >= 1, got {n_commands}")
+        self.host_bytes_written += total_bytes
+        self.write_commands += n_commands
+        return n_commands * self.config.write_command_ns + int(
+            total_bytes * self.config.write_per_byte_ns
+        )
+
+    @property
+    def nand_bytes_written(self) -> int:
+        """Wear-relevant bytes programmed into NAND (after amplification)."""
+        return int(self.host_bytes_written * self.config.write_amplification)

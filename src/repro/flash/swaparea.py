@@ -1,0 +1,134 @@
+"""Flash-backed swap area: slot allocation on top of the device model.
+
+Used two ways, exactly as in the paper: the SWAP baseline writes raw
+pages here, and Ariadne writes *compressed cold chunks* here when the
+zpool overflows (the ZSWAP role, Section 4.1), which is what keeps its
+flash writes small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import FlashFullError
+from ..units import fmt_bytes
+from .device import FlashDevice
+
+
+@dataclass(frozen=True)
+class SwapSlot:
+    """One occupied region of the swap area.
+
+    ``sequential`` records whether the slot was written as one contiguous
+    extent (a compressed-chunk writeback) or as independently-placed
+    pages (classic swap-out); it determines how many device commands a
+    later read needs.
+    """
+
+    slot_id: int
+    stored_bytes: int
+    sequential: bool = False
+
+
+#: Largest contiguous transfer a single UFS command covers in our model.
+_MAX_SEQ_COMMAND_BYTES = 256 * 1024
+
+
+class FlashSwapArea:
+    """Slot-granular swap space on a :class:`FlashDevice`.
+
+    Args:
+        device: The flash device latencies/wear are charged to.
+        capacity_bytes: Size of the swap partition/file (simulation scale).
+        byte_scale: Real bytes represented by one stored byte.  Slot
+            accounting stays at simulation scale, but device latency and
+            wear are charged for the real transfer (one simulated page
+            stands for ``byte_scale`` real pages).
+    """
+
+    def __init__(
+        self, device: FlashDevice, capacity_bytes: int, byte_scale: int = 1
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise FlashFullError(
+                f"swap area capacity must be positive: {capacity_bytes}"
+            )
+        if byte_scale < 1:
+            raise FlashFullError(f"byte_scale must be >= 1, got {byte_scale}")
+        self.device = device
+        self.capacity_bytes = capacity_bytes
+        self.byte_scale = byte_scale
+        self._slots: dict[int, SwapSlot] = {}
+        self._next_slot = 1
+        self._used_bytes = 0
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently stored."""
+        return self._used_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        """Remaining swap space."""
+        return self.capacity_bytes - self._used_bytes
+
+    def has_room_for(self, nbytes: int) -> bool:
+        """Whether ``nbytes`` more fit."""
+        return nbytes <= self.free_bytes
+
+    def _command_count(self, real_bytes: int, sequential: bool) -> int:
+        if sequential:
+            return max(1, -(-real_bytes // _MAX_SEQ_COMMAND_BYTES))
+        return self.byte_scale
+
+    def store(self, nbytes: int, sequential: bool = False) -> tuple[SwapSlot, int]:
+        """Write ``nbytes`` to swap; returns (slot, write latency ns).
+
+        ``sequential`` marks the slot as one contiguous extent (compressed
+        chunk writeback); otherwise the transfer is ``byte_scale``
+        independent page writes.
+        """
+        if nbytes > self.free_bytes:
+            raise FlashFullError(
+                f"swap area cannot fit {fmt_bytes(nbytes)} "
+                f"(free {fmt_bytes(self.free_bytes)})"
+            )
+        slot = SwapSlot(
+            slot_id=self._next_slot, stored_bytes=nbytes, sequential=sequential
+        )
+        self._next_slot += 1
+        self._slots[slot.slot_id] = slot
+        self._used_bytes += nbytes
+        real_bytes = nbytes * self.byte_scale
+        latency_ns = self.device.write_many(
+            real_bytes, n_commands=self._command_count(real_bytes, sequential)
+        )
+        return slot, latency_ns
+
+    def load(self, slot_id: int) -> tuple[SwapSlot, int]:
+        """Read a slot's contents; returns (slot, read latency ns).
+
+        The slot stays allocated — freeing is a separate decision, as in
+        the kernel (swap slots persist until ``swap_free``).
+        """
+        slot = self._slots.get(slot_id)
+        if slot is None:
+            raise FlashFullError(f"swap slot {slot_id} is not occupied")
+        real_bytes = slot.stored_bytes * self.byte_scale
+        latency_ns = self.device.read_many(
+            real_bytes, n_commands=self._command_count(real_bytes, slot.sequential)
+        )
+        return slot, latency_ns
+
+    def free(self, slot_id: int) -> SwapSlot:
+        """Release a slot without I/O (invalidation is metadata-only)."""
+        slot = self._slots.pop(slot_id, None)
+        if slot is None:
+            raise FlashFullError(f"swap slot {slot_id} is not occupied")
+        self._used_bytes -= slot.stored_bytes
+        return slot
+
+    @property
+    def slot_count(self) -> int:
+        """Number of occupied slots."""
+        return len(self._slots)

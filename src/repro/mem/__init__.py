@@ -1,0 +1,28 @@
+"""Memory substrate: pages, LRU lists, data organizers, main memory.
+
+This package models the parts of the Linux memory-management stack the
+paper's techniques live in: anonymous pages, the kernel's LRU page lists
+(active/inactive in stock Android, hot/warm/cold under Ariadne's
+HotnessOrg), and a capacity-tracked main memory.
+"""
+
+from .dram import MainMemory
+from .lru import LruList
+from .organizer import (
+    ActiveInactiveOrganizer,
+    DataOrganizer,
+    HotWarmColdOrganizer,
+)
+from .page import Hotness, Page, PageKind, PageLocation
+
+__all__ = [
+    "ActiveInactiveOrganizer",
+    "DataOrganizer",
+    "Hotness",
+    "HotWarmColdOrganizer",
+    "LruList",
+    "MainMemory",
+    "Page",
+    "PageKind",
+    "PageLocation",
+]

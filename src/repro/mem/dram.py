@@ -1,0 +1,80 @@
+"""Capacity-tracked main memory.
+
+:class:`MainMemory` tracks which pages are resident and enforces the
+capacity the platform provides for anonymous data.  It deliberately does
+*not* decide what to evict — that is the swap scheme's job — it only
+refuses to go over capacity, forcing callers to reclaim first (the
+simulator's analogue of direct reclaim).
+"""
+
+from __future__ import annotations
+
+from ..errors import MemoryPressureError, PageStateError
+from ..units import PAGE_SIZE, fmt_bytes
+from .page import Page, PageLocation
+
+
+class MainMemory:
+    """DRAM capacity model for anonymous pages.
+
+    Args:
+        capacity_bytes: Bytes of DRAM available to anonymous data (the
+            platform's total minus OS/file-cache reservations, scaled).
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < PAGE_SIZE:
+            raise MemoryPressureError(
+                f"DRAM capacity {capacity_bytes} is smaller than one page"
+            )
+        self.capacity_bytes = capacity_bytes
+        self._resident: dict[int, Page] = {}
+        #: High-water mark of bytes resident (for reports).
+        self.peak_used_bytes = 0
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently occupied by resident pages."""
+        return len(self._resident) * PAGE_SIZE
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes available before hitting capacity."""
+        return self.capacity_bytes - self.used_bytes
+
+    @property
+    def resident_count(self) -> int:
+        """Number of resident pages."""
+        return len(self._resident)
+
+    def has_room_for(self, n_pages: int) -> bool:
+        """Whether ``n_pages`` more pages fit without reclaim."""
+        return self.free_bytes >= n_pages * PAGE_SIZE
+
+    def add_page(self, page: Page) -> None:
+        """Make ``page`` resident; the caller must have ensured room."""
+        if page.pfn in self._resident:
+            raise PageStateError(f"page {page.pfn} is already resident")
+        if self.free_bytes < PAGE_SIZE:
+            raise MemoryPressureError(
+                f"DRAM full ({fmt_bytes(self.used_bytes)} of "
+                f"{fmt_bytes(self.capacity_bytes)}); reclaim before adding"
+            )
+        self._resident[page.pfn] = page
+        page.location = PageLocation.DRAM
+        self.peak_used_bytes = max(self.peak_used_bytes, self.used_bytes)
+
+    def remove_page(self, page: Page) -> None:
+        """Evict ``page`` from DRAM (caller decides where it goes)."""
+        if self._resident.pop(page.pfn, None) is None:
+            raise PageStateError(f"page {page.pfn} is not resident")
+
+    def is_resident(self, page: Page) -> bool:
+        """Whether ``page`` currently occupies DRAM."""
+        return page.pfn in self._resident
+
+    def __repr__(self) -> str:
+        return (
+            f"MainMemory(used={fmt_bytes(self.used_bytes)}, "
+            f"capacity={fmt_bytes(self.capacity_bytes)})"
+        )

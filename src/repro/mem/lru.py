@@ -1,0 +1,92 @@
+"""A least-recently-used page list with O(1) operations.
+
+Mirrors the kernel's per-zone LRU lists: most-recently-used pages sit at
+the head, reclaim pops from the tail.  Backed by an ``OrderedDict`` so
+``touch`` (move to head), ``remove``, and ``pop_lru`` are all O(1).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+from ..errors import PageStateError
+from .page import Page
+
+
+class LruList:
+    """Ordered collection of pages, LRU at the tail, MRU at the head."""
+
+    def __init__(self, name: str = "lru") -> None:
+        self.name = name
+        #: Insertion order == recency order: last item is MRU.
+        self._pages: OrderedDict[int, Page] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, page: Page) -> bool:
+        return page.pfn in self._pages
+
+    def __iter__(self) -> Iterator[Page]:
+        """Iterate from LRU (evict-first) to MRU."""
+        return iter(self._pages.values())
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of page sizes on this list."""
+        return sum(page.size for page in self._pages.values())
+
+    def add(self, page: Page) -> None:
+        """Insert ``page`` at the MRU end; error if already present."""
+        if page.pfn in self._pages:
+            raise PageStateError(f"page {page.pfn} already on list {self.name!r}")
+        self._pages[page.pfn] = page
+
+    def add_lru(self, page: Page) -> None:
+        """Insert ``page`` at the LRU end (evicted first)."""
+        if page.pfn in self._pages:
+            raise PageStateError(f"page {page.pfn} already on list {self.name!r}")
+        self._pages[page.pfn] = page
+        self._pages.move_to_end(page.pfn, last=False)
+
+    def touch(self, page: Page) -> None:
+        """Move ``page`` to the MRU end; error if absent."""
+        if page.pfn not in self._pages:
+            raise PageStateError(f"page {page.pfn} not on list {self.name!r}")
+        self._pages.move_to_end(page.pfn)
+
+    def remove(self, page: Page) -> None:
+        """Remove ``page``; error if absent."""
+        if self._pages.pop(page.pfn, None) is None:
+            raise PageStateError(f"page {page.pfn} not on list {self.name!r}")
+
+    def discard(self, page: Page) -> bool:
+        """Remove ``page`` if present; return whether it was present."""
+        return self._pages.pop(page.pfn, None) is not None
+
+    def pop_lru(self) -> Page:
+        """Remove and return the least-recently-used page."""
+        if not self._pages:
+            raise PageStateError(f"list {self.name!r} is empty")
+        _, page = self._pages.popitem(last=False)
+        return page
+
+    def peek_lru(self) -> Page:
+        """Return (without removing) the least-recently-used page."""
+        if not self._pages:
+            raise PageStateError(f"list {self.name!r} is empty")
+        return next(iter(self._pages.values()))
+
+    def peek_mru(self) -> Page:
+        """Return (without removing) the most-recently-used page."""
+        if not self._pages:
+            raise PageStateError(f"list {self.name!r} is empty")
+        return next(reversed(self._pages.values()))
+
+    def pages_lru_order(self) -> list[Page]:
+        """Snapshot of all pages, LRU first."""
+        return list(self._pages.values())
+
+    def __repr__(self) -> str:
+        return f"LruList(name={self.name!r}, pages={len(self._pages)})"

@@ -1,0 +1,323 @@
+"""Per-application data organizers: how resident anonymous pages are
+grouped and in what order they are offered up for reclaim.
+
+Two organizers are provided:
+
+- :class:`ActiveInactiveOrganizer` — the stock kernel's two-list scheme
+  (new pages start inactive; a touch promotes to active; reclaim pops the
+  inactive tail, refilling it from the active tail).  This is the policy
+  whose hotness-blindness Figure 4 of the paper demonstrates.
+- :class:`HotWarmColdOrganizer` — the tri-list substrate of Ariadne's
+  HotnessOrg (Section 4.2): hotness initialization at first launch,
+  hotness update at relaunch boundaries, and cold -> warm -> hot eviction
+  order.
+
+Both organizers only manipulate list membership — no data moves — which
+is why HotnessOrg is "low overhead" (Section 6.4).  The
+``list_operations`` counter lets experiments charge the (tiny) CPU cost
+of those manipulations.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+from ..errors import PageStateError
+from .lru import LruList
+from .page import Hotness, Page
+
+
+class DataOrganizer(ABC):
+    """Owns the resident-page lists of one application."""
+
+    def __init__(self, uid: int) -> None:
+        self.uid = uid
+        #: Count of individual LRU-list manipulations (for CPU accounting).
+        self.list_operations = 0
+
+    @abstractmethod
+    def add_page(self, page: Page) -> None:
+        """Register a newly resident page."""
+
+    @abstractmethod
+    def on_access(self, page: Page, now_ns: int) -> None:
+        """Record an access to a resident page (may promote it)."""
+
+    @abstractmethod
+    def remove_page(self, page: Page) -> None:
+        """Drop a page from all lists (it is being reclaimed)."""
+
+    @abstractmethod
+    def pop_victim(self) -> Page:
+        """Remove and return the next page this policy would reclaim."""
+
+    @abstractmethod
+    def has_victims(self) -> bool:
+        """Whether any resident page remains to reclaim."""
+
+    @abstractmethod
+    def hotness_estimate(self, page: Page) -> Hotness:
+        """The organizer's belief about a resident page's hotness."""
+
+    @abstractmethod
+    def resident_pages(self) -> Iterator[Page]:
+        """Iterate over all resident pages (no particular order)."""
+
+    @abstractmethod
+    def resident_count(self) -> int:
+        """Number of resident pages."""
+
+    def resident_bytes(self) -> int:
+        """Total bytes of resident pages."""
+        return sum(page.size for page in self.resident_pages())
+
+
+class ActiveInactiveOrganizer(DataOrganizer):
+    """Stock kernel two-list LRU (the ZRAM baseline's organizer).
+
+    Args:
+        uid: Owning application id.
+        refill_batch: How many active-tail pages are demoted when the
+            inactive list runs dry, mirroring the kernel's batched
+            ``shrink_active_list``.
+    """
+
+    def __init__(self, uid: int, refill_batch: int = 32) -> None:
+        super().__init__(uid)
+        self.active = LruList(f"app{uid}.active")
+        self.inactive = LruList(f"app{uid}.inactive")
+        self._refill_batch = refill_batch
+
+    def add_page(self, page: Page) -> None:
+        self.inactive.add(page)
+        self.list_operations += 1
+
+    def on_access(self, page: Page, now_ns: int) -> None:
+        page.record_access(now_ns)
+        if page in self.inactive:
+            self.inactive.remove(page)
+            self.active.add(page)
+            self.list_operations += 2
+        elif page in self.active:
+            self.active.touch(page)
+            self.list_operations += 1
+        else:
+            raise PageStateError(
+                f"page {page.pfn} accessed but not resident in app {self.uid}"
+            )
+
+    def remove_page(self, page: Page) -> None:
+        if not (self.inactive.discard(page) or self.active.discard(page)):
+            raise PageStateError(
+                f"page {page.pfn} not resident in app {self.uid}"
+            )
+        self.list_operations += 1
+
+    def _refill_inactive(self) -> None:
+        moved = 0
+        while len(self.active) > 0 and moved < self._refill_batch:
+            page = self.active.pop_lru()
+            self.inactive.add(page)
+            self.list_operations += 2
+            moved += 1
+
+    def pop_victim(self) -> Page:
+        if len(self.inactive) == 0:
+            self._refill_inactive()
+        if len(self.inactive) == 0:
+            raise PageStateError(f"app {self.uid} has no pages to reclaim")
+        self.list_operations += 1
+        return self.inactive.pop_lru()
+
+    def has_victims(self) -> bool:
+        return len(self.inactive) > 0 or len(self.active) > 0
+
+    def hotness_estimate(self, page: Page) -> Hotness:
+        # The two-list scheme has no hot notion; the closest mapping is
+        # active -> WARM, inactive -> COLD.
+        if page in self.active:
+            return Hotness.WARM
+        if page in self.inactive:
+            return Hotness.COLD
+        raise PageStateError(f"page {page.pfn} not resident in app {self.uid}")
+
+    def resident_pages(self) -> Iterator[Page]:
+        yield from self.inactive
+        yield from self.active
+
+    def resident_count(self) -> int:
+        return len(self.inactive) + len(self.active)
+
+
+class HotWarmColdOrganizer(DataOrganizer):
+    """Tri-list organizer implementing HotnessOrg's within-app policy.
+
+    Lifecycle (Section 4.2 of the paper):
+
+    - *Hotness initialization*: the first ``hot_seed_limit`` pages added
+      during the app's launch window go to the hot list (the profiled
+      launch working set); pages created afterwards go to the cold list.
+    - *Execution*: touching a cold page promotes it to warm (the analogue
+      of inactive -> active); hot/warm touches just refresh recency.
+    - *Hotness update*: callers bracket a relaunch with
+      :meth:`begin_relaunch` / :meth:`end_relaunch`.  At the end, pages
+      accessed during the relaunch form the new hot list; stale hot pages
+      demote to warm.
+    - *Eviction*: cold pages first, then warm, then (only if unavoidable)
+      hot — each list in LRU order.
+    """
+
+    def __init__(self, uid: int, hot_seed_limit: int) -> None:
+        super().__init__(uid)
+        if hot_seed_limit < 0:
+            raise PageStateError(
+                f"hot_seed_limit must be >= 0, got {hot_seed_limit}"
+            )
+        self.hot = LruList(f"app{uid}.hot")
+        self.warm = LruList(f"app{uid}.warm")
+        self.cold = LruList(f"app{uid}.cold")
+        self._hot_seed_limit = hot_seed_limit
+        self._seeded = 0
+        self._in_launch_window = True
+        self._relaunch_active = False
+        self._relaunch_accessed: set[int] = set()
+
+    # -- membership helpers ---------------------------------------------------
+
+    def _list_of(self, page: Page) -> LruList | None:
+        for lru in (self.hot, self.warm, self.cold):
+            if page in lru:
+                return lru
+        return None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def end_launch_window(self) -> None:
+        """Mark the initial launch as finished; later pages default to cold."""
+        self._in_launch_window = False
+
+    def add_page(self, page: Page) -> None:
+        if self._relaunch_active:
+            # Pages faulted in during a relaunch join the hot list; only an
+            # actual access marks them relaunch-used, so chunk siblings that
+            # were materialized but never touched demote to warm afterwards.
+            self.hot.add(page)
+        elif self._in_launch_window and self._seeded < self._hot_seed_limit:
+            self.hot.add(page)
+            self._seeded += 1
+        else:
+            self.cold.add(page)
+        self.list_operations += 1
+
+    def add_page_as(self, page: Page, hotness: Hotness) -> None:
+        """Insert a page directly into a specific list (used by swap-in)."""
+        {Hotness.HOT: self.hot, Hotness.WARM: self.warm, Hotness.COLD: self.cold}[
+            hotness
+        ].add(page)
+        self.list_operations += 1
+
+    def on_access(self, page: Page, now_ns: int) -> None:
+        page.record_access(now_ns)
+        lru = self._list_of(page)
+        if lru is None:
+            raise PageStateError(
+                f"page {page.pfn} accessed but not resident in app {self.uid}"
+            )
+        if self._relaunch_active:
+            self._relaunch_accessed.add(page.pfn)
+        if lru is self.cold:
+            self.cold.remove(page)
+            self.warm.add(page)
+            self.list_operations += 2
+        else:
+            lru.touch(page)
+            self.list_operations += 1
+
+    def remove_page(self, page: Page) -> None:
+        lru = self._list_of(page)
+        if lru is None:
+            raise PageStateError(f"page {page.pfn} not resident in app {self.uid}")
+        lru.remove(page)
+        self.list_operations += 1
+
+    # -- relaunch bracketing ----------------------------------------------------
+
+    def begin_relaunch(self) -> None:
+        """Start recording which pages this relaunch touches."""
+        self._relaunch_active = True
+        self._relaunch_accessed = set()
+
+    def end_relaunch(self) -> None:
+        """Apply the hotness update: relaunch-touched pages become the hot
+        list; stale hot pages demote to warm."""
+        if not self._relaunch_active:
+            raise PageStateError(f"app {self.uid}: end_relaunch without begin")
+        self._relaunch_active = False
+        accessed = self._relaunch_accessed
+        for page in list(self.hot):
+            if page.pfn not in accessed:
+                self.hot.remove(page)
+                self.warm.add(page)
+                self.list_operations += 2
+        for lru in (self.warm, self.cold):
+            for page in list(lru):
+                if page.pfn in accessed:
+                    lru.remove(page)
+                    self.hot.add(page)
+                    self.list_operations += 2
+        self._relaunch_accessed = set()
+
+    # -- reclaim ---------------------------------------------------------------
+
+    def pop_victim(self) -> Page:
+        for lru in (self.cold, self.warm, self.hot):
+            if len(lru):
+                self.list_operations += 1
+                return lru.pop_lru()
+        raise PageStateError(f"app {self.uid} has no pages to reclaim")
+
+    def pop_victim_from_level(self, level: Hotness) -> Page:
+        """Remove the LRU page of one specific list.
+
+        Used by Ariadne's global eviction order (Section 4.2: cold data
+        of *all* applications first, then warm, then hot).
+        """
+        lru = {Hotness.HOT: self.hot, Hotness.WARM: self.warm,
+               Hotness.COLD: self.cold}[level]
+        if not len(lru):
+            raise PageStateError(
+                f"app {self.uid} has no {level.value} pages to reclaim"
+            )
+        self.list_operations += 1
+        return lru.pop_lru()
+
+    def level_population(self, level: Hotness) -> int:
+        """Number of resident pages on one hotness list."""
+        lru = {Hotness.HOT: self.hot, Hotness.WARM: self.warm,
+               Hotness.COLD: self.cold}[level]
+        return len(lru)
+
+    def has_victims(self) -> bool:
+        return bool(len(self.cold) or len(self.warm) or len(self.hot))
+
+    def has_non_hot_victims(self) -> bool:
+        """Whether reclaim can proceed without touching the hot list."""
+        return bool(len(self.cold) or len(self.warm))
+
+    def hotness_estimate(self, page: Page) -> Hotness:
+        if page in self.hot:
+            return Hotness.HOT
+        if page in self.warm:
+            return Hotness.WARM
+        if page in self.cold:
+            return Hotness.COLD
+        raise PageStateError(f"page {page.pfn} not resident in app {self.uid}")
+
+    def resident_pages(self) -> Iterator[Page]:
+        yield from self.cold
+        yield from self.warm
+        yield from self.hot
+
+    def resident_count(self) -> int:
+        return len(self.cold) + len(self.warm) + len(self.hot)

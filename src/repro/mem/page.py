@@ -1,0 +1,108 @@
+"""Anonymous page model.
+
+A :class:`Page` is the unit everything else moves around: 4 KB of
+process-execution data (stack/heap/UI state).  Pages carry both *ground
+truth* hotness (assigned by the workload generator from how the page is
+actually used across relaunches — the classification of Section 3,
+Insight 1) and runtime state (where the page currently lives).  Schemes
+never read the ground truth; it exists so experiments can score a
+scheme's hotness identification (Figure 14).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..units import PAGE_SIZE
+
+
+class PageKind(enum.Enum):
+    """Content category of an anonymous page (drives synthetic payloads)."""
+
+    HEAP_OBJECTS = "heap"
+    STACK = "stack"
+    UI_SURFACE = "ui"
+    BITMAP = "bitmap"
+    CODE_CACHE = "jit"
+    ZERO = "zero"
+
+
+class Hotness(enum.Enum):
+    """The paper's three-level hotness classification (Section 1).
+
+    - HOT: used during application relaunch; on the relaunch critical path.
+    - WARM: potentially used during execution after relaunch.
+    - COLD: usually never used again.
+    """
+
+    HOT = "hot"
+    WARM = "warm"
+    COLD = "cold"
+
+    @property
+    def rank(self) -> int:
+        """Eviction priority: higher rank is evicted earlier."""
+        return {Hotness.HOT: 0, Hotness.WARM: 1, Hotness.COLD: 2}[self]
+
+
+class PageLocation(enum.Enum):
+    """Where a page's data currently resides."""
+
+    DRAM = "dram"
+    ZPOOL = "zpool"
+    FLASH = "flash"
+    #: Staged in PreDecomp's decompressed-ahead buffer.
+    STAGING = "staging"
+
+
+@dataclass
+class Page:
+    """One 4 KB anonymous page.
+
+    Attributes:
+        pfn: Page frame number; unique per page within a trace.
+        uid: Owning application id.
+        kind: Content category (what the payload generator synthesized).
+        payload: The page's actual bytes (always ``PAGE_SIZE`` long).
+        true_hotness: Ground-truth classification from the generator.
+        location: Current residence of the data.
+        last_access_ns: Simulated time of the last access (LRU input).
+        access_count: Total accesses (debugging/metrics).
+    """
+
+    pfn: int
+    uid: int
+    kind: PageKind = PageKind.HEAP_OBJECTS
+    payload: bytes = b""
+    true_hotness: Hotness = Hotness.COLD
+    location: PageLocation = PageLocation.DRAM
+    last_access_ns: int = 0
+    access_count: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.payload:
+            self.payload = bytes(PAGE_SIZE)
+        if len(self.payload) != PAGE_SIZE:
+            raise ValueError(
+                f"page {self.pfn} payload is {len(self.payload)} bytes, "
+                f"expected {PAGE_SIZE}"
+            )
+
+    @property
+    def size(self) -> int:
+        """Page size in bytes (constant, provided for readability)."""
+        return PAGE_SIZE
+
+    def record_access(self, now_ns: int) -> None:
+        """Update recency bookkeeping after an access at ``now_ns``."""
+        self.last_access_ns = now_ns
+        self.access_count += 1
+
+    def __hash__(self) -> int:
+        return hash((self.pfn, self.uid))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Page):
+            return NotImplemented
+        return self.pfn == other.pfn and self.uid == other.uid

@@ -1,0 +1,159 @@
+"""Measurement plumbing: per-thread CPU accounting and event counters.
+
+This is the simulator's stand-in for the paper's Perfetto profiling
+(Figure 3, Figure 11): every modeled operation charges simulated CPU
+nanoseconds to a named thread, so experiments can ask "how much CPU did
+kswapd burn compressing?" exactly the way the authors asked Perfetto.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from .errors import SchedulingError
+
+#: Thread names used throughout the simulator.
+KSWAPD = "kswapd"
+APP = "app"
+PREDECOMP = "predecomp"
+
+
+class CpuAccount:
+    """Accumulates simulated CPU time per thread and per activity.
+
+    Charges are tagged with ``(thread, activity)`` so reports can slice
+    either way: Figure 3 wants all of kswapd's time; Figure 11 wants all
+    compression + decompression time regardless of thread.
+    """
+
+    def __init__(self) -> None:
+        self._by_thread: dict[str, int] = defaultdict(int)
+        self._by_activity: dict[str, int] = defaultdict(int)
+        self._by_pair: dict[tuple[str, str], int] = defaultdict(int)
+
+    def charge(self, thread: str, activity: str, ns: int) -> None:
+        """Add ``ns`` of CPU time for ``thread`` doing ``activity``."""
+        if ns < 0:
+            raise SchedulingError(
+                f"cannot charge negative CPU time ({ns} ns) to {thread}/{activity}"
+            )
+        self._by_thread[thread] += ns
+        self._by_activity[activity] += ns
+        self._by_pair[(thread, activity)] += ns
+
+    def thread_ns(self, thread: str) -> int:
+        """Total CPU ns charged to ``thread``."""
+        return self._by_thread.get(thread, 0)
+
+    def activity_ns(self, activity: str) -> int:
+        """Total CPU ns charged to ``activity`` across all threads."""
+        return self._by_activity.get(activity, 0)
+
+    def pair_ns(self, thread: str, activity: str) -> int:
+        """CPU ns for one (thread, activity) pair."""
+        return self._by_pair.get((thread, activity), 0)
+
+    @property
+    def total_ns(self) -> int:
+        """All CPU time charged anywhere."""
+        return sum(self._by_thread.values())
+
+    def activities(self) -> dict[str, int]:
+        """Copy of the per-activity totals."""
+        return dict(self._by_activity)
+
+    def threads(self) -> dict[str, int]:
+        """Copy of the per-thread totals."""
+        return dict(self._by_thread)
+
+    def merged_with(self, other: "CpuAccount") -> "CpuAccount":
+        """Return a new account holding the sum of both."""
+        merged = CpuAccount()
+        for (thread, activity), ns in self._by_pair.items():
+            merged.charge(thread, activity, ns)
+        for (thread, activity), ns in other._by_pair.items():
+            merged.charge(thread, activity, ns)
+        return merged
+
+
+class Counters:
+    """Named integer event counters (compressions, faults, hits, ...)."""
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = defaultdict(int)
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Increase counter ``name`` by ``amount``."""
+        self._counts[name] += amount
+
+    def get(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        """Copy of all counters."""
+        return dict(self._counts)
+
+    def __getitem__(self, name: str) -> int:
+        return self.get(name)
+
+
+@dataclass
+class LatencyBreakdown:
+    """Where the nanoseconds of one measured operation went.
+
+    Used for relaunch latency reports (Figures 2 and 10): the sum of the
+    parts equals the reported latency.
+    """
+
+    dram_ns: int = 0
+    decompress_ns: int = 0
+    compress_ns: int = 0
+    flash_read_ns: int = 0
+    flash_write_ns: int = 0
+    process_create_ns: int = 0
+    other_ns: int = 0
+
+    @property
+    def total_ns(self) -> int:
+        """Sum of all components."""
+        return (
+            self.dram_ns
+            + self.decompress_ns
+            + self.compress_ns
+            + self.flash_read_ns
+            + self.flash_write_ns
+            + self.process_create_ns
+            + self.other_ns
+        )
+
+    def add(self, other: "LatencyBreakdown") -> None:
+        """Accumulate another breakdown into this one."""
+        self.dram_ns += other.dram_ns
+        self.decompress_ns += other.decompress_ns
+        self.compress_ns += other.compress_ns
+        self.flash_read_ns += other.flash_read_ns
+        self.flash_write_ns += other.flash_write_ns
+        self.process_create_ns += other.process_create_ns
+        self.other_ns += other.other_ns
+
+
+@dataclass
+class RelaunchResult:
+    """Outcome of one measured application relaunch."""
+
+    app_name: str
+    scheme_name: str
+    latency_ns: int
+    breakdown: LatencyBreakdown = field(default_factory=LatencyBreakdown)
+    pages_accessed: int = 0
+    pages_from_dram: int = 0
+    pages_from_zpool: int = 0
+    pages_from_flash: int = 0
+    pages_from_staging: int = 0
+
+    @property
+    def latency_ms(self) -> float:
+        """Relaunch latency in milliseconds."""
+        return self.latency_ns / 1_000_000

@@ -1,0 +1,13 @@
+"""System-level simulation: the phone, its apps, and usage scenarios."""
+
+from .scenario import ScenarioResult, run_heavy_scenario, run_light_scenario
+from .system import SCHEME_NAMES, MobileSystem, make_system
+
+__all__ = [
+    "MobileSystem",
+    "SCHEME_NAMES",
+    "ScenarioResult",
+    "make_system",
+    "run_heavy_scenario",
+    "run_light_scenario",
+]

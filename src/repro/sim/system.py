@@ -1,0 +1,263 @@
+"""The simulated phone: DRAM + zpool + flash + a swap scheme + apps.
+
+:class:`MobileSystem` replays workload traces against a swap scheme and
+measures what the paper measures: relaunch latency (with its breakdown),
+CPU time per thread/activity, bytes through flash, and energy inputs.
+
+Relaunch latency model: when every page is in DRAM, a relaunch costs the
+profile's measured DRAM latency (Figure 2's DRAM bar), split into a fixed
+part (process/activity work) and a per-hot-page part (reading the working
+set).  Any page that is *not* in DRAM adds its fault stall on top —
+decompression, flash reads, and on-demand compression — which is exactly
+how the schemes differentiate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core import (
+    AriadneConfig,
+    AriadneScheme,
+    DramScheme,
+    FlashSwapScheme,
+    PlatformConfig,
+    RelaunchScenario,
+    SwapScheme,
+    ZramScheme,
+    build_context,
+    pixel7_platform,
+)
+from ..errors import ConfigError, PageStateError
+from ..mem.page import Page
+from ..metrics import APP, RelaunchResult
+from ..trace.records import AppTrace, WorkloadTrace
+from ..units import MS, SECOND
+
+SCHEME_NAMES = ("DRAM", "ZRAM", "SWAP", "Ariadne")
+
+
+@dataclass
+class LiveApp:
+    """Runtime state of one installed application."""
+
+    trace: AppTrace
+    pages: dict[int, Page]
+    launched: bool = False
+    next_session: int = 0
+    relaunch_results: list[RelaunchResult] = field(default_factory=list)
+
+    @property
+    def uid(self) -> int:
+        return self.trace.uid
+
+    @property
+    def name(self) -> str:
+        return self.trace.name
+
+
+class MobileSystem:
+    """Drives one swap scheme over a workload trace."""
+
+    def __init__(self, scheme: SwapScheme, trace: WorkloadTrace) -> None:
+        self.scheme = scheme
+        self.ctx = scheme.ctx
+        self.trace = trace
+        self._apps: dict[int, LiveApp] = {}
+        for app_trace in trace.apps:
+            self._apps[app_trace.uid] = LiveApp(
+                trace=app_trace, pages=app_trace.materialize()
+            )
+
+    # ----------------------------------------------------------------- lookup
+
+    def app(self, name: str) -> LiveApp:
+        """Installed app by name."""
+        for live in self._apps.values():
+            if live.name == name:
+                return live
+        raise ConfigError(f"app {name!r} is not in this workload")
+
+    @property
+    def apps(self) -> list[LiveApp]:
+        """All installed apps in trace order."""
+        return [self._apps[t.uid] for t in self.trace.apps]
+
+    # ----------------------------------------------------------------- launch
+
+    def launch_app(self, name: str, settle_seconds: float = 10.0) -> None:
+        """Cold-launch an app: allocate its anonymous data, warm its
+        execution working set, then let kswapd settle."""
+        live = self.app(name)
+        if live.launched:
+            raise PageStateError(f"{name} is already launched; use relaunch")
+        self.scheme.register_app(
+            live.uid, hot_seed_limit=live.trace.launch_page_count
+        )
+        self.scheme.note_app_switch(live.uid)
+        ordered = sorted(live.trace.pages, key=lambda r: (r.created_at_s, r.pfn))
+        for record in ordered:
+            self.scheme.on_pages_created(live.uid, [live.pages[record.pfn]])
+        self.scheme.end_launch(live.uid)
+        # Touch the first session's execution set: the app ran for a while
+        # before being backgrounded, so its warm data has been accessed.
+        # Address order decorrelates this initial pass from the session's
+        # own access order — the two are different executions.
+        if live.trace.sessions:
+            for pfn in sorted(live.trace.sessions[0].execution_pfns):
+                self.scheme.access(live.pages[pfn])
+        live.launched = True
+        self.ctx.clock.advance(int(settle_seconds * SECOND))
+        self.scheme.background_reclaim()
+
+    def launch_all(self, settle_seconds: float = 10.0) -> None:
+        """Launch every app in trace order (the paper's pressure setup)."""
+        for app_trace in self.trace.apps:
+            self.launch_app(app_trace.name, settle_seconds=settle_seconds)
+
+    # ------------------------------------------------------------ EHL/AL setup
+
+    def prepare_relaunch(
+        self, name: str, scenario: RelaunchScenario | None
+    ) -> None:
+        """Force the paper's relaunch data placement before measuring.
+
+        AL compresses all of the target's lists; EHL leaves the hot list
+        resident.  ``None`` leaves whatever pressure produced (the organic
+        state).  The DRAM baseline never compresses, so this is a no-op
+        for it.
+        """
+        if scenario is None or isinstance(self.scheme, DramScheme):
+            return
+        live = self.app(name)
+        exclude_hot = scenario is RelaunchScenario.EHL
+        self.scheme.force_compress_app(live.uid, exclude_hot=exclude_hot)
+        if exclude_hot:
+            # EHL is defined by its measured state: the hot list resides
+            # in main memory.  Earlier pressure may have pushed hot pages
+            # out; bring them back (background work, not measured).
+            restore = getattr(self.scheme, "restore_hot_resident", None)
+            if restore is not None:
+                restore(live.uid)
+        self.scheme.background_reclaim()
+
+    # ---------------------------------------------------------------- relaunch
+
+    def relaunch(
+        self, name: str, session_index: int | None = None, run_execution: bool = True
+    ) -> RelaunchResult:
+        """Hot-launch an app from the background and measure its latency."""
+        live = self.app(name)
+        if not live.launched:
+            raise PageStateError(f"{name} must be launched before relaunching")
+        sessions = live.trace.sessions
+        if session_index is None:
+            session_index = min(live.next_session, len(sessions) - 1)
+        if not 0 <= session_index < len(sessions):
+            raise ConfigError(
+                f"{name} has {len(sessions)} sessions; {session_index} invalid"
+            )
+        session = sessions[session_index]
+        profile = live.trace.profile
+        platform = self.ctx.platform
+
+        fixed_ns = int(
+            profile.dram_relaunch_ms * MS * platform.relaunch_fixed_fraction
+        )
+        n_pages = max(1, len(session.relaunch_pfns))
+        per_page_ns = int(
+            profile.dram_relaunch_ms
+            * MS
+            * (1.0 - platform.relaunch_fixed_fraction)
+            / n_pages
+        )
+
+        self.scheme.begin_relaunch(live.uid)
+        result = RelaunchResult(
+            app_name=name, scheme_name=self.scheme.name, latency_ns=fixed_ns
+        )
+        result.breakdown.dram_ns += fixed_ns
+        for pfn in session.relaunch_pfns:
+            access = self.scheme.access(live.pages[pfn], thread=APP)
+            result.latency_ns += per_page_ns + access.stall_ns
+            result.breakdown.dram_ns += per_page_ns
+            result.breakdown.add(access.breakdown)
+            result.pages_accessed += 1
+            source = access.source.value
+            if source == "dram":
+                result.pages_from_dram += 1
+            elif source == "zpool":
+                result.pages_from_zpool += 1
+            elif source == "flash":
+                result.pages_from_flash += 1
+            else:
+                result.pages_from_staging += 1
+        self.ctx.clock.advance(result.latency_ns)
+        self.scheme.end_relaunch(live.uid)
+        if run_execution:
+            self._run_execution(live, session)
+        live.next_session = session_index + 1
+        live.relaunch_results.append(result)
+        self.scheme.background_reclaim()
+        return result
+
+    def _run_execution(self, live: LiveApp, session) -> None:
+        """Play the session's post-relaunch execution accesses.
+
+        Execution faults stall the app but are not part of relaunch
+        latency; they still cost CPU and move the clock.
+        """
+        total_stall = 0
+        for pfn in session.execution_pfns:
+            access = self.scheme.access(live.pages[pfn], thread=APP)
+            total_stall += access.stall_ns
+        self.ctx.clock.advance(total_stall)
+
+    # ----------------------------------------------------------------- helpers
+
+    def switch_away(self, name: str) -> None:
+        """Background an app without measuring anything."""
+        live = self.app(name)
+        self.scheme.note_app_switch(live.uid)
+        self.scheme.background_reclaim()
+
+
+def make_system(
+    scheme_name: str,
+    trace: WorkloadTrace,
+    platform: PlatformConfig | None = None,
+    codec_name: str = "lzo",
+    ariadne_config: AriadneConfig | None = None,
+) -> MobileSystem:
+    """Factory: build a system running ``scheme_name`` over ``trace``.
+
+    ``scheme_name`` is one of ``DRAM`` / ``ZRAM`` / ``SWAP`` / ``Ariadne``.
+    For the DRAM baseline the platform's DRAM budget is inflated to hold
+    the whole workload (the paper's "optimistic assumption that DRAM is
+    large enough").
+    """
+    base_platform = platform if platform is not None else pixel7_platform()
+    real_budget = base_platform.dram_bytes
+    if scheme_name == "DRAM":
+        total = sum(a.total_bytes() for a in trace.apps)
+        base_platform = PlatformConfig(
+            dram_bytes=max(base_platform.dram_bytes, 2 * total),
+            zpool_bytes=base_platform.zpool_bytes,
+            swap_bytes=base_platform.swap_bytes,
+            scale=base_platform.scale,
+            parallelism=base_platform.parallelism,
+        )
+    ctx = build_context(base_platform, codec_name)
+    if scheme_name == "DRAM":
+        scheme: SwapScheme = DramScheme(ctx, pressure_budget_bytes=real_budget)
+    elif scheme_name == "ZRAM":
+        scheme = ZramScheme(ctx)
+    elif scheme_name == "SWAP":
+        scheme = FlashSwapScheme(ctx)
+    elif scheme_name == "Ariadne":
+        scheme = AriadneScheme(ctx, ariadne_config)
+    else:
+        raise ConfigError(
+            f"unknown scheme {scheme_name!r}; choose from {SCHEME_NAMES}"
+        )
+    return MobileSystem(scheme, trace)

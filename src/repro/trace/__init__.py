@@ -1,0 +1,32 @@
+"""Workload traces: generation, records, analysis, and persistence.
+
+A trace fixes everything stochastic about a workload — page payloads,
+relaunch working sets, access orders — so that every scheme is evaluated
+on *identical* inputs, which is exactly why the paper collected traces
+instead of re-running live apps (Section 5, "Using mobile workload traces
+makes our methodology and results reproducible").
+"""
+
+from .analyze import (
+    consecutive_probability,
+    hot_similarity_series,
+    hotness_mix_by_part,
+    reused_fraction_series,
+)
+from .generate import TraceGenerator
+from .io import load_trace, save_trace
+from .records import AppTrace, PageRecord, SessionRecord, WorkloadTrace
+
+__all__ = [
+    "AppTrace",
+    "PageRecord",
+    "SessionRecord",
+    "TraceGenerator",
+    "WorkloadTrace",
+    "consecutive_probability",
+    "hot_similarity_series",
+    "hotness_mix_by_part",
+    "load_trace",
+    "reused_fraction_series",
+    "save_trace",
+]

@@ -1,0 +1,103 @@
+"""Trace and run analysis: the measurements behind Figures 4/5 and Table 3.
+
+These functions operate on plain data (traces, sequences of sector
+numbers, eviction orders), so they can score both generated traces and
+live simulation output.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..errors import TraceFormatError
+from ..mem.page import Hotness
+from .records import AppTrace
+
+
+def hot_similarity_series(app_trace: AppTrace) -> list[float]:
+    """Hot Data Similarity between each pair of consecutive relaunches.
+
+    Paper definition (Section 3): identical hot data between two
+    relaunches divided by the total hot data of the *second* relaunch.
+    """
+    sessions = app_trace.sessions
+    series = []
+    for prev, curr in zip(sessions, sessions[1:]):
+        if not curr.hot_set:
+            raise TraceFormatError(
+                f"{app_trace.name}: session {curr.index} has an empty hot set"
+            )
+        overlap = len(prev.hot_set & curr.hot_set)
+        series.append(overlap / len(curr.hot_set))
+    return series
+
+
+def reused_fraction_series(app_trace: AppTrace) -> list[float]:
+    """Reused Data between each pair of consecutive relaunches.
+
+    Paper definition: the fraction of the first relaunch's hot data that
+    appears in the hot *or warm* sets of the second relaunch.
+    """
+    sessions = app_trace.sessions
+    series = []
+    for prev, curr in zip(sessions, sessions[1:]):
+        if not prev.hot_set:
+            raise TraceFormatError(
+                f"{app_trace.name}: session {prev.index} has an empty hot set"
+            )
+        later = curr.hot_set | curr.warm_set
+        series.append(len(prev.hot_set & later) / len(prev.hot_set))
+    return series
+
+
+def consecutive_probability(sectors: Sequence[int], window: int) -> float:
+    """Probability of accessing ``window`` consecutive sectors.
+
+    Table 3's metric: the fraction of length-``window`` access windows in
+    which every step moves to the immediately next sector.
+    """
+    if window < 2:
+        raise TraceFormatError(f"window must be >= 2, got {window}")
+    n_windows = len(sectors) - window + 1
+    if n_windows <= 0:
+        return 0.0
+    hits = 0
+    for i in range(n_windows):
+        if all(
+            sectors[i + j + 1] == sectors[i + j] + 1 for j in range(window - 1)
+        ):
+            hits += 1
+    return hits / n_windows
+
+
+def hotness_mix_by_part(
+    hotness_in_compression_order: Sequence[Hotness], n_parts: int = 10
+) -> list[dict[Hotness, float]]:
+    """Figure 4's measurement: hot/warm/cold proportions per part.
+
+    Args:
+        hotness_in_compression_order: Ground-truth hotness of each
+            compressed page, ordered by compression time (part 0 holds
+            the first-compressed pages).
+        n_parts: Number of equal parts (the paper uses ten).
+
+    Returns:
+        One dict per part mapping hotness level to its proportion.
+    """
+    total = len(hotness_in_compression_order)
+    if total == 0:
+        raise TraceFormatError("no compressed pages to analyze")
+    if n_parts < 1:
+        raise TraceFormatError(f"n_parts must be >= 1, got {n_parts}")
+    boundaries = [round(total * i / n_parts) for i in range(n_parts + 1)]
+    mixes = []
+    for start, end in zip(boundaries, boundaries[1:]):
+        part = hotness_in_compression_order[start:end]
+        count = max(1, len(part))
+        mixes.append(
+            {
+                level: sum(1 for h in part if h is level) / count
+                for level in Hotness
+            }
+        )
+    return mixes

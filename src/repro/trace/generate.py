@@ -1,0 +1,320 @@
+"""Synthetic trace generation calibrated to the paper's characterization.
+
+For each application the generator produces:
+
+- pages in allocation order, with creation times following the measured
+  anonymous-data growth curve (Table 1);
+- per-session relaunch working sets whose consecutive-session overlap
+  matches the app's Hot Data Similarity and whose drop-outs reappear in
+  the next session's execution set at the Reused Data rate (Figure 5);
+- relaunch access *orders* built from contiguous runs so that, once the
+  baseline scheme has laid pages out in zpool in eviction order, the
+  probability of consecutive-sector accesses matches Table 3;
+- ground-truth hotness labels: HOT if a page is in any relaunch set,
+  WARM if only in execution sets, COLD otherwise (Section 1's
+  classification).
+
+Hot pages are the *launch-time* allocations (the first pages an app
+creates), which is what makes the stock LRU policy compress hot data
+first (Figure 4): launch pages are the least recently used by the time
+memory pressure arrives.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import ConfigError
+from ..mem.page import Hotness
+from ..rng import derive_rng
+from ..units import MIB, PAGE_SIZE, SCALE_FACTOR
+from ..workload.payload import PayloadGenerator
+from ..workload.profiles import APP_CATALOG, AppProfile, solve_run_mix
+from .records import AppTrace, PageRecord, SessionRecord, WorkloadTrace
+
+#: Default number of relaunch sessions ("each application is relaunched
+#: five times", Section 3).
+DEFAULT_SESSIONS = 5
+
+#: Hot-set churn happens in contiguous spans (whole UI modules/activities
+#: enter or leave the working set together), which preserves the sector
+#: adjacency that PreDecomp exploits.
+_CHURN_SPAN = 12
+
+
+class TraceGenerator:
+    """Deterministic workload-trace factory.
+
+    Args:
+        seed: Master seed; every app derives an independent substream, so
+            adding an app to a workload does not perturb the others.
+    """
+
+    def __init__(self, seed: int = 2025) -> None:
+        self.seed = seed
+
+    # -- public API -------------------------------------------------------------
+
+    def generate_app(
+        self,
+        profile: AppProfile,
+        n_sessions: int = DEFAULT_SESSIONS,
+        duration_s: float = 300.0,
+    ) -> AppTrace:
+        """Generate one application's trace.
+
+        Args:
+            profile: Calibration profile.
+            n_sessions: Number of relaunch sessions to synthesize.
+            duration_s: Execution time before the first backgrounding;
+                determines the anonymous-data volume (growth curve).
+        """
+        if n_sessions < 1:
+            raise ConfigError(f"n_sessions must be >= 1, got {n_sessions}")
+        rng = derive_rng(self.seed, f"app:{profile.name}")
+        pages = self._generate_pages(profile, duration_s, rng)
+        n_total = len(pages)
+        n_hot = max(8, round(profile.hot_fraction * n_total))
+        n_warm = max(8, round(profile.warm_fraction * n_total))
+        pfns = [record.pfn for record in pages]
+        sessions, hot_pfns, warm_pfns = self._generate_sessions(
+            profile, pfns, n_hot, n_warm, n_sessions, rng
+        )
+        labeled = tuple(
+            _with_hotness(record, hot_pfns, warm_pfns) for record in pages
+        )
+        return AppTrace(
+            profile=profile,
+            pages=labeled,
+            launch_page_count=n_hot,
+            sessions=tuple(sessions),
+        )
+
+    def generate_workload(
+        self,
+        profiles: tuple[AppProfile, ...] = APP_CATALOG,
+        n_sessions: int = DEFAULT_SESSIONS,
+        duration_s: float = 300.0,
+    ) -> WorkloadTrace:
+        """Generate a multi-application workload trace."""
+        apps = tuple(
+            self.generate_app(profile, n_sessions, duration_s)
+            for profile in profiles
+        )
+        return WorkloadTrace(seed=self.seed, apps=apps)
+
+    # -- pages ------------------------------------------------------------------
+
+    def _generate_pages(
+        self, profile: AppProfile, duration_s: float, rng: random.Random
+    ) -> list[PageRecord]:
+        total_mb = profile.anon_mb_at(duration_s)
+        sim_bytes = int(total_mb * MIB / SCALE_FACTOR)
+        n_total = max(32, sim_bytes // PAGE_SIZE)
+        payloads = PayloadGenerator(profile, derive_rng(self.seed, f"pay:{profile.name}"))
+        records = []
+        for i in range(n_total):
+            payload, kind = payloads.generate_page()
+            target_mb = (i + 1) / n_total * total_mb
+            records.append(
+                PageRecord(
+                    pfn=profile.uid * 1_000_000 + i,
+                    uid=profile.uid,
+                    kind=kind,
+                    payload=payload,
+                    true_hotness=Hotness.COLD,  # relabeled after sessions
+                    created_at_s=_time_for_volume(profile, target_mb, duration_s),
+                )
+            )
+        return records
+
+    # -- sessions ---------------------------------------------------------------
+
+    def _generate_sessions(
+        self,
+        profile: AppProfile,
+        pfns: list[int],
+        n_hot: int,
+        n_warm: int,
+        n_sessions: int,
+        rng: random.Random,
+    ) -> tuple[list[SessionRecord], set[int], set[int]]:
+        n_total = len(pfns)
+        n_hot = min(n_hot, n_total)
+        launch_set = pfns[:n_hot]
+        # Reservoir of later pages that churn can pull into the hot set;
+        # starts right after the base warm pool.  Churn consumes whole
+        # contiguous spans (UI modules enter the working set together,
+        # preserving sector adjacency) but the spans themselves are drawn
+        # from *random* reservoir positions — tomorrow's hot pages are
+        # scattered through the cold data, not conveniently at its front.
+        warm_pool = pfns[n_hot : min(n_hot + n_warm, n_total)]
+        reservoir_start = min(n_hot + n_warm, n_total)
+        reservoir = pfns[reservoir_start:]
+        reservoir_spans = [
+            reservoir[i : i + _CHURN_SPAN]
+            for i in range(0, len(reservoir), _CHURN_SPAN)
+        ]
+        rng.shuffle(reservoir_spans)
+        reservoir_cursor = 0
+
+        # Hot-set churn fragments some runs (a dropped span splits its
+        # neighbours), costing a few points of measured adjacency; solve
+        # the run mix against slightly inflated targets to compensate.
+        p2_goal = min(0.97, profile.locality_p2 + 0.04)
+        p4_goal = min(p2_goal, profile.locality_p4 + 0.08)
+        run_w, run_k = solve_run_mix(p2_goal, p4_goal)
+        sessions: list[SessionRecord] = []
+        all_hot: set[int] = set()
+        all_warm: set[int] = set()
+        current_hot = list(launch_set)
+
+        for index in range(n_sessions):
+            if index > 0:
+                current_hot, dropped, reservoir_cursor = self._churn_hot_set(
+                    current_hot, profile, reservoir_spans, reservoir_cursor, rng
+                )
+            else:
+                dropped = []
+            relaunch_order = _order_with_runs(current_hot, run_w, run_k, rng)
+            execution = self._execution_set(
+                profile, dropped, warm_pool, set(current_hot), n_warm, rng
+            )
+            sessions.append(
+                SessionRecord(
+                    index=index,
+                    relaunch_pfns=tuple(relaunch_order),
+                    execution_pfns=tuple(execution),
+                )
+            )
+            all_hot.update(current_hot)
+            all_warm.update(execution)
+        all_warm -= all_hot
+        return sessions, all_hot, all_warm
+
+    def _churn_hot_set(
+        self,
+        previous: list[int],
+        profile: AppProfile,
+        reservoir_spans: list[list[int]],
+        cursor: int,
+        rng: random.Random,
+    ) -> tuple[list[int], list[int], int]:
+        """Evolve the hot set: drop contiguous spans, add fresh spans.
+
+        Keeps ``|new| == |previous|`` and overlap ``== hot_similarity`` in
+        expectation, with churn in spans so sector adjacency survives.
+        """
+        n_hot = len(previous)
+        n_drop = round((1.0 - profile.hot_similarity) * n_hot)
+        ordered = sorted(previous)
+        dropped: list[int] = []
+        kept = list(ordered)
+        while len(dropped) < n_drop and kept:
+            span = min(_CHURN_SPAN, n_drop - len(dropped), len(kept))
+            start = rng.randrange(max(1, len(kept) - span + 1))
+            dropped.extend(kept[start : start + span])
+            del kept[start : start + span]
+        added: list[int] = []
+        while len(added) < len(dropped) and cursor < len(reservoir_spans):
+            need = len(dropped) - len(added)
+            added.extend(reservoir_spans[cursor][:need])
+            cursor += 1
+        if len(added) < len(dropped):
+            # Reservoir exhausted: recycle the oldest dropped pages.
+            added.extend(dropped[: len(dropped) - len(added)])
+        return kept + added, dropped, cursor
+
+    def _execution_set(
+        self,
+        profile: AppProfile,
+        dropped: list[int],
+        warm_pool: list[int],
+        hot_now: set[int],
+        n_warm: int,
+        rng: random.Random,
+    ) -> list[int]:
+        """Build the execution (warm) access list for one session.
+
+        Includes enough of the previous session's dropped hot pages that
+        Reused Data (dropped-or-kept hot data found in this session's
+        hot+warm sets) hits the profile target.
+        """
+        similarity = profile.hot_similarity
+        reuse_rate = 0.0
+        if profile.reused_fraction > similarity and similarity < 1.0:
+            reuse_rate = (profile.reused_fraction - similarity) / (1.0 - similarity)
+        must_include = [pfn for pfn in dropped if rng.random() < reuse_rate]
+        execution = list(must_include)
+        candidates = [pfn for pfn in warm_pool if pfn not in hot_now]
+        rng.shuffle(candidates)
+        for pfn in candidates:
+            if len(execution) >= n_warm:
+                break
+            if pfn not in must_include:
+                execution.append(pfn)
+        rng.shuffle(execution)
+        return execution
+
+
+# -- helpers --------------------------------------------------------------------
+
+
+def _with_hotness(
+    record: PageRecord, hot_pfns: set[int], warm_pfns: set[int]
+) -> PageRecord:
+    """Relabel a page record with its ground-truth hotness."""
+    if record.pfn in hot_pfns:
+        hotness = Hotness.HOT
+    elif record.pfn in warm_pfns:
+        hotness = Hotness.WARM
+    else:
+        hotness = Hotness.COLD
+    return PageRecord(
+        pfn=record.pfn,
+        uid=record.uid,
+        kind=record.kind,
+        payload=record.payload,
+        true_hotness=hotness,
+        created_at_s=record.created_at_s,
+    )
+
+
+def _order_with_runs(
+    hot_pfns: list[int], run_w: float, run_k: int, rng: random.Random
+) -> list[int]:
+    """Arrange a hot set into an access order made of sequential runs.
+
+    Sorts the set, cuts it into runs (length 1 with probability ``run_w``,
+    else ``run_k``), and shuffles the run order.  Pages adjacent within a
+    run are adjacent in allocation order, hence (under eviction-order
+    sector assignment) adjacent in zpool — the locality of Insight 3.
+    """
+    ordered = sorted(hot_pfns)
+    runs: list[list[int]] = []
+    i = 0
+    while i < len(ordered):
+        length = 1 if rng.random() < run_w else run_k
+        runs.append(ordered[i : i + length])
+        i += length
+    rng.shuffle(runs)
+    return [pfn for run in runs for pfn in run]
+
+
+def _time_for_volume(
+    profile: AppProfile, target_mb: float, duration_s: float
+) -> float:
+    """Invert the anonymous-data growth curve (when did volume hit X MB?)."""
+    import math
+
+    if target_mb <= 0:
+        return 0.0
+    v10 = profile.anon_mb_10s
+    if target_mb <= v10:
+        return 10.0 * target_mb / v10
+    v300 = profile.anon_mb_5min
+    if target_mb >= v300:
+        return min(duration_s, 300.0)
+    span = v300 - v10
+    progress = (target_mb - v10) / span
+    return min(duration_s, 10.0 * math.exp(progress * math.log(30.0)))

@@ -1,0 +1,123 @@
+"""Trace persistence.
+
+Traces are saved as a two-part container: a JSON header (profiles,
+session structure, page metadata) followed by a zlib-compressed blob of
+concatenated page payloads.  The header carries offsets into the blob,
+so loading never guesses.  The format is versioned; loaders reject
+versions they do not understand rather than misparse them.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from pathlib import Path
+
+from ..errors import TraceFormatError
+from ..mem.page import Hotness, PageKind
+from ..units import PAGE_SIZE
+from ..workload.profiles import AppProfile
+from .records import AppTrace, PageRecord, SessionRecord, WorkloadTrace
+
+_MAGIC = b"ARTRACE1"
+_VERSION = 1
+
+
+def save_trace(trace: WorkloadTrace, path: str | Path) -> None:
+    """Serialize a workload trace to ``path``."""
+    payloads = bytearray()
+    header: dict = {"version": _VERSION, "seed": trace.seed, "apps": []}
+    for app_trace in trace.apps:
+        app_entry = {
+            "profile": app_trace.profile.__dict__,
+            "launch_page_count": app_trace.launch_page_count,
+            "pages": [],
+            "sessions": [
+                {
+                    "index": s.index,
+                    "relaunch": list(s.relaunch_pfns),
+                    "execution": list(s.execution_pfns),
+                }
+                for s in app_trace.sessions
+            ],
+        }
+        for record in app_trace.pages:
+            app_entry["pages"].append(
+                {
+                    "pfn": record.pfn,
+                    "uid": record.uid,
+                    "kind": record.kind.value,
+                    "hotness": record.true_hotness.value,
+                    "created_at_s": record.created_at_s,
+                    "offset": len(payloads),
+                }
+            )
+            payloads += record.payload
+        header["apps"].append(app_entry)
+    header_bytes = json.dumps(header).encode("utf-8")
+    blob = zlib.compress(bytes(payloads), level=6)
+    with open(path, "wb") as f:
+        f.write(_MAGIC)
+        f.write(struct.pack("<QQ", len(header_bytes), len(blob)))
+        f.write(header_bytes)
+        f.write(blob)
+
+
+def load_trace(path: str | Path) -> WorkloadTrace:
+    """Deserialize a workload trace written by :func:`save_trace`."""
+    with open(path, "rb") as f:
+        magic = f.read(len(_MAGIC))
+        if magic != _MAGIC:
+            raise TraceFormatError(f"{path}: not a trace file (bad magic {magic!r})")
+        sizes = f.read(16)
+        if len(sizes) != 16:
+            raise TraceFormatError(f"{path}: truncated size header")
+        header_len, blob_len = struct.unpack("<QQ", sizes)
+        header_bytes = f.read(header_len)
+        blob = f.read(blob_len)
+    if len(header_bytes) != header_len or len(blob) != blob_len:
+        raise TraceFormatError(f"{path}: truncated trace file")
+    try:
+        header = json.loads(header_bytes)
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"{path}: corrupt header: {exc}") from exc
+    if header.get("version") != _VERSION:
+        raise TraceFormatError(
+            f"{path}: unsupported trace version {header.get('version')!r}"
+        )
+    payloads = zlib.decompress(blob)
+    apps = []
+    for app_entry in header["apps"]:
+        profile = AppProfile(**app_entry["profile"])
+        pages = []
+        for page_entry in app_entry["pages"]:
+            offset = page_entry["offset"]
+            payload = payloads[offset : offset + PAGE_SIZE]
+            pages.append(
+                PageRecord(
+                    pfn=page_entry["pfn"],
+                    uid=page_entry["uid"],
+                    kind=PageKind(page_entry["kind"]),
+                    payload=payload,
+                    true_hotness=Hotness(page_entry["hotness"]),
+                    created_at_s=page_entry["created_at_s"],
+                )
+            )
+        sessions = tuple(
+            SessionRecord(
+                index=s["index"],
+                relaunch_pfns=tuple(s["relaunch"]),
+                execution_pfns=tuple(s["execution"]),
+            )
+            for s in app_entry["sessions"]
+        )
+        apps.append(
+            AppTrace(
+                profile=profile,
+                pages=tuple(pages),
+                launch_page_count=app_entry["launch_page_count"],
+                sessions=sessions,
+            )
+        )
+    return WorkloadTrace(seed=header["seed"], apps=tuple(apps))

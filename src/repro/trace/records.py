@@ -1,0 +1,154 @@
+"""Trace record types.
+
+The paper's traces hold (PFN, ZRAM sector, UID, page data) tuples plus
+the relaunch structure.  Ours are organized per application:
+
+- :class:`PageRecord` — one page's identity, payload, creation time and
+  ground-truth hotness;
+- :class:`SessionRecord` — one relaunch: the ordered page accesses of the
+  relaunch itself plus the pages touched during subsequent execution;
+- :class:`AppTrace` — pages (in allocation order) and sessions of one app;
+- :class:`WorkloadTrace` — the full multi-app workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TraceFormatError
+from ..mem.page import Hotness, Page, PageKind
+from ..units import PAGE_SIZE
+from ..workload.profiles import AppProfile
+
+
+@dataclass(frozen=True)
+class PageRecord:
+    """Immutable description of one anonymous page in a trace."""
+
+    pfn: int
+    uid: int
+    kind: PageKind
+    payload: bytes
+    true_hotness: Hotness
+    created_at_s: float
+
+    def __post_init__(self) -> None:
+        if len(self.payload) != PAGE_SIZE:
+            raise TraceFormatError(
+                f"page {self.pfn}: payload is {len(self.payload)} bytes, "
+                f"expected {PAGE_SIZE}"
+            )
+
+    def materialize(self) -> Page:
+        """Create a fresh mutable :class:`Page` for a simulation run."""
+        return Page(
+            pfn=self.pfn,
+            uid=self.uid,
+            kind=self.kind,
+            payload=self.payload,
+            true_hotness=self.true_hotness,
+        )
+
+
+@dataclass(frozen=True)
+class SessionRecord:
+    """One relaunch session of an application.
+
+    Attributes:
+        index: Session number (0 is the first relaunch after launch).
+        relaunch_pfns: Pages accessed during the relaunch, in access
+            order (this order carries the zpool locality of Insight 3).
+        execution_pfns: Pages accessed during post-relaunch execution,
+            in access order.
+    """
+
+    index: int
+    relaunch_pfns: tuple[int, ...]
+    execution_pfns: tuple[int, ...]
+
+    @property
+    def hot_set(self) -> frozenset[int]:
+        """The session's hot working set."""
+        return frozenset(self.relaunch_pfns)
+
+    @property
+    def warm_set(self) -> frozenset[int]:
+        """The session's execution (warm) working set."""
+        return frozenset(self.execution_pfns)
+
+
+@dataclass(frozen=True)
+class AppTrace:
+    """All trace data for one application."""
+
+    profile: AppProfile
+    pages: tuple[PageRecord, ...]
+    launch_page_count: int
+    sessions: tuple[SessionRecord, ...]
+
+    def __post_init__(self) -> None:
+        if self.launch_page_count > len(self.pages):
+            raise TraceFormatError(
+                f"{self.profile.name}: launch_page_count "
+                f"{self.launch_page_count} exceeds page count {len(self.pages)}"
+            )
+        known = {page.pfn for page in self.pages}
+        for session in self.sessions:
+            for pfn in session.relaunch_pfns + session.execution_pfns:
+                if pfn not in known:
+                    raise TraceFormatError(
+                        f"{self.profile.name}: session {session.index} "
+                        f"references unknown pfn {pfn}"
+                    )
+
+    @property
+    def uid(self) -> int:
+        """Owning application id."""
+        return self.profile.uid
+
+    @property
+    def name(self) -> str:
+        """Application name."""
+        return self.profile.name
+
+    def materialize(self) -> dict[int, Page]:
+        """Fresh mutable pages for one simulation run, keyed by pfn."""
+        return {record.pfn: record.materialize() for record in self.pages}
+
+    def pages_created_by(self, seconds: float) -> int:
+        """How many pages exist ``seconds`` after launch."""
+        return sum(1 for record in self.pages if record.created_at_s <= seconds)
+
+    def total_bytes(self) -> int:
+        """Total anonymous bytes in this trace (simulated scale)."""
+        return len(self.pages) * PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class WorkloadTrace:
+    """A complete multi-application workload."""
+
+    seed: int
+    apps: tuple[AppTrace, ...]
+
+    def app(self, name: str) -> AppTrace:
+        """Look up one application's trace by name."""
+        for app_trace in self.apps:
+            if app_trace.name == name:
+                return app_trace
+        raise TraceFormatError(
+            f"no app named {name!r} in trace; "
+            f"have {[a.name for a in self.apps]}"
+        )
+
+    def app_by_uid(self, uid: int) -> AppTrace:
+        """Look up one application's trace by uid."""
+        for app_trace in self.apps:
+            if app_trace.uid == uid:
+                return app_trace
+        raise TraceFormatError(f"no app with uid {uid} in trace")
+
+    @property
+    def names(self) -> list[str]:
+        """Application names in trace order."""
+        return [app_trace.name for app_trace in self.apps]

@@ -1,0 +1,98 @@
+"""Unit helpers: sizes, times, and the paper-to-simulation scale factor.
+
+All simulated time in this package is kept as *integer nanoseconds* and all
+sizes as *integer bytes*.  Using integers everywhere keeps the simulation
+deterministic (no floating-point drift between runs) and makes equality
+assertions in tests exact.
+
+The paper evaluates on a 12 GB phone with multi-hundred-MB working sets.
+Running real compression over that volume in pure Python is not practical,
+so the simulator runs at ``1 / SCALE_FACTOR`` of the paper's data volumes
+and scales reported megabyte figures back up when printing
+paper-comparable tables (see :func:`scaled_mb`).
+"""
+
+from __future__ import annotations
+
+# --- sizes -----------------------------------------------------------------
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: Size of one memory page, matching Linux on arm64 phones.
+PAGE_SIZE = 4 * KIB
+
+#: Size of one zpool storage block (zsmalloc packs objects into 4 KB).
+ZPOOL_BLOCK_SIZE = 4 * KIB
+
+#: The simulator models 1/64 of the paper's data volumes.
+SCALE_FACTOR = 64
+
+# --- times -----------------------------------------------------------------
+
+NS = 1
+US = 1_000 * NS
+MS = 1_000 * US
+SECOND = 1_000 * MS
+
+
+def ns_to_ms(ns: int) -> float:
+    """Convert integer nanoseconds to float milliseconds for reporting."""
+    return ns / MS
+
+
+def ns_to_us(ns: int) -> float:
+    """Convert integer nanoseconds to float microseconds for reporting."""
+    return ns / US
+
+
+def ns_to_s(ns: int) -> float:
+    """Convert integer nanoseconds to float seconds for reporting."""
+    return ns / SECOND
+
+
+def bytes_to_mib(n: int) -> float:
+    """Convert a byte count to float MiB for reporting."""
+    return n / MIB
+
+
+def pages_for_bytes(n: int) -> int:
+    """Number of whole pages needed to hold ``n`` bytes (ceiling)."""
+    return -(-n // PAGE_SIZE)
+
+
+def scaled_mb(sim_bytes: int) -> float:
+    """Scale a simulated byte count back up to paper-comparable MB.
+
+    The workload generator divides the paper's published anonymous-data
+    volumes by :data:`SCALE_FACTOR`; this inverts that division so tables
+    printed by the experiment harness line up with the paper's numbers.
+    """
+    return sim_bytes * SCALE_FACTOR / MIB
+
+
+def fmt_bytes(n: int) -> str:
+    """Human-readable byte count (e.g. ``'3.0 GiB'``, ``'512 B'``)."""
+    if n >= GIB:
+        return f"{n / GIB:.1f} GiB"
+    if n >= MIB:
+        return f"{n / MIB:.1f} MiB"
+    if n >= KIB:
+        return f"{n / KIB:.1f} KiB"
+    return f"{n} B"
+
+
+def fmt_chunk(size: int) -> str:
+    """Paper-style chunk-size label: 256 -> '256', 1024 -> '1K', 16384 -> '16K'."""
+    if size >= KIB and size % KIB == 0:
+        return f"{size // KIB}K"
+    return str(size)
+
+
+def parse_chunk(label: str) -> int:
+    """Inverse of :func:`fmt_chunk`: ``'16K' -> 16384``, ``'256' -> 256``."""
+    text = label.strip().upper()
+    if text.endswith("K"):
+        return int(text[:-1]) * KIB
+    return int(text)

@@ -1,0 +1,28 @@
+"""Workload substrate: application profiles and synthetic page payloads.
+
+The paper characterizes ten real applications on a Pixel 7; we have no
+phone, so each app becomes an :class:`AppProfile` whose knobs are set
+from the paper's published measurements (Table 1 anonymous-data volumes,
+Figure 5 similarity, Table 3 locality, Figure 4 hotness mix), and page
+*contents* are synthesized with the granularity structure the paper
+describes (similar data gathered within small 128 B regions — the reason
+small-chunk compression is fast, Insight 2).
+"""
+
+from .payload import PayloadGenerator
+from .profiles import (
+    APP_CATALOG,
+    AppProfile,
+    TABLE1_APPS,
+    profile_by_name,
+    solve_run_mix,
+)
+
+__all__ = [
+    "APP_CATALOG",
+    "AppProfile",
+    "PayloadGenerator",
+    "TABLE1_APPS",
+    "profile_by_name",
+    "solve_run_mix",
+]

@@ -1,0 +1,130 @@
+"""Synthetic anonymous-page payload generation.
+
+The paper's Insight 2 attributes fast small-chunk compression to mobile
+anonymous data's structure: "an anonymous page contains multiple types of
+data blocks, and similar types of data are gathered within a small region
+(e.g., 128B or 512B)".  This generator reproduces that structure so the
+*real* codecs in :mod:`repro.compression` measure the paper's ratio curve
+(about 1.7 at 128 B chunks rising toward ~3.9 at 128 KB, Figure 6):
+
+- a page is a sequence of 128 B *fields*;
+- a *fresh* field repeats a short motif with a few byte mutations —
+  redundancy confined to the field, harvestable even by 128 B chunks;
+- a *template* field is copied verbatim from a per-app pool — redundancy
+  across fields and pages, harvestable only by chunks large enough to
+  span multiple occurrences;
+- an *entropy* field is random (media/cipher payloads) — incompressible
+  at any chunk size;
+- zero fields and all-zero pages mirror the kernel's same-filled pages.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import ConfigError
+from ..mem.page import PageKind
+from ..units import PAGE_SIZE
+from .profiles import AppProfile
+
+FIELD_SIZE = 128
+FIELDS_PER_PAGE = PAGE_SIZE // FIELD_SIZE
+
+#: Distinct template fields per app.  Small enough that templates repeat
+#: many times across a large chunk (cross-page redundancy), large enough
+#: that a single page rarely repeats one.
+_TEMPLATE_POOL_SIZE = 40
+#: Distinct motifs fresh fields draw from.
+_MOTIF_POOL_SIZE = 160
+#: Probability a compressible field is a template copy (vs. fresh).
+_TEMPLATE_PROB = 0.78
+#: Byte mutations applied to each fresh field (keeps 128 B ratio ~1.7).
+_FRESH_MUTATIONS = 5
+#: Probability a non-entropy field is all zeros (slack space in objects).
+_ZERO_FIELD_PROB = 0.05
+
+
+class PayloadGenerator:
+    """Generates 4 KB page payloads for one application.
+
+    Deterministic given (profile, rng state): the same seed yields the
+    same trace bytes, which keeps every experiment reproducible.
+
+    Args:
+        profile: The application being synthesized (supplies the
+            incompressible and zero-page fractions).
+        rng: Private random stream (see :mod:`repro.rng`).
+    """
+
+    def __init__(self, profile: AppProfile, rng: random.Random) -> None:
+        self._profile = profile
+        self._rng = rng
+        self._motifs = [self._make_motif() for _ in range(_MOTIF_POOL_SIZE)]
+        self._templates = [self._make_template() for _ in range(_TEMPLATE_POOL_SIZE)]
+
+    def _make_motif(self) -> bytes:
+        """A short high-redundancy seed string (40..64 bytes).
+
+        Motif length tunes the within-field ratio: one motif fills most of
+        a 128 B field, so a field alone compresses to roughly
+        motif + match + mutations (about 1.7x, the paper's 128 B point).
+        """
+        length = self._rng.randrange(40, 65)
+        return bytes(self._rng.randrange(256) for _ in range(length))
+
+    def _make_template(self) -> bytes:
+        """A reusable 128 B field built by tiling one motif."""
+        motif = self._rng.choice(self._motifs)
+        copies = -(-FIELD_SIZE // len(motif))
+        return (motif * copies)[:FIELD_SIZE]
+
+    def _fresh_field(self) -> bytes:
+        """A field with redundancy confined to itself."""
+        base = bytearray(self._make_template())
+        for _ in range(_FRESH_MUTATIONS):
+            base[self._rng.randrange(FIELD_SIZE)] = self._rng.randrange(256)
+        return bytes(base)
+
+    def _entropy_field(self) -> bytes:
+        """An incompressible field (decoded media, encrypted data)."""
+        return self._rng.randbytes(FIELD_SIZE)
+
+    def generate_page(self) -> tuple[bytes, PageKind]:
+        """Synthesize one page; returns (payload, kind).
+
+        The kind reflects the dominant field type, which downstream code
+        only uses for reporting.
+        """
+        rng = self._rng
+        if rng.random() < self._profile.zero_page_fraction:
+            return bytes(PAGE_SIZE), PageKind.ZERO
+        fields: list[bytes] = []
+        entropy_fields = 0
+        template_fields = 0
+        for _ in range(FIELDS_PER_PAGE):
+            roll = rng.random()
+            if roll < self._profile.incompressible_fraction:
+                fields.append(self._entropy_field())
+                entropy_fields += 1
+            elif roll < self._profile.incompressible_fraction + _ZERO_FIELD_PROB:
+                fields.append(bytes(FIELD_SIZE))
+            elif rng.random() < _TEMPLATE_PROB:
+                # Quadratic skew: a few templates dominate, so large chunks
+                # see the same field many times (better large-chunk ratio).
+                index = int(rng.random() ** 2 * _TEMPLATE_POOL_SIZE)
+                fields.append(self._templates[index])
+                template_fields += 1
+            else:
+                fields.append(self._fresh_field())
+        payload = b"".join(fields)
+        if len(payload) != PAGE_SIZE:
+            raise ConfigError(
+                f"generated page is {len(payload)} bytes, expected {PAGE_SIZE}"
+            )
+        if entropy_fields > FIELDS_PER_PAGE // 3:
+            kind = PageKind.BITMAP
+        elif template_fields > FIELDS_PER_PAGE // 2:
+            kind = PageKind.UI_SURFACE
+        else:
+            kind = PageKind.HEAP_OBJECTS
+        return payload, kind

@@ -1,0 +1,12 @@
+"""Compressed-memory pool (the kernel's zpool/zsmalloc, simplified).
+
+Compressed chunks live here between compression and either decompression
+(swap-in) or writeback to flash.  Sector numbers are assigned in
+compression order, which is exactly the locality structure Ariadne's
+PreDecomp exploits (paper Insight 3 / Table 3).
+"""
+
+from .pool import Zpool, ZpoolEntry, ZpoolStats
+from .sizeclass import SizeClassTable
+
+__all__ = ["SizeClassTable", "Zpool", "ZpoolEntry", "ZpoolStats"]

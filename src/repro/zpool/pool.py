@@ -1,0 +1,210 @@
+"""The compressed-object pool.
+
+:class:`Zpool` stores opaque compressed chunks, each identified by a
+*handle* and placed at a *sector* (a monotonically increasing position in
+the pool, assigned in storage order).  Sector adjacency therefore encodes
+compression order — the data layout property PreDecomp's next-sector
+prediction relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ZpoolFullError
+from ..units import fmt_bytes
+from .sizeclass import SizeClassTable
+
+
+#: Sector-number stride separating lanes (see :meth:`Zpool.store`).
+LANE_STRIDE = 1 << 40
+
+
+@dataclass(frozen=True)
+class ZpoolEntry:
+    """One stored compressed chunk.
+
+    Attributes:
+        handle: Opaque id for lookups and frees.
+        sector: Position in the pool (storage order within the lane).
+        payload_bytes: Size of the compressed chunk.
+        class_bytes: Bytes actually reserved (payload rounded to a class).
+    """
+
+    handle: int
+    sector: int
+    payload_bytes: int
+    class_bytes: int
+
+
+@dataclass
+class ZpoolStats:
+    """Aggregate occupancy counters for reporting."""
+
+    capacity_bytes: int
+    used_bytes: int
+    payload_bytes: int
+    entry_count: int
+    stores: int
+    frees: int
+
+    @property
+    def fragmentation_bytes(self) -> int:
+        """Internal fragmentation (class rounding waste)."""
+        return self.used_bytes - self.payload_bytes
+
+    @property
+    def utilization(self) -> float:
+        """Used fraction of capacity."""
+        if self.capacity_bytes == 0:
+            return 0.0
+        return self.used_bytes / self.capacity_bytes
+
+
+class Zpool:
+    """Capacity-limited compressed-object pool.
+
+    Args:
+        capacity_bytes: The pool budget (paper Table 5: ``S`` = 3 GB,
+            scaled by the simulation scale factor by callers).
+        size_classes: Size-class table for fragmentation accounting.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        size_classes: SizeClassTable | None = None,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ZpoolFullError(f"zpool capacity must be positive: {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._classes = size_classes if size_classes is not None else SizeClassTable()
+        self._entries: dict[int, ZpoolEntry] = {}
+        self._by_sector: dict[int, int] = {}
+        self._next_handle = 1
+        self._next_sector_by_lane: dict[int, int] = {}
+        self._used_bytes = 0
+        self._payload_bytes = 0
+        self.stores = 0
+        self.frees = 0
+        self.peak_used_bytes = 0
+
+    # -- capacity ---------------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes reserved (class sizes) by live entries."""
+        return self._used_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        """Remaining capacity."""
+        return self.capacity_bytes - self._used_bytes
+
+    def has_room_for(self, payload_bytes: int) -> bool:
+        """Whether a ``payload_bytes`` chunk fits right now."""
+        return self._classes.class_size(payload_bytes) <= self.free_bytes
+
+    # -- store / free -------------------------------------------------------------
+
+    def store(self, payload_bytes: int, lane: int = 0) -> ZpoolEntry:
+        """Reserve space for a compressed chunk; returns its entry.
+
+        ``lane`` selects an independent sector sequence.  Stock zram uses
+        one lane; Ariadne stores each hotness class in its own lane, so
+        hot chunks land at consecutive sectors even when their evictions
+        interleave with cold evictions of other apps — this is the
+        "different data layout in zpool" of the paper's Figure 9, and it
+        is what keeps next-sector prediction accurate.
+
+        Raises :class:`ZpoolFullError` when the chunk does not fit — the
+        caller (the swap scheme) must free or write back entries first.
+        """
+        if not 0 <= lane < 1024:
+            raise ZpoolFullError(f"lane must be in [0, 1024), got {lane}")
+        class_bytes = self._classes.class_size(payload_bytes)
+        if class_bytes > self.free_bytes:
+            raise ZpoolFullError(
+                f"zpool cannot fit {fmt_bytes(payload_bytes)} "
+                f"(free {fmt_bytes(self.free_bytes)})"
+            )
+        position = self._next_sector_by_lane.get(lane, 0)
+        entry = ZpoolEntry(
+            handle=self._next_handle,
+            sector=lane * LANE_STRIDE + position,
+            payload_bytes=payload_bytes,
+            class_bytes=class_bytes,
+        )
+        self._next_handle += 1
+        self._next_sector_by_lane[lane] = position + 1
+        self._entries[entry.handle] = entry
+        self._by_sector[entry.sector] = entry.handle
+        self._used_bytes += class_bytes
+        self._payload_bytes += payload_bytes
+        self.stores += 1
+        self.peak_used_bytes = max(self.peak_used_bytes, self._used_bytes)
+        return entry
+
+    def free(self, handle: int) -> ZpoolEntry:
+        """Release the entry behind ``handle`` and return it."""
+        entry = self._entries.pop(handle, None)
+        if entry is None:
+            raise ZpoolFullError(f"zpool handle {handle} is not live")
+        del self._by_sector[entry.sector]
+        self._used_bytes -= entry.class_bytes
+        self._payload_bytes -= entry.payload_bytes
+        self.frees += 1
+        return entry
+
+    # -- lookups ----------------------------------------------------------------
+
+    def get(self, handle: int) -> ZpoolEntry:
+        """Return the live entry behind ``handle``."""
+        entry = self._entries.get(handle)
+        if entry is None:
+            raise ZpoolFullError(f"zpool handle {handle} is not live")
+        return entry
+
+    def contains(self, handle: int) -> bool:
+        """Whether ``handle`` refers to a live entry."""
+        return handle in self._entries
+
+    def handle_at_sector(self, sector: int) -> int | None:
+        """Handle stored at ``sector``, or None if that sector is free."""
+        return self._by_sector.get(sector)
+
+    def next_live_sector(self, sector: int, max_scan: int = 8) -> int | None:
+        """First live sector after ``sector`` within ``max_scan`` positions.
+
+        PreDecomp predicts "the page at the next sector"; freed sectors
+        leave small gaps, so we scan a bounded window forward.  The scan
+        never crosses a lane boundary (lanes are separate sequences).
+        """
+        lane_end = (sector // LANE_STRIDE + 1) * LANE_STRIDE
+        for candidate in range(sector + 1, min(sector + 1 + max_scan, lane_end)):
+            if candidate in self._by_sector:
+                return candidate
+        return None
+
+    @property
+    def entry_count(self) -> int:
+        """Number of live entries."""
+        return len(self._entries)
+
+    def stats(self) -> ZpoolStats:
+        """Snapshot of occupancy counters."""
+        return ZpoolStats(
+            capacity_bytes=self.capacity_bytes,
+            used_bytes=self._used_bytes,
+            payload_bytes=self._payload_bytes,
+            entry_count=len(self._entries),
+            stores=self.stores,
+            frees=self.frees,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Zpool(used={fmt_bytes(self._used_bytes)}, "
+            f"capacity={fmt_bytes(self.capacity_bytes)}, "
+            f"entries={len(self._entries)})"
+        )

@@ -1,0 +1,54 @@
+"""zsmalloc-style size classes.
+
+zsmalloc serves allocations from a set of fixed size classes so that
+compressed objects of similar size pack tightly into 4 KB blocks.  The
+difference between an object's payload size and its class size is
+internal fragmentation, which the pool reports.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..units import ZPOOL_BLOCK_SIZE
+
+
+class SizeClassTable:
+    """Rounds allocation sizes up to fixed classes.
+
+    Args:
+        granularity: Spacing between classes in bytes (zsmalloc uses 16 B
+            steps on arm64; we default to 32 B which keeps the table small
+            without materially changing fragmentation).
+        max_size: Largest allocation a single class serves.  Larger
+            requests occupy whole blocks.
+    """
+
+    def __init__(
+        self, granularity: int = 32, max_size: int = ZPOOL_BLOCK_SIZE
+    ) -> None:
+        if granularity <= 0:
+            raise ConfigError(f"granularity must be positive, got {granularity}")
+        if max_size % granularity != 0:
+            raise ConfigError(
+                f"max_size {max_size} is not a multiple of granularity {granularity}"
+            )
+        self.granularity = granularity
+        self.max_size = max_size
+
+    def class_size(self, payload_size: int) -> int:
+        """Bytes actually reserved for a ``payload_size``-byte object.
+
+        Objects up to ``max_size`` round up to the next class boundary;
+        larger objects (multi-page chunks under AdaptiveComp's LargeSize)
+        span whole blocks, again rounded to the granularity.
+        """
+        if payload_size < 0:
+            raise ConfigError(f"payload size cannot be negative: {payload_size}")
+        if payload_size == 0:
+            return self.granularity
+        rounded = -(-payload_size // self.granularity) * self.granularity
+        return rounded
+
+    def fragmentation(self, payload_size: int) -> int:
+        """Wasted bytes when storing a ``payload_size``-byte object."""
+        return self.class_size(payload_size) - payload_size

@@ -1,0 +1,223 @@
+"""Ariadne scheme tests: AdaptiveComp, HotnessOrg wiring, PreDecomp,
+cold writeback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    AriadneConfig,
+    AriadneScheme,
+    PlatformConfig,
+    RelaunchScenario,
+    build_context,
+)
+from repro.mem import Hotness, Page, PageLocation
+from repro.mem.organizer import HotWarmColdOrganizer
+from repro.metrics import APP, PREDECOMP
+from repro.units import KIB, PAGE_SIZE
+
+
+def make_scheme(
+    dram_pages: int = 16,
+    config: AriadneConfig | None = None,
+    hot_seed: int = 2,
+) -> AriadneScheme:
+    platform = PlatformConfig(
+        dram_bytes=dram_pages * PAGE_SIZE,
+        zpool_bytes=256 * KIB,
+        swap_bytes=1 << 20,
+        scale=1,
+        parallelism=1,
+    )
+    ctx = build_context(platform, codec_name="lzo")
+    scheme = AriadneScheme(ctx, config or AriadneConfig())
+    scheme.register_app(1, hot_seed_limit=hot_seed)
+    scheme.note_app_switch(1)
+    return scheme
+
+
+def compressible_page(pfn: int, uid: int = 1) -> Page:
+    payload = (f"app-{uid}-page-{pfn}|".encode() * 400)[:PAGE_SIZE]
+    return Page(pfn=pfn, uid=uid, payload=payload)
+
+
+def seeded_scheme(n_pages: int = 10, **kwargs) -> tuple[AriadneScheme, list[Page]]:
+    scheme = make_scheme(**kwargs)
+    pages = [compressible_page(i) for i in range(n_pages)]
+    scheme.on_pages_created(1, pages)
+    scheme.end_launch(1)
+    return scheme, pages
+
+
+class TestAdaptiveComp:
+    def test_cold_data_grouped_into_large_chunks(self):
+        scheme, _ = seeded_scheme(n_pages=10, hot_seed=2)
+        scheme.force_compress_app(1, exclude_hot=True)
+        cold_chunks = [
+            chunk for chunk in scheme.stored_chunks()
+            if chunk.hotness_at_compress is Hotness.COLD
+        ]
+        assert cold_chunks
+        assert all(c.chunk_size == scheme.config.large_size for c in cold_chunks)
+        assert any(c.page_count > 1 for c in cold_chunks)
+
+    def test_hot_data_uses_small_chunks_in_al(self):
+        scheme, _ = seeded_scheme(n_pages=8, hot_seed=3)
+        scheme.force_compress_app(1, exclude_hot=False)
+        hot_chunks = [
+            chunk for chunk in scheme.stored_chunks()
+            if chunk.hotness_at_compress is Hotness.HOT
+        ]
+        assert hot_chunks
+        assert all(c.chunk_size == scheme.config.small_size for c in hot_chunks)
+        assert all(c.page_count == 1 for c in hot_chunks)
+
+    def test_warm_data_uses_medium_chunks(self):
+        scheme, pages = seeded_scheme(n_pages=8, hot_seed=2)
+        scheme.access(pages[5])  # cold -> warm promotion
+        scheme.force_compress_app(1, exclude_hot=True)
+        warm_chunks = [
+            chunk for chunk in scheme.stored_chunks()
+            if chunk.hotness_at_compress is Hotness.WARM
+        ]
+        assert warm_chunks
+        assert all(c.chunk_size == scheme.config.medium_size for c in warm_chunks)
+
+    def test_ehl_force_keeps_hot_resident(self):
+        scheme, pages = seeded_scheme(n_pages=8, hot_seed=2)
+        scheme.force_compress_app(1, exclude_hot=True)
+        organizer = scheme.organizer(1)
+        assert isinstance(organizer, HotWarmColdOrganizer)
+        assert len(organizer.hot) == 2
+        assert all(scheme.ctx.dram.is_resident(p) for p in organizer.hot)
+
+    def test_multi_page_fault_materializes_whole_group(self):
+        """The Figure 9(b) worst case: one fault decompresses the chunk."""
+        scheme, pages = seeded_scheme(n_pages=10, hot_seed=0)
+        scheme.force_compress_app(1)
+        group = next(
+            c for c in scheme.stored_chunks() if c.page_count > 1 and c.in_zpool
+        )
+        member = group.pages[0]
+        scheme.access(member)
+        assert all(scheme.ctx.dram.is_resident(p) for p in group.pages)
+
+
+class TestHotnessUpdate:
+    def test_relaunch_rebuilds_hot_list(self):
+        scheme, pages = seeded_scheme(n_pages=8, hot_seed=2)
+        scheme.begin_relaunch(1)
+        scheme.access(pages[6])  # cold page used during relaunch
+        scheme.end_relaunch(1)
+        organizer = scheme.organizer(1)
+        assert organizer.hotness_estimate(pages[6]) is Hotness.HOT
+        # Seeded hot pages that were not touched demote to warm.
+        assert organizer.hotness_estimate(pages[0]) is Hotness.WARM
+
+    def test_hot_prediction_includes_compressed_hot(self):
+        scheme, pages = seeded_scheme(n_pages=8, hot_seed=3)
+        scheme.force_compress_app(1, exclude_hot=False)
+        predicted = scheme.hot_prediction(1)
+        assert {pages[0].pfn, pages[1].pfn, pages[2].pfn} <= predicted
+
+
+class TestWriteback:
+    def test_direct_pressure_writes_cold_chunks_to_flash(self):
+        scheme, pages = seeded_scheme(n_pages=12, hot_seed=2, dram_pages=10)
+        scheme.force_compress_app(1, exclude_hot=True)
+        # Faulting everything back in forces direct reclaim, which should
+        # prefer writing cold zpool chunks back over compressing more.
+        for page in pages[2:]:
+            scheme.access(page, thread=APP)
+        assert scheme.ctx.counters.get("chunks_written_back") > 0
+        assert scheme.ctx.flash_device.host_bytes_written > 0
+
+    def test_writeback_disabled_by_config(self):
+        config = AriadneConfig(writeback_enabled=False)
+        scheme, pages = seeded_scheme(
+            n_pages=12, hot_seed=2, dram_pages=13, config=config
+        )
+        scheme.force_compress_app(1, exclude_hot=True)
+        for page in pages[2:]:
+            scheme.access(page, thread=APP)
+        assert scheme.ctx.counters.get("chunks_written_back") == 0
+
+    def test_flash_chunk_fault_roundtrips(self):
+        scheme, pages = seeded_scheme(n_pages=12, hot_seed=2, dram_pages=13)
+        scheme.force_compress_app(1, exclude_hot=True)
+        for page in pages[2:]:
+            scheme.access(page, thread=APP)
+        flash_pages = [p for p in pages if p.location is PageLocation.FLASH]
+        if flash_pages:
+            result = scheme.access(flash_pages[0])
+            assert result.stall_ns > 0
+            assert scheme.ctx.dram.is_resident(flash_pages[0])
+
+
+class TestPreDecomp:
+    def test_fault_triggers_next_sector_prefetch(self):
+        scheme, pages = seeded_scheme(n_pages=6, hot_seed=6)
+        scheme.force_compress_app(1, exclude_hot=False)
+        # Hot pages were compressed one per chunk at consecutive sectors;
+        # faulting the first should stage the second.
+        scheme.access(pages[0])
+        assert scheme.ctx.counters.get("predecomp_prefetches") >= 1
+        assert len(scheme.staging) >= 1
+
+    def test_staging_hit_avoids_decompression_stall(self):
+        scheme, pages = seeded_scheme(n_pages=6, hot_seed=6)
+        scheme.force_compress_app(1, exclude_hot=False)
+        scheme.access(pages[0])
+        staged_pfns = [p.pfn for p in pages if p.pfn in scheme.staging]
+        assert staged_pfns
+        target = next(p for p in pages if p.pfn == staged_pfns[0])
+        fault_cost = scheme.access(pages[2]).stall_ns  # a real fault
+        hit = scheme.access(target)
+        assert hit.source is PageLocation.STAGING
+        assert hit.stall_ns < fault_cost
+        assert scheme.ctx.counters.get("staging_hits") == 1
+
+    def test_prefetch_charges_background_thread(self):
+        scheme, pages = seeded_scheme(n_pages=6, hot_seed=6)
+        scheme.force_compress_app(1, exclude_hot=False)
+        scheme.access(pages[0])
+        assert scheme.ctx.cpu.thread_ns(PREDECOMP) > 0
+
+    def test_cold_groups_are_not_prefetched(self):
+        scheme, pages = seeded_scheme(n_pages=10, hot_seed=0)
+        scheme.force_compress_app(1)
+        scheme.access(pages[0])
+        assert scheme.ctx.counters.get("predecomp_prefetches") == 0
+
+    def test_predecomp_disabled_by_config(self):
+        config = AriadneConfig(predecomp_enabled=False)
+        scheme, pages = seeded_scheme(n_pages=6, hot_seed=6, config=config)
+        scheme.force_compress_app(1, exclude_hot=False)
+        scheme.access(pages[0])
+        assert scheme.ctx.counters.get("predecomp_prefetches") == 0
+
+    def test_fifo_aging_recompresses_unused_pages(self):
+        config = AriadneConfig(staging_pages=1)
+        scheme, pages = seeded_scheme(n_pages=8, hot_seed=8, config=config)
+        scheme.force_compress_app(1, exclude_hot=False)
+        # Each fault stages one page into a 1-slot FIFO, evicting the
+        # previous unused one, which must be recompressed.
+        scheme.access(pages[0])
+        scheme.access(pages[3])
+        assert scheme.ctx.counters.get("staging_recompressed") >= 1
+
+
+class TestAblation:
+    def test_hotness_org_disabled_uses_two_list_organizer(self):
+        config = AriadneConfig(hotness_org_enabled=False)
+        scheme = make_scheme(config=config)
+        from repro.mem.organizer import ActiveInactiveOrganizer
+
+        assert isinstance(scheme.organizer(1), ActiveInactiveOrganizer)
+
+    def test_scheme_name_is_config_label(self):
+        scheme = make_scheme(
+            config=AriadneConfig(scenario=RelaunchScenario.AL)
+        )
+        assert scheme.name == "Ariadne-AL-1K-2K-16K"

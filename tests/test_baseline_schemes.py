@@ -1,0 +1,94 @@
+"""DRAM and SWAP baseline scheme tests."""
+
+from __future__ import annotations
+
+from repro.core import (
+    DramScheme,
+    FlashSwapScheme,
+    PlatformConfig,
+    build_context,
+)
+from repro.mem import Page, PageLocation
+from repro.metrics import APP, KSWAPD
+from repro.units import KIB, PAGE_SIZE
+
+
+def platform(dram_pages: int) -> PlatformConfig:
+    return PlatformConfig(
+        dram_bytes=dram_pages * PAGE_SIZE,
+        zpool_bytes=256 * KIB,
+        swap_bytes=1 << 20,
+        scale=1,
+        parallelism=1,
+    )
+
+
+def make_page(pfn: int) -> Page:
+    return Page(pfn=pfn, uid=1, payload=(b"%d" % pfn * 4096)[:PAGE_SIZE])
+
+
+class TestDram:
+    def test_accesses_never_stall(self):
+        scheme = DramScheme(build_context(platform(64)))
+        scheme.register_app(1)
+        scheme.note_app_switch(1)
+        pages = [make_page(i) for i in range(8)]
+        scheme.on_pages_created(1, pages)
+        for page in pages:
+            assert scheme.access(page).stall_ns == 0
+
+    def test_file_writeback_charged_beyond_pressure_budget(self):
+        ctx = build_context(platform(64))
+        scheme = DramScheme(ctx, pressure_budget_bytes=2 * PAGE_SIZE)
+        scheme.register_app(1)
+        scheme.note_app_switch(1)
+        scheme.on_pages_created(1, [make_page(i) for i in range(6)])
+        assert ctx.cpu.pair_ns(KSWAPD, "file_writeback") > 0
+        assert ctx.counters.get("file_pages_written") == 4
+
+    def test_background_reclaim_never_touches_anon(self):
+        ctx = build_context(platform(16))
+        scheme = DramScheme(ctx)
+        scheme.register_app(1)
+        scheme.note_app_switch(1)
+        pages = [make_page(i) for i in range(4)]
+        scheme.on_pages_created(1, pages)
+        scheme.background_reclaim()
+        assert all(ctx.dram.is_resident(page) for page in pages)
+
+
+class TestSwap:
+    def make_scheme(self, dram_pages: int = 4) -> FlashSwapScheme:
+        scheme = FlashSwapScheme(build_context(platform(dram_pages)))
+        scheme.register_app(1)
+        scheme.note_app_switch(1)
+        return scheme
+
+    def test_pressure_swaps_raw_pages_to_flash(self):
+        scheme = self.make_scheme(dram_pages=4)
+        pages = [make_page(i) for i in range(8)]
+        scheme.on_pages_created(1, pages)
+        swapped = [p for p in pages if p.location is PageLocation.FLASH]
+        assert swapped
+        # Raw pages: flash stores full page size per swapped page.
+        assert scheme.ctx.flash_swap.used_bytes == len(swapped) * PAGE_SIZE
+
+    def test_fault_reads_from_flash_with_stall(self):
+        scheme = self.make_scheme(dram_pages=4)
+        pages = [make_page(i) for i in range(8)]
+        scheme.on_pages_created(1, pages)
+        victim = next(p for p in pages if p.location is PageLocation.FLASH)
+        result = scheme.access(victim, thread=APP)
+        assert result.source is PageLocation.FLASH
+        assert result.breakdown.flash_read_ns > 0
+        assert scheme.ctx.dram.is_resident(victim)
+
+    def test_swap_never_uses_zpool(self):
+        scheme = self.make_scheme(dram_pages=4)
+        scheme.on_pages_created(1, [make_page(i) for i in range(8)])
+        assert scheme.ctx.zpool.entry_count == 0
+
+    def test_swap_wear_counted(self):
+        scheme = self.make_scheme(dram_pages=4)
+        scheme.on_pages_created(1, [make_page(i) for i in range(8)])
+        assert scheme.ctx.flash_device.nand_bytes_written > 0

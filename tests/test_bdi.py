@@ -1,0 +1,81 @@
+"""Base-delta-immediate codec tests."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import BdiCompressor
+from repro.errors import CorruptDataError
+
+CODEC = BdiCompressor()
+
+
+def test_zero_line_compresses_to_one_byte_per_line():
+    data = bytes(256)  # four 64-byte lines
+    assert len(CODEC.compress(data)) == 4
+    assert CODEC.decompress(CODEC.compress(data), 256) == data
+
+
+def test_repeated_word_line_uses_repeat_encoding():
+    line = struct.pack("<Q", 0xDEADBEEF) * 8  # one 64-byte line
+    blob = CODEC.compress(line)
+    assert len(blob) == 9  # header + 8-byte value
+    assert CODEC.decompress(blob, 64) == line
+
+
+def test_base_delta_on_nearby_values():
+    # Eight 8-byte integers within a +/-127 band of a base: base8-delta1.
+    values = [1_000_000 + delta for delta in (0, 3, -5, 90, -100, 47, 12, 1)]
+    line = b"".join(struct.pack("<q", v) for v in values)
+    blob = CODEC.compress(line)
+    assert len(blob) < len(line) // 3
+    assert CODEC.decompress(blob, 64) == line
+
+
+def test_random_line_falls_back_to_raw():
+    import random
+
+    rng = random.Random(11)
+    line = bytes(rng.randrange(256) for _ in range(64))
+    blob = CODEC.compress(line)
+    assert len(blob) == 65  # raw header + payload
+    assert CODEC.decompress(blob, 64) == line
+
+
+def test_short_tail_line_roundtrips():
+    data = bytes(100)  # 64 + 36-byte tail
+    assert CODEC.decompress(CODEC.compress(data), 100) == data
+
+
+def test_trailing_garbage_raises():
+    blob = CODEC.compress(bytes(64)) + b"\x00"
+    with pytest.raises(CorruptDataError):
+        CODEC.decompress(blob, 64)
+
+
+def test_truncated_blob_raises():
+    blob = CODEC.compress(bytes(128))[:-1]
+    with pytest.raises(CorruptDataError):
+        CODEC.decompress(blob, 128)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.binary(min_size=0, max_size=2048))
+def test_roundtrip_property(data):
+    assert CODEC.decompress(CODEC.compress(data), len(data)) == data
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**62),
+    st.lists(st.integers(min_value=-120, max_value=120), min_size=8, max_size=8),
+)
+def test_delta_lines_always_beat_raw(base, deltas):
+    line = b"".join(struct.pack("<Q", (base + d) % 2**64) for d in deltas)
+    blob = CODEC.compress(line)
+    assert len(blob) < 65
+    assert CODEC.decompress(blob, 64) == line

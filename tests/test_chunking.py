@@ -1,0 +1,116 @@
+"""Chunked-compression and size-cache tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import (
+    Lz4Compressor,
+    LzoCompressor,
+    NullCompressor,
+    chunk_compress,
+    chunk_decompress,
+    measure_ratio,
+)
+from repro.compression.chunking import SizeCache
+from repro.errors import CompressionError
+
+
+def test_chunk_count_matches_ceiling_division():
+    codec = NullCompressor()
+    blob = chunk_compress(codec, bytes(1000), 256)
+    assert len(blob.chunks) == 4  # 256*3 + 232
+
+
+def test_chunk_roundtrip():
+    codec = Lz4Compressor()
+    data = (b"mobile anonymous page data " * 400)[:8192]
+    blob = chunk_compress(codec, data, 512)
+    assert chunk_decompress(codec, blob) == data
+
+
+def test_zero_chunk_size_rejected():
+    with pytest.raises(CompressionError):
+        chunk_compress(NullCompressor(), b"abc", 0)
+
+
+def test_codec_mismatch_detected():
+    data = b"abcabcabc" * 50
+    blob = chunk_compress(Lz4Compressor(), data, 128)
+    with pytest.raises(CompressionError):
+        chunk_decompress(LzoCompressor(), blob)
+
+
+def test_null_codec_ratio_is_one():
+    assert measure_ratio(NullCompressor(), bytes(4096), 1024) == 1.0
+
+
+def test_larger_chunks_never_hurt_ratio_on_template_data():
+    # Data with cross-chunk redundancy: bigger windows must help.
+    codec = Lz4Compressor()
+    template = bytes(range(128)) * 2
+    data = template * 64  # 16 KiB of one repeated 256-byte template
+    small = measure_ratio(codec, data, 256)
+    large = measure_ratio(codec, data, 8192)
+    assert large > small
+
+
+def test_offset_lookup():
+    blob = chunk_compress(NullCompressor(), bytes(1024), 256)
+    assert blob.chunk_index_for_offset(0) == 0
+    assert blob.chunk_index_for_offset(255) == 0
+    assert blob.chunk_index_for_offset(256) == 1
+    with pytest.raises(CompressionError):
+        blob.chunk_index_for_offset(1024)
+
+
+class TestSizeCache:
+    def test_hit_returns_same_size_without_recompressing(self):
+        cache = SizeCache()
+        codec = Lz4Compressor()
+        data = b"cache me " * 500
+        first = cache.compressed_size(codec, data, 1024)
+        second = cache.compressed_size(codec, data, 1024)
+        assert first == second
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_chunk_size_is_part_of_key(self):
+        cache = SizeCache()
+        codec = Lz4Compressor()
+        data = b"different granularity " * 300
+        cache.compressed_size(codec, data, 256)
+        cache.compressed_size(codec, data, 4096)
+        assert cache.misses == 2
+
+    def test_eviction_bounds_entries(self):
+        cache = SizeCache(max_entries=4)
+        codec = NullCompressor()
+        for i in range(10):
+            cache.compressed_size(codec, bytes([i]) * 100, 64)
+        assert len(cache) <= 4
+
+    def test_clear_resets(self):
+        cache = SizeCache()
+        cache.compressed_size(NullCompressor(), b"xyz", 64)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(CompressionError):
+            SizeCache(max_entries=0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.binary(min_size=1, max_size=4096),
+    st.sampled_from([64, 128, 512, 1024, 4096]),
+)
+def test_chunked_roundtrip_property(data, chunk_size):
+    codec = LzoCompressor()
+    blob = chunk_compress(codec, data, chunk_size)
+    assert chunk_decompress(codec, blob) == data
+    assert blob.total_original_len == len(data)

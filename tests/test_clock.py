@@ -1,0 +1,51 @@
+"""Simulated-clock tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import SimClock
+from repro.errors import SchedulingError
+
+
+def test_clock_starts_at_zero_by_default():
+    assert SimClock().now_ns == 0
+
+
+def test_advance_accumulates():
+    clock = SimClock()
+    clock.advance(10)
+    clock.advance(5)
+    assert clock.now_ns == 15
+
+
+def test_advance_rejects_negative_delta():
+    clock = SimClock()
+    with pytest.raises(SchedulingError):
+        clock.advance(-1)
+
+
+def test_negative_start_rejected():
+    with pytest.raises(SchedulingError):
+        SimClock(start_ns=-5)
+
+
+def test_advance_to_is_monotonic():
+    clock = SimClock(100)
+    clock.advance_to(50)  # in the past: no-op
+    assert clock.now_ns == 100
+    clock.advance_to(200)
+    assert clock.now_ns == 200
+
+
+def test_fork_is_independent():
+    clock = SimClock(10)
+    fork = clock.fork()
+    fork.advance(5)
+    assert clock.now_ns == 10
+    assert fork.now_ns == 15
+
+
+def test_now_ms_converts():
+    clock = SimClock(2_000_000)
+    assert clock.now_ms == 2.0

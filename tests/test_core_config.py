@@ -1,0 +1,78 @@
+"""Platform / Ariadne configuration tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AriadneConfig, PlatformConfig, RelaunchScenario, pixel7_platform
+from repro.errors import ConfigError
+from repro.units import GIB, KIB, SCALE_FACTOR
+
+
+class TestPlatform:
+    def test_pixel7_preset_scales_sizes(self):
+        platform = pixel7_platform(dram_gb=2.5, zpool_gb=3.0)
+        assert platform.dram_bytes == int(2.5 * GIB) // SCALE_FACTOR
+        assert platform.zpool_bytes == int(3.0 * GIB) // SCALE_FACTOR
+
+    def test_watermark_bytes_derived(self):
+        platform = pixel7_platform()
+        assert platform.low_watermark_bytes < platform.high_watermark_bytes
+        assert platform.high_watermark_bytes < platform.dram_bytes
+
+    def test_invalid_watermarks_rejected(self):
+        with pytest.raises(ConfigError):
+            PlatformConfig(
+                dram_bytes=1 << 20, zpool_bytes=1 << 20, swap_bytes=1 << 20,
+                low_watermark=0.2, high_watermark=0.1,
+            )
+
+    def test_invalid_parallelism_rejected(self):
+        with pytest.raises(ConfigError):
+            PlatformConfig(
+                dram_bytes=1 << 20, zpool_bytes=1 << 20, swap_bytes=1 << 20,
+                parallelism=0,
+            )
+
+
+class TestAriadneConfig:
+    def test_label_matches_paper_naming(self):
+        config = AriadneConfig(
+            small_size=1 * KIB, medium_size=2 * KIB, large_size=16 * KIB,
+            scenario=RelaunchScenario.EHL,
+        )
+        assert config.label == "Ariadne-EHL-1K-2K-16K"
+
+    def test_label_for_sub_kib_small_size(self):
+        config = AriadneConfig(small_size=256, scenario=RelaunchScenario.AL)
+        assert config.label.startswith("Ariadne-AL-256-")
+
+    def test_cold_group_pages(self):
+        assert AriadneConfig(large_size=16 * KIB).cold_group_pages == 4
+        assert AriadneConfig(large_size=4 * KIB).cold_group_pages == 1
+
+    def test_size_ordering_enforced(self):
+        with pytest.raises(ConfigError):
+            AriadneConfig(small_size=4 * KIB, medium_size=2 * KIB)
+
+    def test_oversized_cold_chunks_rejected(self):
+        # Section 6.3 warns against >= 64K; we allow up to 128K, not more.
+        with pytest.raises(ConfigError):
+            AriadneConfig(large_size=256 * KIB)
+
+    def test_small_size_bounds(self):
+        with pytest.raises(ConfigError):
+            AriadneConfig(small_size=32)
+
+    def test_staging_and_depth_validation(self):
+        with pytest.raises(ConfigError):
+            AriadneConfig(staging_pages=0)
+        with pytest.raises(ConfigError):
+            AriadneConfig(predecomp_depth=-1)
+
+    def test_defaults_are_a_paper_configuration(self):
+        config = AriadneConfig()
+        assert config.small_size == 1 * KIB
+        assert config.medium_size == 2 * KIB
+        assert config.large_size == 16 * KIB
+        assert config.predecomp_depth == 1  # one page ahead (Table 3)

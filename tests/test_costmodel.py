@@ -1,0 +1,81 @@
+"""Latency cost-model tests: calibration anchors and monotonicity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compression import LatencyModel
+from repro.errors import ConfigError
+from repro.units import KIB
+
+MODEL = LatencyModel()
+VOLUME = 8 * 1024 * 1024  # compare equal total volumes, like Figure 6
+
+
+def total_comp(codec: str, chunk: int) -> int:
+    return MODEL.compress_ns(codec, VOLUME, chunk)
+
+
+def total_decomp(codec: str, chunk: int) -> int:
+    return MODEL.decompress_ns(codec, VOLUME, chunk)
+
+
+def test_lz4_small_vs_large_speedup_matches_paper():
+    speedup = total_comp("lz4", 128 * KIB) / total_comp("lz4", 128)
+    assert speedup == pytest.approx(59.2, rel=0.05)
+
+
+def test_lzo_small_vs_large_speedup_matches_paper():
+    speedup = total_comp("lzo", 128 * KIB) / total_comp("lzo", 128)
+    assert speedup == pytest.approx(41.8, rel=0.05)
+
+
+@pytest.mark.parametrize("codec", ["lz4", "lzo"])
+def test_compression_time_grows_with_chunk_size(codec):
+    chunks = [128, 512, 2 * KIB, 8 * KIB, 32 * KIB, 128 * KIB]
+    totals = [total_comp(codec, c) for c in chunks]
+    assert totals == sorted(totals)
+
+
+@pytest.mark.parametrize("codec", ["lz4", "lzo"])
+def test_decompression_grows_slower_than_compression(codec):
+    comp_growth = total_comp(codec, 128 * KIB) / total_comp(codec, 128)
+    decomp_growth = total_decomp(codec, 128 * KIB) / total_decomp(codec, 128)
+    assert decomp_growth < comp_growth
+
+
+def test_lzo_slower_than_lz4_at_page_granularity():
+    assert total_comp("lzo", 4 * KIB) > total_comp("lz4", 4 * KIB)
+    assert total_decomp("lzo", 4 * KIB) > total_decomp("lz4", 4 * KIB)
+
+
+def test_decompress_faster_than_compress():
+    for codec in ("lz4", "lzo"):
+        assert total_decomp(codec, 4 * KIB) < total_comp(codec, 4 * KIB)
+
+
+def test_partial_tail_chunk_charged():
+    with_tail = MODEL.compress_ns("lz4", 4 * KIB + 1, 4 * KIB)
+    without = MODEL.compress_ns("lz4", 4 * KIB, 4 * KIB)
+    assert with_tail > without
+
+
+def test_every_operation_costs_at_least_one_ns():
+    assert MODEL.chunk_compress_ns("null", 1) >= 1
+    assert MODEL.chunk_decompress_ns("null", 1) >= 1
+
+
+def test_unknown_codec_rejected():
+    with pytest.raises(ConfigError):
+        MODEL.compress_ns("zstd", 4096, 4096)
+
+
+def test_zero_chunk_size_rejected():
+    with pytest.raises(ConfigError):
+        MODEL.compress_ns("lz4", 4096, 0)
+
+
+def test_four_kb_anchor_near_target():
+    # LZ4 ~10 us per 4 KB page, LZO ~13 us (the published-throughput anchors).
+    assert MODEL.chunk_compress_ns("lz4", 4 * KIB) == pytest.approx(10_000, rel=0.1)
+    assert MODEL.chunk_compress_ns("lzo", 4 * KIB) == pytest.approx(13_000, rel=0.1)

@@ -1,0 +1,70 @@
+"""Main-memory model tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MemoryPressureError, PageStateError
+from repro.mem import MainMemory, Page
+from repro.units import PAGE_SIZE
+
+
+def test_capacity_accounting():
+    memory = MainMemory(capacity_bytes=4 * PAGE_SIZE)
+    page = Page(pfn=1, uid=1)
+    memory.add_page(page)
+    assert memory.used_bytes == PAGE_SIZE
+    assert memory.free_bytes == 3 * PAGE_SIZE
+    assert memory.is_resident(page)
+
+
+def test_over_capacity_rejected():
+    memory = MainMemory(capacity_bytes=PAGE_SIZE)
+    memory.add_page(Page(pfn=1, uid=1))
+    with pytest.raises(MemoryPressureError):
+        memory.add_page(Page(pfn=2, uid=1))
+
+
+def test_double_add_rejected():
+    memory = MainMemory(capacity_bytes=4 * PAGE_SIZE)
+    page = Page(pfn=1, uid=1)
+    memory.add_page(page)
+    with pytest.raises(PageStateError):
+        memory.add_page(page)
+
+
+def test_remove_frees_room():
+    memory = MainMemory(capacity_bytes=PAGE_SIZE)
+    page = Page(pfn=1, uid=1)
+    memory.add_page(page)
+    memory.remove_page(page)
+    assert not memory.is_resident(page)
+    memory.add_page(Page(pfn=2, uid=1))  # fits again
+
+
+def test_remove_missing_rejected():
+    memory = MainMemory(capacity_bytes=PAGE_SIZE)
+    with pytest.raises(PageStateError):
+        memory.remove_page(Page(pfn=1, uid=1))
+
+
+def test_peak_usage_tracked():
+    memory = MainMemory(capacity_bytes=4 * PAGE_SIZE)
+    a, b = Page(pfn=1, uid=1), Page(pfn=2, uid=1)
+    memory.add_page(a)
+    memory.add_page(b)
+    memory.remove_page(a)
+    assert memory.peak_used_bytes == 2 * PAGE_SIZE
+
+
+def test_sub_page_capacity_rejected():
+    with pytest.raises(MemoryPressureError):
+        MainMemory(capacity_bytes=100)
+
+
+def test_has_room_for():
+    memory = MainMemory(capacity_bytes=2 * PAGE_SIZE)
+    assert memory.has_room_for(2)
+    memory.add_page(Page(pfn=1, uid=1))
+    assert memory.has_room_for(1)
+    assert not memory.has_room_for(2)

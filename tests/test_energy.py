@@ -1,0 +1,62 @@
+"""Energy-model tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.energy import EnergyCoefficients, EnergyModel
+from repro.errors import ConfigError
+from repro.units import SECOND
+
+
+def test_base_power_dominates_idle_scenarios():
+    model = EnergyModel()
+    report = model.energy(
+        wall_ns=60 * SECOND,
+        cpu_busy_ns=0,
+        dram_bytes_moved=0,
+        flash_bytes_read=0,
+        flash_bytes_written=0,
+    )
+    assert report.total_j == pytest.approx(60 * 2.5)
+    assert report.cpu_j == 0
+
+
+def test_cpu_term_scales_with_busy_time():
+    model = EnergyModel()
+    idle = model.energy(60 * SECOND, 0, 0, 0, 0)
+    busy = model.energy(60 * SECOND, 10 * SECOND, 0, 0, 0)
+    assert busy.total_j - idle.total_j == pytest.approx(
+        10 * model.coefficients.cpu_busy_power_w
+    )
+
+
+def test_flash_writes_cost_more_than_reads():
+    model = EnergyModel()
+    read = model.energy(0, 0, 0, 1 << 30, 0)
+    write = model.energy(0, 0, 0, 0, 1 << 30)
+    assert write.total_j > read.total_j
+
+
+def test_dram_movement_charged():
+    model = EnergyModel()
+    report = model.energy(0, 0, 1 << 30, 0, 0)
+    assert report.dram_j > 0
+    assert report.total_j == report.dram_j
+
+
+def test_negative_time_rejected():
+    with pytest.raises(ConfigError):
+        EnergyModel().energy(-1, 0, 0, 0, 0)
+
+
+def test_negative_coefficient_rejected():
+    with pytest.raises(ConfigError):
+        EnergyModel(EnergyCoefficients(base_power_w=-1.0))
+
+
+def test_report_total_is_sum_of_terms():
+    report = EnergyModel().energy(SECOND, SECOND // 2, 1000, 2000, 3000)
+    assert report.total_j == pytest.approx(
+        report.base_j + report.cpu_j + report.dram_j + report.flash_j
+    )

@@ -1,0 +1,34 @@
+"""Exception-hierarchy tests: one base class catches everything."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+@pytest.mark.parametrize(
+    "exc_type",
+    [
+        errors.ConfigError,
+        errors.CompressionError,
+        errors.CorruptDataError,
+        errors.MemoryPressureError,
+        errors.ZpoolFullError,
+        errors.FlashFullError,
+        errors.PageStateError,
+        errors.TraceFormatError,
+        errors.SchedulingError,
+    ],
+)
+def test_all_errors_derive_from_repro_error(exc_type):
+    assert issubclass(exc_type, errors.ReproError)
+
+
+def test_corrupt_data_is_a_compression_error():
+    assert issubclass(errors.CorruptDataError, errors.CompressionError)
+
+
+def test_pool_full_errors_are_memory_pressure():
+    assert issubclass(errors.ZpoolFullError, errors.MemoryPressureError)
+    assert issubclass(errors.FlashFullError, errors.MemoryPressureError)

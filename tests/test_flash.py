@@ -1,0 +1,113 @@
+"""Flash device and swap-area tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError, FlashFullError
+from repro.flash import FlashDevice, FlashDeviceConfig, FlashSwapArea
+
+
+class TestDevice:
+    def test_read_latency_has_command_and_transfer_terms(self):
+        device = FlashDevice()
+        small = device.read(0)
+        large = device.read(1 << 20)
+        assert small == device.config.read_command_ns
+        assert large > small
+
+    def test_counters_accumulate(self):
+        device = FlashDevice()
+        device.write(1000)
+        device.write(500)
+        device.read(200)
+        assert device.host_bytes_written == 1500
+        assert device.host_bytes_read == 200
+        assert device.write_commands == 2
+        assert device.read_commands == 1
+
+    def test_wear_includes_write_amplification(self):
+        device = FlashDevice()
+        device.write(1000)
+        assert device.nand_bytes_written == 1500  # default WA = 1.5
+
+    def test_read_many_charges_per_command(self):
+        device = FlashDevice()
+        one = device.read_many(64 * 4096, n_commands=1)
+        device2 = FlashDevice()
+        many = device2.read_many(64 * 4096, n_commands=64)
+        assert many > one
+
+    def test_invalid_args_rejected(self):
+        device = FlashDevice()
+        with pytest.raises(ConfigError):
+            device.read(-1)
+        with pytest.raises(ConfigError):
+            device.read_many(100, n_commands=0)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            FlashDevice(FlashDeviceConfig(write_amplification=0.5))
+        with pytest.raises(ConfigError):
+            FlashDevice(FlashDeviceConfig(read_command_ns=-1))
+
+
+class TestSwapArea:
+    def test_store_load_free_lifecycle(self):
+        area = FlashSwapArea(FlashDevice(), capacity_bytes=1 << 20)
+        slot, write_ns = area.store(4096)
+        assert write_ns > 0
+        assert area.used_bytes == 4096
+        loaded, read_ns = area.load(slot.slot_id)
+        assert loaded.stored_bytes == 4096
+        assert read_ns > 0
+        area.free(slot.slot_id)
+        assert area.used_bytes == 0
+
+    def test_capacity_enforced(self):
+        area = FlashSwapArea(FlashDevice(), capacity_bytes=4096)
+        area.store(4096)
+        with pytest.raises(FlashFullError):
+            area.store(1)
+
+    def test_load_unknown_slot_rejected(self):
+        area = FlashSwapArea(FlashDevice(), capacity_bytes=4096)
+        with pytest.raises(FlashFullError):
+            area.load(7)
+
+    def test_byte_scale_amplifies_device_traffic(self):
+        device = FlashDevice()
+        area = FlashSwapArea(device, capacity_bytes=1 << 20, byte_scale=64)
+        area.store(4096)
+        assert device.host_bytes_written == 64 * 4096
+        assert area.used_bytes == 4096  # slot accounting stays sim-scale
+
+    def test_sequential_slots_read_with_fewer_commands(self):
+        scale = 64
+        random_dev = FlashDevice()
+        random_area = FlashSwapArea(random_dev, 1 << 20, byte_scale=scale)
+        slot_r, _ = random_area.store(4096, sequential=False)
+        _, random_ns = random_area.load(slot_r.slot_id)
+
+        seq_dev = FlashDevice()
+        seq_area = FlashSwapArea(seq_dev, 1 << 20, byte_scale=scale)
+        slot_s, _ = seq_area.store(4096, sequential=True)
+        _, seq_ns = seq_area.load(slot_s.slot_id)
+        assert seq_ns < random_ns
+        assert seq_dev.read_commands < random_dev.read_commands
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(FlashFullError):
+            FlashSwapArea(FlashDevice(), capacity_bytes=0)
+        with pytest.raises(FlashFullError):
+            FlashSwapArea(FlashDevice(), capacity_bytes=100, byte_scale=0)
+
+    def test_free_is_metadata_only(self):
+        device = FlashDevice()
+        area = FlashSwapArea(device, capacity_bytes=1 << 20)
+        slot, _ = area.store(1000)
+        reads_before = device.read_commands
+        writes_before = device.write_commands
+        area.free(slot.slot_id)
+        assert device.read_commands == reads_before
+        assert device.write_commands == writes_before

@@ -1,0 +1,118 @@
+"""Cross-scheme integration tests: the paper's headline orderings must
+hold end-to-end on the tiny workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AriadneConfig, RelaunchScenario
+from repro.mem.page import Hotness
+from tests.conftest import build_tiny
+
+
+def measured_latency(system, target: str, scenario, session: int) -> float:
+    system.prepare_relaunch(target, scenario)
+    for other in ("MiniChat", "MiniGame"):
+        if other != target:
+            system.relaunch(other)
+    return system.relaunch(target, session).latency_ms
+
+
+@pytest.fixture(scope="module")
+def latencies(tiny_trace):
+    """Session-1 relaunch latency per scheme for the same target."""
+    results = {}
+    for scheme_name, config, scenario in (
+        ("DRAM", None, None),
+        ("ZRAM", None, RelaunchScenario.AL),
+        ("SWAP", None, RelaunchScenario.AL),
+        ("Ariadne", AriadneConfig(scenario=RelaunchScenario.EHL),
+         RelaunchScenario.EHL),
+    ):
+        system = build_tiny(scheme_name, tiny_trace, config)
+        system.launch_all()
+        results[system.scheme.name] = measured_latency(
+            system, "MiniTube", scenario, 1
+        )
+    return results
+
+
+def test_dram_is_fastest(latencies):
+    dram = latencies["DRAM"]
+    assert all(dram <= value for value in latencies.values())
+
+
+def test_zram_beats_swap(latencies):
+    assert latencies["ZRAM"] < latencies["SWAP"]
+
+
+def test_ariadne_beats_zram(latencies):
+    ariadne = latencies["Ariadne-EHL-1K-2K-16K"]
+    assert ariadne < latencies["ZRAM"]
+
+
+def test_ariadne_close_to_dram(latencies):
+    ariadne = latencies["Ariadne-EHL-1K-2K-16K"]
+    assert ariadne <= latencies["DRAM"] * 1.6
+
+
+def test_zram_compresses_hot_data_early(tiny_trace):
+    """The Figure 4 pathology: LRU compresses launch (hot) pages first."""
+    system = build_tiny("ZRAM", tiny_trace)
+    system.launch_all()
+    uid = tiny_trace.app("MiniTube").uid
+    first_compressed = [
+        hotness for log_uid, hotness in system.scheme.compression_log
+        if log_uid == uid
+    ][:8]
+    assert first_compressed, "pressure should have compressed something"
+    hot_share = sum(1 for h in first_compressed if h is Hotness.HOT)
+    assert hot_share > 0
+
+
+def test_ariadne_compresses_cold_before_hot(tiny_trace):
+    """HotnessOrg's fix: pages Ariadne *identifies* as hot are compressed
+    last — every chunk stored while cold/warm victims remain carries a
+    non-hot identification."""
+    system = build_tiny(
+        "Ariadne", tiny_trace, AriadneConfig(scenario=RelaunchScenario.EHL)
+    )
+    system.launch_all()
+    uid = tiny_trace.app("MiniTube").uid
+    chunks = [c for c in system.scheme.stored_chunks() if c.uid == uid][:8]
+    assert chunks, "pressure should have compressed something"
+    assert all(c.hotness_at_compress is not Hotness.HOT for c in chunks)
+
+
+def test_ariadne_flash_writes_are_compressed_swap_writes_raw(tiny_trace):
+    """Ariadne writes compressed cold chunks; SWAP writes raw pages —
+    so for the same pressure Ariadne writes fewer flash bytes per page."""
+    swap = build_tiny("SWAP", tiny_trace)
+    swap.launch_all()
+    swap_pages = swap.ctx.counters.get("pages_swapped_out")
+    swap_bytes = swap.ctx.flash_device.host_bytes_written
+
+    ariadne = build_tiny(
+        "Ariadne", tiny_trace, AriadneConfig(scenario=RelaunchScenario.AL)
+    )
+    ariadne.launch_all()
+    ariadne.prepare_relaunch("MiniTube", RelaunchScenario.AL)
+    for target in ("MiniChat", "MiniGame", "MiniTube"):
+        ariadne.relaunch(target)
+    wb_pages = ariadne.ctx.counters.get("pages_written_back")
+    wb_bytes = ariadne.ctx.flash_device.host_bytes_written
+    if swap_pages and wb_pages:
+        assert wb_bytes / wb_pages < swap_bytes / swap_pages
+
+
+def test_determinism_same_seed_same_results(tiny_trace):
+    first = build_tiny("ZRAM", tiny_trace)
+    first.launch_all()
+    first.prepare_relaunch("MiniTube", RelaunchScenario.AL)
+    a = first.relaunch("MiniTube", 0).latency_ns
+
+    second = build_tiny("ZRAM", tiny_trace)
+    second.launch_all()
+    second.prepare_relaunch("MiniTube", RelaunchScenario.AL)
+    b = second.relaunch("MiniTube", 0).latency_ns
+    assert a == b

@@ -1,0 +1,104 @@
+"""LZ4 block-format codec tests, including hypothesis round-trips."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import Lz4Compressor
+from repro.errors import CompressionError, CorruptDataError
+
+CODEC = Lz4Compressor()
+
+
+@pytest.mark.parametrize(
+    "data",
+    [
+        b"",
+        b"a",
+        b"abc",
+        b"a" * 1000,
+        b"abcd" * 500,
+        bytes(range(256)) * 20,
+        bytes(4096),
+    ],
+    ids=["empty", "one", "tiny", "runs", "periodic", "cycle", "zeros"],
+)
+def test_roundtrip_known_inputs(data):
+    assert CODEC.decompress(CODEC.compress(data), len(data)) == data
+
+
+def test_random_data_roundtrips_without_much_expansion():
+    rng = random.Random(3)
+    data = bytes(rng.randrange(256) for _ in range(10_000))
+    blob = CODEC.compress(data)
+    assert CODEC.decompress(blob, len(data)) == data
+    # Incompressible data expands by at most the literal-run headers.
+    assert len(blob) < len(data) * 1.01 + 16
+
+
+def test_compressible_data_actually_shrinks():
+    data = (b"the quick brown fox " * 300)[:4096]
+    assert len(CODEC.compress(data)) < len(data) // 2
+
+
+def test_empty_input_encodes_to_single_token():
+    assert CODEC.compress(b"") == b"\x00"
+    assert CODEC.decompress(b"\x00", 0) == b""
+
+
+def test_overlapping_match_decodes_correctly():
+    # "aaaa..." forces offset-1 overlapping copies.
+    data = b"a" * 500
+    assert CODEC.decompress(CODEC.compress(data), 500) == data
+
+
+def test_acceleration_trades_ratio_for_speed():
+    data = (b"pattern-" * 600)[:4096]
+    tight = len(Lz4Compressor(acceleration=1).compress(data))
+    loose = len(Lz4Compressor(acceleration=32).compress(data))
+    assert tight <= loose
+
+
+def test_invalid_acceleration_rejected():
+    with pytest.raises(CompressionError):
+        Lz4Compressor(acceleration=0)
+
+
+def test_wrong_expected_length_raises():
+    blob = CODEC.compress(b"hello world, hello world, hello world")
+    with pytest.raises(CorruptDataError):
+        CODEC.decompress(blob, 5)
+
+
+def test_invalid_offset_raises():
+    # token: 0 literals + match of 4 at offset 7 with empty output so far.
+    blob = bytes([0x00, 0x07, 0x00])
+    with pytest.raises(CorruptDataError):
+        CODEC.decompress(blob, 4)
+
+
+def test_truncated_literals_raise():
+    blob = bytes([0x50])  # promises 5 literals, provides none
+    with pytest.raises(CorruptDataError):
+        CODEC.decompress(blob, 5)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.binary(min_size=0, max_size=6000))
+def test_roundtrip_property(data):
+    assert CODEC.decompress(CODEC.compress(data), len(data)) == data
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.binary(min_size=1, max_size=64),
+    st.integers(min_value=1, max_value=200),
+)
+def test_repetitive_inputs_compress_below_original(chunk, repeats):
+    data = chunk * repeats
+    if len(data) > 256:
+        assert len(CODEC.compress(data)) < len(data)

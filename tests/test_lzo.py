@@ -1,0 +1,76 @@
+"""LZO-class codec tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import LzoCompressor
+from repro.errors import CompressionError, CorruptDataError
+
+CODEC = LzoCompressor()
+
+
+@pytest.mark.parametrize(
+    "data",
+    [b"", b"x", b"ab" * 900, bytes(4096), bytes(range(256)) * 8],
+    ids=["empty", "one", "periodic", "zeros", "cycle"],
+)
+def test_roundtrip_known_inputs(data):
+    assert CODEC.decompress(CODEC.compress(data), len(data)) == data
+
+
+def test_min_match_three_catches_short_repeats():
+    # "abcabcabc..." has period 3: below LZ4's min match, within LZO's.
+    data = b"abc" * 400
+    assert len(CODEC.compress(data)) < len(data) // 3
+
+
+def test_random_data_bounded_expansion():
+    rng = random.Random(5)
+    data = bytes(rng.randrange(256) for _ in range(8192))
+    blob = CODEC.compress(data)
+    assert CODEC.decompress(blob, len(data)) == data
+    # Worst case: one header byte per 128-byte literal run.
+    assert len(blob) <= len(data) + len(data) // 128 + 1
+
+
+def test_window_limit_respected():
+    codec = LzoCompressor(max_distance=64)
+    # Repeat separated by more than the window: must stay literal.
+    data = b"UNIQUEPREFIX" + bytes(100) + b"UNIQUEPREFIX"
+    assert codec.decompress(codec.compress(data), len(data)) == data
+
+
+def test_invalid_window_rejected():
+    with pytest.raises(CompressionError):
+        LzoCompressor(max_distance=0)
+    with pytest.raises(CompressionError):
+        LzoCompressor(max_distance=1 << 20)
+
+
+def test_bad_distance_raises():
+    blob = bytes([0x80, 0x09, 0x00])  # match len 3, distance 9, no history
+    with pytest.raises(CorruptDataError):
+        CODEC.decompress(blob, 3)
+
+
+def test_truncated_stream_raises():
+    blob = bytes([0x05, 0x61])  # promises 6 literals, has 1
+    with pytest.raises(CorruptDataError):
+        CODEC.decompress(blob, 6)
+
+
+def test_wrong_length_raises():
+    blob = CODEC.compress(b"some data worth compressing, repeated, repeated")
+    with pytest.raises(CorruptDataError):
+        CODEC.decompress(blob, 3)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.binary(min_size=0, max_size=6000))
+def test_roundtrip_property(data):
+    assert CODEC.decompress(CODEC.compress(data), len(data)) == data

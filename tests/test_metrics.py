@@ -1,0 +1,83 @@
+"""CPU accounting, counters, and latency-breakdown tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.metrics import APP, KSWAPD, Counters, CpuAccount, LatencyBreakdown
+
+
+class TestCpuAccount:
+    def test_charges_slice_both_ways(self):
+        cpu = CpuAccount()
+        cpu.charge(KSWAPD, "compress", 100)
+        cpu.charge(APP, "compress", 50)
+        cpu.charge(KSWAPD, "file_writeback", 25)
+        assert cpu.thread_ns(KSWAPD) == 125
+        assert cpu.activity_ns("compress") == 150
+        assert cpu.pair_ns(KSWAPD, "compress") == 100
+        assert cpu.total_ns == 175
+
+    def test_unknown_keys_read_zero(self):
+        cpu = CpuAccount()
+        assert cpu.thread_ns("nobody") == 0
+        assert cpu.activity_ns("nothing") == 0
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(SchedulingError):
+            CpuAccount().charge(APP, "x", -1)
+
+    def test_merged_with_sums_accounts(self):
+        a, b = CpuAccount(), CpuAccount()
+        a.charge(APP, "decompress", 10)
+        b.charge(APP, "decompress", 5)
+        b.charge(KSWAPD, "compress", 7)
+        merged = a.merged_with(b)
+        assert merged.activity_ns("decompress") == 15
+        assert merged.thread_ns(KSWAPD) == 7
+        # Sources unchanged.
+        assert a.total_ns == 10
+
+    def test_snapshots_are_copies(self):
+        cpu = CpuAccount()
+        cpu.charge(APP, "x", 1)
+        snapshot = cpu.activities()
+        snapshot["x"] = 999
+        assert cpu.activity_ns("x") == 1
+
+
+class TestCounters:
+    def test_increment_and_read(self):
+        counters = Counters()
+        counters.incr("faults")
+        counters.incr("faults", 4)
+        assert counters.get("faults") == 5
+        assert counters["faults"] == 5
+
+    def test_missing_counter_reads_zero(self):
+        assert Counters().get("nope") == 0
+
+    def test_as_dict_is_a_copy(self):
+        counters = Counters()
+        counters.incr("a")
+        exported = counters.as_dict()
+        exported["a"] = 100
+        assert counters.get("a") == 1
+
+
+class TestLatencyBreakdown:
+    def test_total_is_sum_of_parts(self):
+        breakdown = LatencyBreakdown(
+            dram_ns=1, decompress_ns=2, compress_ns=3,
+            flash_read_ns=4, flash_write_ns=5, process_create_ns=6, other_ns=7,
+        )
+        assert breakdown.total_ns == 28
+
+    def test_add_accumulates_componentwise(self):
+        a = LatencyBreakdown(dram_ns=1, decompress_ns=2)
+        b = LatencyBreakdown(dram_ns=10, flash_read_ns=5)
+        a.add(b)
+        assert a.dram_ns == 11
+        assert a.decompress_ns == 2
+        assert a.flash_read_ns == 5

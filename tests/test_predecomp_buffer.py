@@ -1,0 +1,68 @@
+"""StagingBuffer (PreDecomp FIFO) tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import StagingBuffer
+from repro.errors import ConfigError
+from repro.mem import Page, PageLocation
+
+
+def page(pfn: int) -> Page:
+    return Page(pfn=pfn, uid=1)
+
+
+def test_stage_and_claim():
+    buffer = StagingBuffer(capacity_pages=2)
+    staged = page(1)
+    assert buffer.stage(staged) == []
+    assert staged.location is PageLocation.STAGING
+    assert 1 in buffer
+    claimed = buffer.claim(1)
+    assert claimed is staged
+    assert buffer.hits == 1
+    assert 1 not in buffer
+
+
+def test_miss_counted():
+    buffer = StagingBuffer(capacity_pages=2)
+    assert buffer.claim(42) is None
+    assert buffer.misses == 1
+
+
+def test_fifo_eviction_returns_oldest():
+    buffer = StagingBuffer(capacity_pages=2)
+    first, second, third = page(1), page(2), page(3)
+    buffer.stage(first)
+    buffer.stage(second)
+    evicted = buffer.stage(third)
+    assert evicted == [first]
+    assert buffer.evicted_unused == 1
+    assert len(buffer) == 2
+
+
+def test_hit_rate():
+    buffer = StagingBuffer(capacity_pages=4)
+    buffer.stage(page(1))
+    buffer.claim(1)
+    buffer.claim(2)
+    assert buffer.hit_rate == 0.5
+
+
+def test_empty_hit_rate_is_zero():
+    assert StagingBuffer(capacity_pages=1).hit_rate == 0.0
+
+
+def test_drain_empties_buffer():
+    buffer = StagingBuffer(capacity_pages=4)
+    buffer.stage(page(1))
+    buffer.stage(page(2))
+    drained = buffer.drain()
+    assert {p.pfn for p in drained} == {1, 2}
+    assert len(buffer) == 0
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(ConfigError):
+        StagingBuffer(capacity_pages=0)

@@ -1,0 +1,123 @@
+"""App-profile catalog and run-mix solver tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.workload import APP_CATALOG, AppProfile, profile_by_name, solve_run_mix
+
+
+def test_catalog_has_the_papers_ten_apps():
+    assert len(APP_CATALOG) == 10
+    names = {profile.name for profile in APP_CATALOG}
+    assert {"YouTube", "Twitter", "Firefox", "GEarth", "BangDream"} <= names
+
+
+def test_uids_are_unique():
+    uids = [profile.uid for profile in APP_CATALOG]
+    assert len(uids) == len(set(uids))
+
+
+def test_table1_values_encoded():
+    youtube = profile_by_name("YouTube")
+    assert youtube.anon_mb_10s == 177
+    assert youtube.anon_mb_5min == 358
+    bang = profile_by_name("BangDream")
+    assert bang.anon_mb_5min == 821
+
+
+def test_table3_values_encoded():
+    youtube = profile_by_name("YouTube")
+    assert youtube.locality_p2 == 0.86
+    assert youtube.locality_p4 == 0.72
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(ConfigError):
+        profile_by_name("Snapchat")
+
+
+def test_growth_curve_is_monotonic_and_anchored():
+    profile = profile_by_name("YouTube")
+    assert profile.anon_mb_at(0) == 0
+    assert profile.anon_mb_at(10) == pytest.approx(profile.anon_mb_10s)
+    assert profile.anon_mb_at(300) == pytest.approx(profile.anon_mb_5min)
+    assert profile.anon_mb_at(600) == profile.anon_mb_5min
+    samples = [profile.anon_mb_at(t) for t in (1, 5, 10, 30, 60, 120, 300)]
+    assert samples == sorted(samples)
+
+
+def test_profile_validation_rejects_bad_fractions():
+    with pytest.raises(ConfigError):
+        AppProfile(
+            name="Bad", uid=99, anon_mb_10s=10, anon_mb_5min=20,
+            hot_fraction=0.8, warm_fraction=0.5,  # sums beyond 1.0
+            hot_similarity=0.7, reused_fraction=0.9,
+            locality_p2=0.8, locality_p4=0.6, dram_relaunch_ms=10,
+        )
+
+
+def test_profile_validation_rejects_p4_above_p2():
+    with pytest.raises(ConfigError):
+        AppProfile(
+            name="Bad", uid=99, anon_mb_10s=10, anon_mb_5min=20,
+            hot_fraction=0.2, warm_fraction=0.2,
+            hot_similarity=0.7, reused_fraction=0.9,
+            locality_p2=0.5, locality_p4=0.6, dram_relaunch_ms=10,
+        )
+
+
+class TestRunMixSolver:
+    def test_paper_youtube_point(self):
+        w, k = solve_run_mix(0.86, 0.72)
+        assert k >= 4
+        assert 0.0 <= w <= 0.95
+
+    def test_degenerate_equal_probabilities(self):
+        w, k = solve_run_mix(0.8, 0.8)
+        assert w == 0.0
+        assert k >= 4
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigError):
+            solve_run_mix(0.0, 0.0)
+        with pytest.raises(ConfigError):
+            solve_run_mix(0.5, 0.9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.floats(min_value=0.3, max_value=0.95),
+        st.floats(min_value=0.05, max_value=0.9),
+    )
+    def test_solver_prediction_matches_target(self, p2, p4):
+        """The closed-form mixture must predict p2 within tolerance
+        whenever the (p2, p4) pair is feasible for a two-point mixture
+        (the solver clamps infeasible pairs, which is fine — the paper's
+        values are all feasible, as the test below pins down)."""
+        if p4 > p2 - 0.02:
+            p4 = p2 - 0.02
+        if p4 <= 0.0:
+            return
+        w, k = solve_run_mix(p2, p4)
+        if w in (0.0, 0.999):
+            return  # clamped: pair infeasible for this mixture family
+        expected_len = w + (1 - w) * k
+        predicted_p2 = (1 - w) * (k - 1) / expected_len
+        # K is rounded to an integer, so allow modest slack.
+        assert predicted_p2 == pytest.approx(p2, abs=0.08)
+
+    @pytest.mark.parametrize(
+        "p2,p4",
+        [(0.86, 0.72), (0.81, 0.61), (0.69, 0.43), (0.77, 0.54), (0.61, 0.33)],
+        ids=["YouTube", "Twitter", "Firefox", "GEarth", "BangDream"],
+    )
+    def test_paper_table3_points_are_feasible(self, p2, p4):
+        """Every (p2, p4) pair the paper measured solves without clamping."""
+        w, k = solve_run_mix(p2, p4)
+        assert 0.0 < w < 0.999
+        expected_len = w + (1 - w) * k
+        predicted_p2 = (1 - w) * (k - 1) / expected_len
+        assert predicted_p2 == pytest.approx(p2, abs=0.05)

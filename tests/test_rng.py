@@ -1,0 +1,31 @@
+"""Deterministic RNG-derivation tests."""
+
+from __future__ import annotations
+
+from repro.rng import derive_rng, derive_seed
+
+
+def test_same_inputs_same_seed():
+    assert derive_seed(42, "a") == derive_seed(42, "a")
+
+
+def test_different_labels_different_seeds():
+    assert derive_seed(42, "a") != derive_seed(42, "b")
+
+
+def test_different_parents_different_seeds():
+    assert derive_seed(1, "a") != derive_seed(2, "a")
+
+
+def test_derived_rng_streams_are_reproducible():
+    first = derive_rng(7, "stream")
+    second = derive_rng(7, "stream")
+    assert [first.random() for _ in range(10)] == [
+        second.random() for _ in range(10)
+    ]
+
+
+def test_derived_rng_streams_are_independent():
+    one = derive_rng(7, "one")
+    two = derive_rng(7, "two")
+    assert [one.random() for _ in range(5)] != [two.random() for _ in range(5)]

@@ -1,0 +1,55 @@
+"""Scenario-runner tests (the Figure 3 / Table 2 machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import run_heavy_scenario, run_light_scenario
+from repro.units import SECOND
+from tests.conftest import build_tiny
+
+
+@pytest.fixture()
+def light_result(tiny_trace):
+    system = build_tiny("ZRAM", tiny_trace)
+    return run_light_scenario(system, duration_s=3.0)
+
+
+def test_scenario_runs_past_requested_duration(light_result):
+    assert light_result.wall_ns >= 3.0 * SECOND
+
+
+def test_scenario_records_relaunches(light_result):
+    assert light_result.relaunches
+    assert all(r.latency_ns > 0 for r in light_result.relaunches)
+
+
+def test_scenario_energy_is_positive_and_decomposed(light_result):
+    energy = light_result.energy
+    assert energy.total_j > 0
+    assert energy.base_j > 0
+    assert energy.total_j == pytest.approx(
+        energy.base_j + energy.cpu_j + energy.dram_j + energy.flash_j
+    )
+
+
+def test_zram_scenario_does_codec_work(light_result):
+    assert light_result.codec_cpu_ns > 0
+    assert light_result.kswapd_cpu_ns > 0
+
+
+def test_heavy_scenario_relaunches_more_than_light(tiny_trace):
+    light = run_light_scenario(build_tiny("ZRAM", tiny_trace), duration_s=3.0)
+    heavy = run_heavy_scenario(build_tiny("ZRAM", tiny_trace), duration_s=3.0)
+    assert len(heavy.relaunches) > len(light.relaunches)
+
+
+def test_dram_scenario_has_no_codec_work(tiny_trace):
+    result = run_light_scenario(build_tiny("DRAM", tiny_trace), duration_s=2.0)
+    assert result.codec_cpu_ns == 0
+    assert result.kswapd_cpu_ns > 0  # file writeback still happens
+
+
+def test_swap_scenario_wears_flash(tiny_trace):
+    result = run_light_scenario(build_tiny("SWAP", tiny_trace), duration_s=2.0)
+    assert result.flash_bytes_written > 0

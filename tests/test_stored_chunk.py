@@ -1,0 +1,56 @@
+"""StoredChunk invariant tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import StoredChunk
+from repro.errors import PageStateError
+from repro.mem import Hotness, Page, PageLocation
+from repro.units import PAGE_SIZE
+
+
+def make_chunk(n_pages: int, chunk_size: int, stored: int = 1000) -> StoredChunk:
+    pages = tuple(Page(pfn=i, uid=1) for i in range(n_pages))
+    return StoredChunk(
+        chunk_id=1, uid=1, pages=pages, chunk_size=chunk_size,
+        codec_name="lzo", stored_bytes=stored, hotness_at_compress=Hotness.COLD,
+    )
+
+
+def test_ratio_and_sizes():
+    chunk = make_chunk(4, 16 * 1024, stored=4096)
+    assert chunk.original_bytes == 4 * PAGE_SIZE
+    assert chunk.ratio == 4.0
+    assert chunk.page_count == 4
+
+
+def test_sub_page_chunk_must_cover_one_page():
+    with pytest.raises(PageStateError):
+        make_chunk(2, 1024)
+
+
+def test_group_cannot_exceed_chunk_capacity():
+    with pytest.raises(PageStateError):
+        make_chunk(5, 16 * 1024)  # 16K holds at most 4 pages
+
+
+def test_empty_chunk_rejected():
+    with pytest.raises(PageStateError):
+        StoredChunk(
+            chunk_id=1, uid=1, pages=(), chunk_size=4096,
+            codec_name="lzo", stored_bytes=10, hotness_at_compress=Hotness.COLD,
+        )
+
+
+def test_non_positive_stored_size_rejected():
+    with pytest.raises(PageStateError):
+        make_chunk(1, 4096, stored=0)
+
+
+def test_location_predicates():
+    chunk = make_chunk(1, 4096)
+    assert chunk.in_zpool
+    assert not chunk.in_flash
+    chunk.location = PageLocation.FLASH
+    assert chunk.in_flash

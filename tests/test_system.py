@@ -1,0 +1,120 @@
+"""MobileSystem lifecycle and relaunch-measurement tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import RelaunchScenario
+from repro.errors import ConfigError, PageStateError
+from repro.sim import make_system
+from tests.conftest import build_tiny
+
+
+class TestLifecycle:
+    def test_launch_all_makes_apps_resident_or_stored(self, tiny_trace):
+        system = build_tiny("ZRAM", tiny_trace)
+        system.launch_all()
+        for live in system.apps:
+            assert live.launched
+            resident = system.scheme.organizer(live.uid).resident_count()
+            stored = sum(
+                1 for record in live.trace.pages
+                if record.pfn in system.scheme._stored_by_pfn
+            )
+            assert resident + stored == len(live.trace.pages)
+
+    def test_double_launch_rejected(self, tiny_trace):
+        system = build_tiny("ZRAM", tiny_trace)
+        system.launch_app("MiniTube")
+        with pytest.raises(PageStateError):
+            system.launch_app("MiniTube")
+
+    def test_relaunch_before_launch_rejected(self, tiny_trace):
+        system = build_tiny("ZRAM", tiny_trace)
+        with pytest.raises(PageStateError):
+            system.relaunch("MiniTube")
+
+    def test_unknown_app_rejected(self, tiny_trace):
+        system = build_tiny("ZRAM", tiny_trace)
+        with pytest.raises(ConfigError):
+            system.launch_app("Instagram")
+
+    def test_invalid_session_rejected(self, tiny_trace):
+        system = build_tiny("ZRAM", tiny_trace)
+        system.launch_all()
+        with pytest.raises(ConfigError):
+            system.relaunch("MiniTube", session_index=99)
+
+
+class TestRelaunchMeasurement:
+    def test_dram_relaunch_matches_profile_latency(self, tiny_trace):
+        system = build_tiny("DRAM", tiny_trace)
+        system.launch_all()
+        result = system.relaunch("MiniTube", 0)
+        expected = tiny_trace.app("MiniTube").profile.dram_relaunch_ms
+        assert result.latency_ms == pytest.approx(expected, rel=0.02)
+        assert result.pages_from_dram == result.pages_accessed
+
+    def test_breakdown_sums_to_latency(self, tiny_trace):
+        system = build_tiny("ZRAM", tiny_trace)
+        system.launch_all()
+        system.prepare_relaunch("MiniTube", RelaunchScenario.AL)
+        result = system.relaunch("MiniTube", 0)
+        assert result.breakdown.total_ns == result.latency_ns
+
+    def test_source_counts_sum_to_accesses(self, tiny_trace):
+        system = build_tiny("ZRAM", tiny_trace)
+        system.launch_all()
+        system.prepare_relaunch("MiniTube", RelaunchScenario.AL)
+        result = system.relaunch("MiniTube", 0)
+        total_sources = (
+            result.pages_from_dram + result.pages_from_zpool
+            + result.pages_from_flash + result.pages_from_staging
+        )
+        assert total_sources == result.pages_accessed
+        assert result.pages_accessed == len(
+            tiny_trace.app("MiniTube").sessions[0].relaunch_pfns
+        )
+
+    def test_zram_slower_than_dram(self, tiny_trace):
+        dram = build_tiny("DRAM", tiny_trace)
+        dram.launch_all()
+        baseline = dram.relaunch("MiniTube", 0).latency_ns
+
+        zram = build_tiny("ZRAM", tiny_trace)
+        zram.launch_all()
+        zram.prepare_relaunch("MiniTube", RelaunchScenario.AL)
+        compressed = zram.relaunch("MiniTube", 0).latency_ns
+        assert compressed > baseline
+
+    def test_sessions_advance_automatically(self, tiny_trace):
+        system = build_tiny("DRAM", tiny_trace)
+        system.launch_all()
+        system.relaunch("MiniTube")
+        live = system.app("MiniTube")
+        assert live.next_session == 1
+        system.relaunch("MiniTube")
+        assert live.next_session == 2
+
+    def test_clock_advances_by_relaunch_latency(self, tiny_trace):
+        system = build_tiny("DRAM", tiny_trace)
+        system.launch_all()
+        before = system.ctx.clock.now_ns
+        result = system.relaunch("MiniTube", 0, run_execution=False)
+        assert system.ctx.clock.now_ns - before == result.latency_ns
+
+
+class TestSchemeFactory:
+    def test_all_scheme_names_construct(self, tiny_trace):
+        for name in ("DRAM", "ZRAM", "SWAP", "Ariadne"):
+            system = build_tiny(name, tiny_trace)
+            assert system.scheme.ctx is system.ctx
+
+    def test_unknown_scheme_rejected(self, tiny_trace):
+        with pytest.raises(ConfigError):
+            make_system("ZSTD", tiny_trace)
+
+    def test_dram_platform_inflated_to_hold_workload(self, tiny_trace):
+        system = build_tiny("DRAM", tiny_trace)
+        total = sum(a.total_bytes() for a in tiny_trace.apps)
+        assert system.ctx.platform.dram_bytes >= 2 * total

@@ -1,0 +1,55 @@
+"""Analysis-function tests on hand-crafted inputs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.mem.page import Hotness
+from repro.trace.analyze import consecutive_probability, hotness_mix_by_part
+
+
+class TestConsecutiveProbability:
+    def test_fully_sequential(self):
+        assert consecutive_probability([1, 2, 3, 4, 5], 2) == 1.0
+        assert consecutive_probability([1, 2, 3, 4, 5], 4) == 1.0
+
+    def test_fully_random_order(self):
+        assert consecutive_probability([10, 5, 99, 2], 2) == 0.0
+
+    def test_partial_runs(self):
+        # pairs: (1,2)+ (2,9)- (9,10)+ (10,11)+ -> 3/4
+        assert consecutive_probability([1, 2, 9, 10, 11], 2) == 0.75
+
+    def test_window_of_four_requires_three_steps(self):
+        sequence = [1, 2, 3, 4, 9]  # windows: [1..4]+ [2..9]-
+        assert consecutive_probability(sequence, 4) == 0.5
+
+    def test_short_sequence_returns_zero(self):
+        assert consecutive_probability([1], 2) == 0.0
+        assert consecutive_probability([], 2) == 0.0
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(TraceFormatError):
+            consecutive_probability([1, 2], 1)
+
+
+class TestHotnessMix:
+    def test_proportions_per_part(self):
+        ordered = [Hotness.HOT] * 5 + [Hotness.COLD] * 5
+        mixes = hotness_mix_by_part(ordered, n_parts=2)
+        assert mixes[0][Hotness.HOT] == 1.0
+        assert mixes[1][Hotness.COLD] == 1.0
+
+    def test_proportions_sum_to_one(self):
+        ordered = [Hotness.HOT, Hotness.WARM, Hotness.COLD] * 10
+        for mix in hotness_mix_by_part(ordered, n_parts=10):
+            assert sum(mix.values()) == pytest.approx(1.0)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(TraceFormatError):
+            hotness_mix_by_part([], n_parts=10)
+
+    def test_invalid_parts_rejected(self):
+        with pytest.raises(TraceFormatError):
+            hotness_mix_by_part([Hotness.HOT], n_parts=0)

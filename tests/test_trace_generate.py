@@ -1,0 +1,109 @@
+"""Trace-generator tests: calibration and structural invariants."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.page import Hotness
+from repro.trace import (
+    TraceGenerator,
+    consecutive_probability,
+    hot_similarity_series,
+    reused_fraction_series,
+)
+from repro.workload import profile_by_name
+
+GENERATOR = TraceGenerator(seed=321)
+YOUTUBE = GENERATOR.generate_app(profile_by_name("YouTube"), n_sessions=5)
+
+
+def test_similarity_matches_profile_target():
+    target = profile_by_name("YouTube").hot_similarity
+    measured = statistics.mean(hot_similarity_series(YOUTUBE))
+    assert measured == pytest.approx(target, abs=0.06)
+
+
+def test_reuse_matches_profile_target():
+    target = profile_by_name("YouTube").reused_fraction
+    measured = statistics.mean(reused_fraction_series(YOUTUBE))
+    assert measured == pytest.approx(target, abs=0.04)
+
+
+def test_allocation_order_locality_near_target():
+    profile = profile_by_name("YouTube")
+    index = {record.pfn: i for i, record in enumerate(YOUTUBE.pages)}
+    p2_values = []
+    for session in YOUTUBE.sessions:
+        sequence = [index[pfn] for pfn in session.relaunch_pfns]
+        p2_values.append(consecutive_probability(sequence, 2))
+    assert statistics.mean(p2_values) == pytest.approx(
+        profile.locality_p2, abs=0.08
+    )
+
+
+def test_hot_pages_are_labeled_hot():
+    hot_pfns = set()
+    for session in YOUTUBE.sessions:
+        hot_pfns |= session.hot_set
+    by_pfn = {record.pfn: record for record in YOUTUBE.pages}
+    for pfn in hot_pfns:
+        assert by_pfn[pfn].true_hotness is Hotness.HOT
+
+
+def test_cold_pages_never_accessed():
+    accessed = set()
+    for session in YOUTUBE.sessions:
+        accessed |= session.hot_set | session.warm_set
+    for record in YOUTUBE.pages:
+        if record.true_hotness is Hotness.COLD:
+            assert record.pfn not in accessed
+
+
+def test_launch_pages_come_first_and_are_hot_seed():
+    launch = YOUTUBE.pages[: YOUTUBE.launch_page_count]
+    assert all(record.true_hotness is Hotness.HOT for record in launch)
+
+
+def test_session_sets_have_stable_size():
+    sizes = [len(session.hot_set) for session in YOUTUBE.sessions]
+    assert max(sizes) - min(sizes) <= max(2, sizes[0] // 10)
+
+
+def test_creation_times_monotonic_in_allocation_order():
+    times = [record.created_at_s for record in YOUTUBE.pages]
+    assert times == sorted(times)
+
+
+def test_same_seed_reproduces_identical_trace():
+    again = TraceGenerator(seed=321).generate_app(
+        profile_by_name("YouTube"), n_sessions=5
+    )
+    assert again.pages == YOUTUBE.pages
+    assert again.sessions == YOUTUBE.sessions
+
+
+def test_workload_uids_resolve():
+    workload = GENERATOR.generate_workload(
+        profiles=(profile_by_name("YouTube"), profile_by_name("Twitter")),
+        n_sessions=2,
+    )
+    assert workload.app("Twitter").uid == workload.app_by_uid(2).uid
+    assert workload.names == ["YouTube", "Twitter"]
+
+
+def test_invalid_session_count_rejected():
+    with pytest.raises(ConfigError):
+        GENERATOR.generate_app(profile_by_name("YouTube"), n_sessions=0)
+
+
+def test_duration_controls_volume():
+    short = GENERATOR.generate_app(
+        profile_by_name("Twitter"), n_sessions=2, duration_s=10
+    )
+    long = GENERATOR.generate_app(
+        profile_by_name("Twitter"), n_sessions=2, duration_s=300
+    )
+    assert len(short.pages) < len(long.pages)

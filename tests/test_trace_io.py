@@ -1,0 +1,54 @@
+"""Trace persistence tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.trace import TraceGenerator, load_trace, save_trace
+from repro.workload import profile_by_name
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    generator = TraceGenerator(seed=11)
+    return generator.generate_workload(
+        profiles=(profile_by_name("Twitter"),), n_sessions=2, duration_s=15
+    )
+
+
+def test_roundtrip_preserves_everything(tmp_path, small_workload):
+    path = tmp_path / "workload.trace"
+    save_trace(small_workload, path)
+    loaded = load_trace(path)
+    assert loaded.seed == small_workload.seed
+    assert loaded.names == small_workload.names
+    original = small_workload.apps[0]
+    restored = loaded.apps[0]
+    assert restored.pages == original.pages
+    assert restored.sessions == original.sessions
+    assert restored.launch_page_count == original.launch_page_count
+    assert restored.profile == original.profile
+
+
+def test_bad_magic_rejected(tmp_path):
+    path = tmp_path / "not_a_trace.bin"
+    path.write_bytes(b"GARBAGE!" + bytes(64))
+    with pytest.raises(TraceFormatError):
+        load_trace(path)
+
+
+def test_truncated_file_rejected(tmp_path, small_workload):
+    path = tmp_path / "truncated.trace"
+    save_trace(small_workload, path)
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])
+    with pytest.raises((TraceFormatError, Exception)):
+        load_trace(path)
+
+
+def test_truncated_header_rejected(tmp_path):
+    path = tmp_path / "short.trace"
+    path.write_bytes(b"ARTRACE1" + bytes(4))
+    with pytest.raises(TraceFormatError):
+        load_trace(path)

@@ -1,0 +1,49 @@
+"""Unit-helper tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+
+
+def test_page_size_is_4k():
+    assert units.PAGE_SIZE == 4096
+
+
+def test_time_conversions_roundtrip():
+    assert units.ns_to_ms(units.MS) == 1.0
+    assert units.ns_to_us(units.US) == 1.0
+    assert units.ns_to_s(units.SECOND) == 1.0
+
+
+def test_pages_for_bytes_rounds_up():
+    assert units.pages_for_bytes(1) == 1
+    assert units.pages_for_bytes(units.PAGE_SIZE) == 1
+    assert units.pages_for_bytes(units.PAGE_SIZE + 1) == 2
+    assert units.pages_for_bytes(0) == 0
+
+
+def test_scaled_mb_inverts_scale_factor():
+    sim_bytes = 10 * units.MIB
+    assert units.scaled_mb(sim_bytes) == pytest.approx(10 * units.SCALE_FACTOR)
+
+
+def test_fmt_bytes_picks_unit():
+    assert units.fmt_bytes(512) == "512 B"
+    assert units.fmt_bytes(2 * units.KIB) == "2.0 KiB"
+    assert units.fmt_bytes(3 * units.MIB) == "3.0 MiB"
+    assert units.fmt_bytes(4 * units.GIB) == "4.0 GiB"
+
+
+@pytest.mark.parametrize(
+    "size,label",
+    [(256, "256"), (512, "512"), (1024, "1K"), (2048, "2K"), (16384, "16K")],
+)
+def test_fmt_chunk_matches_paper_labels(size, label):
+    assert units.fmt_chunk(size) == label
+
+
+@pytest.mark.parametrize("label", ["256", "512", "1K", "2K", "16K", "32K"])
+def test_parse_chunk_inverts_fmt_chunk(label):
+    assert units.fmt_chunk(units.parse_chunk(label)) == label

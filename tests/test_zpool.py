@@ -1,0 +1,111 @@
+"""zpool and size-class tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, ZpoolFullError
+from repro.zpool import SizeClassTable, Zpool
+
+
+class TestSizeClasses:
+    def test_rounds_up_to_granularity(self):
+        table = SizeClassTable(granularity=32)
+        assert table.class_size(1) == 32
+        assert table.class_size(32) == 32
+        assert table.class_size(33) == 64
+
+    def test_zero_size_still_occupies_a_class(self):
+        assert SizeClassTable().class_size(0) > 0
+
+    def test_fragmentation_is_class_minus_payload(self):
+        table = SizeClassTable(granularity=64)
+        assert table.fragmentation(100) == 28
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigError):
+            SizeClassTable().class_size(-1)
+
+    def test_misaligned_config_rejected(self):
+        with pytest.raises(ConfigError):
+            SizeClassTable(granularity=48, max_size=4096 + 1)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=1 << 20))
+    def test_class_always_covers_payload(self, size):
+        table = SizeClassTable()
+        assert table.class_size(size) >= size
+
+
+class TestZpool:
+    def test_store_assigns_monotonic_sectors(self):
+        pool = Zpool(capacity_bytes=1 << 20)
+        first = pool.store(100)
+        second = pool.store(200)
+        assert second.sector == first.sector + 1
+
+    def test_used_bytes_tracks_class_sizes(self):
+        pool = Zpool(capacity_bytes=1 << 20)
+        entry = pool.store(100)
+        assert pool.used_bytes == entry.class_bytes
+        pool.free(entry.handle)
+        assert pool.used_bytes == 0
+
+    def test_capacity_enforced(self):
+        pool = Zpool(capacity_bytes=256)
+        pool.store(200)
+        with pytest.raises(ZpoolFullError):
+            pool.store(200)
+
+    def test_free_unknown_handle_rejected(self):
+        pool = Zpool(capacity_bytes=1024)
+        with pytest.raises(ZpoolFullError):
+            pool.free(12345)
+
+    def test_sector_lookup_and_gap_scan(self):
+        pool = Zpool(capacity_bytes=1 << 20)
+        a = pool.store(64)
+        b = pool.store(64)
+        c = pool.store(64)
+        pool.free(b.handle)
+        assert pool.handle_at_sector(a.sector) == a.handle
+        assert pool.handle_at_sector(b.sector) is None
+        # Next live sector after a skips the freed gap.
+        assert pool.next_live_sector(a.sector) == c.sector
+
+    def test_next_live_sector_respects_scan_bound(self):
+        pool = Zpool(capacity_bytes=1 << 20)
+        first = pool.store(64)
+        for _ in range(10):
+            pool.free(pool.store(64).handle)
+        far = pool.store(64)
+        assert pool.next_live_sector(first.sector, max_scan=3) is None
+        assert pool.next_live_sector(first.sector, max_scan=16) == far.sector
+
+    def test_stats_snapshot(self):
+        pool = Zpool(capacity_bytes=1 << 20)
+        pool.store(100)
+        pool.store(50)
+        stats = pool.stats()
+        assert stats.entry_count == 2
+        assert stats.payload_bytes == 150
+        assert stats.fragmentation_bytes == stats.used_bytes - 150
+        assert 0 < stats.utilization < 1
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ZpoolFullError):
+            Zpool(capacity_bytes=0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=4096), max_size=40))
+    def test_store_free_conservation(self, sizes):
+        """Storing then freeing everything returns the pool to empty."""
+        pool = Zpool(capacity_bytes=1 << 24)
+        handles = [pool.store(size).handle for size in sizes]
+        assert pool.entry_count == len(sizes)
+        for handle in handles:
+            pool.free(handle)
+        assert pool.used_bytes == 0
+        assert pool.entry_count == 0
