@@ -1,0 +1,66 @@
+"""Timed smoke scenario: the perf-trajectory artifact for CI.
+
+Runs one 60-second Ariadne light scenario after trace warm-up, with a
+cold in-memory size cache (persistent artifacts deliberately bypassed so
+the number tracks real codec + scheme speed, not disk-cache hits), and
+writes a small JSON artifact CI uploads on every run::
+
+    PYTHONPATH=src python benchmarks/smoke_scenario.py --out BENCH_scenario.json
+
+The scenario's measured numbers are also recorded so a perf regression
+and a correctness regression are distinguishable at a glance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+
+from repro.compression.chunking import SizeCache
+from repro.experiments.common import scenario_build, workload_trace
+from repro.sim.scenario import run_light_scenario
+
+
+def run(duration_s: float, repeats: int) -> dict:
+    trace = workload_trace(n_apps=5)  # warm-up: excluded from timing
+    timings = []
+    result = None
+    for _ in range(repeats):
+        system = scenario_build("Ariadne", trace)
+        system.ctx.sizes = SizeCache()  # cold cache: measure real work
+        start = time.perf_counter()
+        result = run_light_scenario(system, duration_s=duration_s)
+        timings.append(time.perf_counter() - start)
+    assert result is not None
+    return {
+        "benchmark": "light_scenario_ariadne",
+        "duration_s": duration_s,
+        "wall_time_s": min(timings),
+        "wall_time_all_s": timings,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        # Correctness echo: these must stay bit-stable across commits.
+        "simulated_wall_ns": result.wall_ns,
+        "relaunches": len(result.relaunches),
+        "compress_ops": result.counters.get("compress_ops", 0),
+        "kswapd_cpu_ns": result.kswapd_cpu_ns,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_scenario.json")
+    parser.add_argument("--duration", type=float, default=60.0)
+    parser.add_argument("--repeats", type=int, default=2)
+    args = parser.parse_args()
+    payload = run(args.duration, max(1, args.repeats))
+    with open(args.out, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

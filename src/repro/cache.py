@@ -1,0 +1,218 @@
+"""Persistent artifact cache: compressed sizes and workload traces.
+
+Every figure and table regenerates from two expensive, perfectly
+deterministic artifacts:
+
+- *compressed sizes* — ``(payload, codec, chunk size) -> stored bytes``
+  facts measured by really running the codecs (the encoders are
+  byte-stable by contract, so a measured size never goes stale);
+- *workload traces* — deterministic functions of ``(generator version,
+  seed, profiles, sessions, duration)``.
+
+This module persists both across processes so repeated benchmark and CI
+runs skip trace generation and first-touch compression entirely, without
+changing a single measured number.
+
+Layout under the cache root::
+
+    sizes-v1-<codec>-<chunk_size>.bin   # 20-byte records: digest(16) + u32 size
+    trace-v1-<key digest>.artrace       # via repro.trace.io
+
+Size files are append-only; each flush is a single ``write`` of whole
+records to an ``O_APPEND`` descriptor, so concurrent writers (the
+parallel experiment runner) interleave only at record granularity.  A
+truncated tail record — possible if a writer dies mid-write — is ignored
+on load.  Duplicate records are harmless (same key, same deterministic
+value).
+
+Set ``REPRO_CACHE_DIR`` to relocate the cache, or to ``0`` / ``off`` to
+disable persistence (experiments then fall back to in-memory caching).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from hashlib import blake2b
+from pathlib import Path
+
+from .compression.base import Compressor
+from .compression.chunking import _DIGEST_SIZE, SizeCache
+from .errors import TraceFormatError
+from .trace.io import load_trace, save_trace
+from .trace.records import WorkloadTrace
+from .workload.profiles import AppProfile
+
+#: Bump when the size-record layout changes — or when a codec's output
+#: is *intentionally* changed (sizes are facts about codec output, so a
+#: behavioral codec change must invalidate every persisted size).
+_SIZES_FORMAT = 1
+#: Bump when the trace container or generator semantics change.
+_TRACE_FORMAT = 1
+
+_RECORD = struct.Struct(f"<{_DIGEST_SIZE}sI")
+
+#: Environment variable selecting the cache root ("0"/"off"/"" disables).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_DEFAULT_ROOT = Path.home() / ".cache" / "ariadne-repro"
+
+
+def default_cache_root() -> Path | None:
+    """Cache root from the environment, or ``None`` when disabled."""
+    raw = os.environ.get(CACHE_DIR_ENV)
+    if raw is None:
+        return _DEFAULT_ROOT
+    if raw.strip().lower() in ("", "0", "off", "none", "disabled"):
+        return None
+    return Path(raw)
+
+
+class ArtifactCache:
+    """On-disk store for compressed-size facts and serialized traces."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------- compressed sizes
+
+    def _sizes_path(self, codec_name: str, chunk_size: int) -> Path:
+        return self.root / f"sizes-v{_SIZES_FORMAT}-{codec_name}-{chunk_size}.bin"
+
+    def load_sizes(self, codec_name: str, chunk_size: int) -> dict[bytes, int]:
+        """All persisted sizes for one (codec, chunk size) pair."""
+        path = self._sizes_path(codec_name, chunk_size)
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            return {}
+        sizes: dict[bytes, int] = {}
+        whole = len(raw) - len(raw) % _RECORD.size
+        for offset in range(0, whole, _RECORD.size):
+            digest, size = _RECORD.unpack_from(raw, offset)
+            sizes[digest] = size
+        return sizes
+
+    def append_sizes(
+        self, codec_name: str, chunk_size: int, entries: dict[bytes, int]
+    ) -> None:
+        """Persist newly measured sizes (append-only, atomic per flush)."""
+        if not entries:
+            return
+        payload = b"".join(
+            _RECORD.pack(digest, size) for digest, size in entries.items()
+        )
+        fd = os.open(
+            self._sizes_path(codec_name, chunk_size),
+            os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+            0o644,
+        )
+        try:
+            os.write(fd, payload)
+        finally:
+            os.close(fd)
+
+    # ----------------------------------------------------------------- traces
+
+    @staticmethod
+    def trace_key(
+        seed: int,
+        profiles: tuple[AppProfile, ...],
+        n_sessions: int,
+        duration_s: float,
+        generator_version: int,
+    ) -> str:
+        """Content key capturing everything trace generation depends on."""
+        blob = json.dumps(
+            {
+                "generator_version": generator_version,
+                "seed": seed,
+                "profiles": [profile.__dict__ for profile in profiles],
+                "n_sessions": n_sessions,
+                "duration_s": duration_s,
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        return blake2b(blob, digest_size=16).hexdigest()
+
+    def _trace_path(self, key: str) -> Path:
+        return self.root / f"trace-v{_TRACE_FORMAT}-{key}.artrace"
+
+    def load_workload(self, key: str) -> WorkloadTrace | None:
+        """Load a cached workload trace, or ``None`` on miss/corruption."""
+        path = self._trace_path(key)
+        if not path.exists():
+            return None
+        try:
+            return load_trace(path)
+        except (TraceFormatError, OSError):
+            # A corrupt artifact is a cache miss, not an error: drop it so
+            # the regenerated trace can take its place.
+            path.unlink(missing_ok=True)
+            return None
+
+    def store_workload(self, key: str, trace: WorkloadTrace) -> None:
+        """Persist a workload trace under ``key`` (atomic rename)."""
+        path = self._trace_path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        save_trace(trace, tmp)
+        os.replace(tmp, path)
+
+
+class PersistentSizeCache(SizeCache):
+    """A :class:`SizeCache` backed by an :class:`ArtifactCache`.
+
+    Disk state loads lazily per (codec, chunk size) pair on first use;
+    new measurements accumulate in memory and reach disk on
+    :meth:`flush` (the experiment harness flushes after every experiment
+    and at interpreter exit).
+    """
+
+    def __init__(
+        self, artifacts: ArtifactCache, max_entries: int = 1 << 20
+    ) -> None:
+        super().__init__(max_entries)
+        self._artifacts = artifacts
+        self._loaded: set[tuple[str, int]] = set()
+        self._dirty: dict[tuple[str, int], dict[bytes, int]] = {}
+        #: Entries served from disk instead of fresh measurement.
+        self.disk_entries_loaded = 0
+
+    def compressed_size(
+        self, codec: Compressor, data: bytes, chunk_size: int
+    ) -> int:
+        pair = (codec.name, chunk_size)
+        if pair not in self._loaded:
+            self._load_pair(pair)
+        return super().compressed_size(codec, data, chunk_size)
+
+    def _load_pair(self, pair: tuple[str, int]) -> None:
+        codec_name, chunk_size = pair
+        persisted = self._artifacts.load_sizes(codec_name, chunk_size)
+        self.disk_entries_loaded += len(persisted)
+        for digest, size in persisted.items():
+            super()._store((digest, codec_name, chunk_size), size)
+        self._loaded.add(pair)
+
+    def _store(self, key: tuple[bytes, str, int], size: int) -> None:
+        super()._store(key, size)
+        digest, codec_name, chunk_size = key
+        self._dirty.setdefault((codec_name, chunk_size), {})[digest] = size
+
+    def flush(self) -> int:
+        """Write dirty entries to disk; returns how many were written."""
+        written = 0
+        for (codec_name, chunk_size), entries in self._dirty.items():
+            self._artifacts.append_sizes(codec_name, chunk_size, entries)
+            written += len(entries)
+        self._dirty.clear()
+        return written
+
+    def clear(self) -> None:
+        """Drop the in-memory state (disk artifacts stay untouched)."""
+        super().clear()
+        self._loaded.clear()
+        self._dirty.clear()
+        self.disk_entries_loaded = 0

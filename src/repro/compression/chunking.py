@@ -12,9 +12,25 @@ call.
 from __future__ import annotations
 
 from collections import OrderedDict
+from hashlib import blake2b
 
 from ..errors import CompressionError
 from .base import ChunkedBlob, CompressedChunk, Compressor
+
+#: Digest width for payload keys.  16 bytes of blake2b makes accidental
+#: collisions astronomically unlikely while keeping keys small.
+_DIGEST_SIZE = 16
+
+
+def payload_digest(data: bytes) -> bytes:
+    """Collision-safe content key for a payload (stable across runs).
+
+    ``hash(data)`` is unusable as a cache key: distinct payloads can
+    share a Python hash (silently returning the wrong stored size), and
+    ``PYTHONHASHSEED`` randomizes values across processes, which both
+    breaks on-disk reuse and made hit patterns run-dependent.
+    """
+    return blake2b(data, digest_size=_DIGEST_SIZE).digest()
 
 
 def chunk_compress(codec: Compressor, data: bytes, chunk_size: int) -> ChunkedBlob:
@@ -58,19 +74,25 @@ def measure_ratio(codec: Compressor, data: bytes, chunk_size: int) -> float:
 
 
 class SizeCache:
-    """Memoizes compressed sizes keyed by (payload, codec, chunk size).
+    """Memoizes compressed sizes keyed by (payload digest, codec, chunk size).
 
     The simulator mostly needs compressed *sizes* (for zpool occupancy and
     ratio metrics), and synthetic workloads reuse page payloads heavily
     across relaunch sessions, so memoization removes most real compression
     work from system-level runs without changing any measured number.
+
+    Keys use :func:`payload_digest` (blake2b), not ``hash(data)`` — exact,
+    stable across ``PYTHONHASHSEED``, and shareable with the on-disk
+    artifact cache (:mod:`repro.cache`).  Misses measure via the codec's
+    ``compressed_size`` fast path per chunk, which sums to exactly
+    ``chunk_compress(...).stored_len`` without materializing any blob.
     """
 
     def __init__(self, max_entries: int = 65536) -> None:
         if max_entries <= 0:
             raise CompressionError(f"max_entries must be positive, got {max_entries}")
         self._max_entries = max_entries
-        self._cache: OrderedDict[tuple[int, str, int], int] = OrderedDict()
+        self._cache: OrderedDict[tuple[bytes, str, int], int] = OrderedDict()
         self.hits = 0
         self.misses = 0
 
@@ -78,18 +100,41 @@ class SizeCache:
         self, codec: Compressor, data: bytes, chunk_size: int
     ) -> int:
         """Stored size of ``data`` compressed with ``codec`` at ``chunk_size``."""
-        key = (hash(data), codec.name, chunk_size)
+        if chunk_size <= 0:
+            raise CompressionError(f"chunk_size must be positive, got {chunk_size}")
+        key = (payload_digest(data), codec.name, chunk_size)
         cached = self._cache.get(key)
         if cached is not None:
             self._cache.move_to_end(key)
             self.hits += 1
             return cached
         self.misses += 1
-        size = chunk_compress(codec, data, chunk_size).stored_len
+        size = self._measure(codec, data, chunk_size)
+        self._store(key, size)
+        return size
+
+    def _measure(self, codec: Compressor, data: bytes, chunk_size: int) -> int:
+        """Compute the stored size of ``data`` at ``chunk_size`` (a miss).
+
+        Matches ``chunk_compress(codec, data, chunk_size).stored_len``
+        exactly; in particular an empty payload has zero chunks and
+        stores zero bytes (some codecs encode ``b""`` as a non-empty
+        blob, but no chunk is ever created for it).
+        """
+        if not data:
+            return 0
+        if chunk_size >= len(data):
+            return codec.compressed_size(data)
+        size = 0
+        for start in range(0, len(data), chunk_size):
+            size += codec.compressed_size(data[start : start + chunk_size])
+        return size
+
+    def _store(self, key: tuple[bytes, str, int], size: int) -> None:
+        """Insert a measured size, evicting the LRU entry beyond capacity."""
         self._cache[key] = size
         if len(self._cache) > self._max_entries:
             self._cache.popitem(last=False)
-        return size
 
     def clear(self) -> None:
         """Drop all cached sizes and reset hit/miss counters."""

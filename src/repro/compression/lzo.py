@@ -14,17 +14,53 @@ under a simple explicit format:
   distance (1-based, up to 32 KiB).
 
 DESIGN.md records this substitution (real LZO1X -> LZO-class codec).
+
+Encoder structure
+-----------------
+
+The reference parse is a greedy scan with a 3-gram hash table mapping
+each visited gram to its most recent visited position (positions inside
+emitted matches are skipped and never enter the table).  Two encoder
+paths produce that exact parse:
+
+- ``_compress_scan``: the direct scan, kept dependency-free;
+- ``_compress_indexed``: the fast path.  All previous-occurrence
+  structure is precomputed at C speed (one ``numpy`` sort of
+  position-tagged 3-gram keys yields, per position, whether the gram
+  occurred before at all and where its first occurrence sits), so the
+  Python loop only touches positions that can possibly match.  A flat
+  table indexed by first-occurrence position replaces the dict; entries
+  under an emitted match are invalidated with one slice assignment,
+  which reproduces exactly the "skipped positions never enter the
+  table" rule.
+
+Both paths emit byte-identical output for every input (the differential
+tests in ``tests/test_codec_equivalence.py`` are the contract), so
+callers never observe which one ran.
 """
 
 from __future__ import annotations
 
+from array import array
+
 from ..errors import CompressionError, CorruptDataError
 from .base import Compressor
+
+try:  # The fast encoder path needs numpy; the scan path does not.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the container ships numpy
+    _np = None
 
 _MIN_MATCH = 3
 _MAX_MATCH = 130
 _MAX_LITERAL_RUN = 128
 _MAX_DISTANCE = 32 * 1024
+
+#: Below this input size the indexed path's fixed numpy overhead wins
+#: nothing; both paths emit identical bytes so the cutoff is free to tune.
+_INDEXED_MIN_LEN = 512
+
+_ZERO_TABLE = array("i", bytes(4 * (_MAX_MATCH - 1)))
 
 
 class LzoCompressor(Compressor):
@@ -40,38 +76,21 @@ class LzoCompressor(Compressor):
         self._max_distance = max_distance
 
     def compress(self, data: bytes) -> bytes:
-        n = len(data)
-        out = bytearray()
-        if n == 0:
-            return b""
-        table: dict[bytes, int] = {}
-        pos = 0
-        literal_start = 0
-        max_distance = self._max_distance
-        while pos + _MIN_MATCH <= n:
-            key = data[pos : pos + _MIN_MATCH]
-            candidate = table.get(key, -1)
-            table[key] = pos
-            if candidate >= 0 and pos - candidate <= max_distance:
-                match_len = _MIN_MATCH
-                limit = min(n - pos, _MAX_MATCH)
-                src = candidate + _MIN_MATCH
-                dst = pos + _MIN_MATCH
-                while match_len < limit and data[src] == data[dst]:
-                    src += 1
-                    dst += 1
-                    match_len += 1
-                _flush_literals(out, data, literal_start, pos)
-                out.append(0x80 | (match_len - _MIN_MATCH))
-                distance = pos - candidate
-                out.append(distance & 0xFF)
-                out.append(distance >> 8)
-                pos += match_len
-                literal_start = pos
-            else:
-                pos += 1
-        _flush_literals(out, data, literal_start, n)
-        return bytes(out)
+        if _np is not None and len(data) >= _INDEXED_MIN_LEN:
+            return _compress_indexed(data, self._max_distance)
+        return _compress_scan(data, self._max_distance)
+
+    def compressed_size(self, data: bytes) -> int:
+        """Size of ``compress(data)`` without materializing the blob.
+
+        Runs the identical parse but tallies output bytes arithmetically
+        (literal runs cost ``run + ceil(run / 128)``, matches cost 3), so
+        the size cache's hot path skips every output copy.  Equality with
+        ``len(compress(data))`` is pinned by the differential tests.
+        """
+        if _np is not None and len(data) >= _INDEXED_MIN_LEN:
+            return _size_indexed(data, self._max_distance)
+        return _size_scan(data, self._max_distance)
 
     def decompress(self, blob: bytes, original_len: int) -> bytes:
         out = bytearray()
@@ -107,6 +126,311 @@ class LzoCompressor(Compressor):
                 f"lzo: decoded {len(out)} bytes, expected {original_len}"
             )
         return bytes(out)
+
+
+def _compress_scan(data: bytes, max_distance: int) -> bytes:
+    """The reference greedy parse, expressed directly.
+
+    ``dict.setdefault`` serves as combined probe-and-insert: a miss
+    inserts the position in the same dict operation the lookup used; a
+    hit is followed by an explicit overwrite, matching the reference
+    "table always holds the most recent visited position" rule.
+    """
+    n = len(data)
+    if n == 0:
+        return b""
+    out = bytearray()
+    out_append = out.append
+    table: dict[bytes, int] = {}
+    setdefault = table.setdefault
+    pos = 0
+    literal_start = 0
+    scan_end = n - _MIN_MATCH
+    unbounded = n <= max_distance
+    while pos <= scan_end:
+        key = data[pos : pos + 3]
+        candidate = setdefault(key, pos)
+        if candidate != pos:
+            table[key] = pos
+            if unbounded or pos - candidate <= max_distance:
+                match_len = _extend_match(data, candidate, pos, n)
+                _emit_literals(out, out_append, data, literal_start, pos)
+                distance = pos - candidate
+                out_append(0x80 | (match_len - _MIN_MATCH))
+                out_append(distance & 0xFF)
+                out_append(distance >> 8)
+                pos += match_len
+                literal_start = pos
+                continue
+        pos += 1
+    _flush_literals(out, data, literal_start, n)
+    return bytes(out)
+
+
+class _IndexedWorkspace:
+    """Reusable scratch buffers for :func:`_compress_indexed`.
+
+    The indexed path streams ~0.5 MB of intermediate arrays per call;
+    allocating them fresh each time costs more than the arithmetic once
+    the encoder runs inside a large simulation heap (page faults and
+    allocator churn).  One workspace per process is reused for every
+    input up to ``cap`` grams — like every encoder in this module it is
+    not thread-safe, matching the simulator's single-threaded use.
+    """
+
+    def __init__(self, cap: int) -> None:
+        self.cap = cap
+        self.b1 = _np.empty(cap, dtype=_np.int64)
+        self.b2 = _np.empty(cap, dtype=_np.int64)
+        self.o32 = _np.empty(cap, dtype=_np.int32)
+        self.w32 = _np.empty(cap, dtype=_np.int32)
+        self.r32 = _np.empty(cap, dtype=_np.int32)
+        self.root = _np.empty(cap, dtype=_np.int32)
+        self.bool_ = _np.empty(cap, dtype=bool)
+        self.idx32 = _np.arange(cap, dtype=_np.int32)
+        self.idx64 = _np.arange(cap, dtype=_np.int64)
+        self.mask = bytearray(cap)
+        self.roots = array("i", bytes(4 * cap))
+        self.table = array("i", bytes(4 * cap))
+        self.mask_mv = memoryview(self.mask)
+        self.roots_mv = memoryview(self.roots).cast("B")
+        self.table_mv = memoryview(self.table).cast("B")
+
+
+_WORKSPACE: _IndexedWorkspace | None = None
+_WORKSPACE_CAP = 64 * 1024
+
+
+def _build_index(data: bytes, n: int):
+    """Previous-occurrence structure for the indexed parse.
+
+    One ``numpy`` sort of ``(gram << bits) | position`` composites
+    yields, per position, the first occurrence of its 3-gram and
+    whether any earlier occurrence exists at all.  Returns
+    ``(mask, roots, table, m)`` where ``m = n - 2`` grams exist:
+
+    - ``mask[pos]`` is 1 iff the gram at ``pos`` occurred earlier —
+      positions outside it are guaranteed misses the scan loops skip
+      with C-speed ``find``;
+    - ``roots[pos]`` is the gram's first occurrence;
+    - ``table`` is the flat match table indexed by root: entry ``r``
+      starts as ``r + 1`` ("the first occurrence itself is the
+      candidate"), is overwritten with ``pos + 1`` at each visited
+      occurrence, and is zeroed (no candidate) when a match interior
+      swallows it.  Zeroing a match's interior with one slice
+      assignment is sound because entries above the current position
+      are provably still at their initial value.
+    """
+    global _WORKSPACE
+    m = n - 2
+    if m > _WORKSPACE_CAP:
+        ws = _IndexedWorkspace(m)  # oversized input: dedicated buffers
+    else:
+        if _WORKSPACE is None:
+            _WORKSPACE = _IndexedWorkspace(_WORKSPACE_CAP)
+        ws = _WORKSPACE
+    af = _np.frombuffer(data, dtype=_np.uint8)
+    composite = ws.b1[:m]
+    scratch = ws.b2[:m]
+    _np.copyto(composite, af[:m])
+    composite <<= 8
+    _np.copyto(scratch, af[1 : 1 + m])
+    composite |= scratch
+    composite <<= 8
+    _np.copyto(scratch, af[2 : 2 + m])
+    composite |= scratch
+    bits = (m - 1).bit_length() if m > 1 else 1
+    composite <<= bits
+    composite |= ws.idx64[:m]
+    composite.sort()
+    _np.bitwise_and(composite, (1 << bits) - 1, out=scratch)
+    order = ws.o32[:m]
+    _np.copyto(order, scratch)
+    composite >>= bits  # composite now holds the sorted gram keys
+    group_starts = ws.bool_[:m]
+    group_starts[0] = True
+    _np.not_equal(composite[1:], composite[:-1], out=group_starts[1:])
+    idxs = ws.idx32[:m]
+    start_idx = ws.w32[:m]
+    _np.multiply(idxs, group_starts, out=start_idx)
+    _np.maximum.accumulate(start_idx, out=start_idx)
+    root_sorted = ws.r32[:m]
+    _np.take(order, start_idx, out=root_sorted)
+    root_pos = ws.root[:m]
+    root_pos[order] = root_sorted
+    _np.not_equal(root_pos, idxs, out=group_starts)
+    ws.mask_mv[:m] = group_starts.view(_np.uint8)
+    ws.roots_mv[: 4 * m] = root_pos.view(_np.uint8)
+    _np.add(idxs, _np.int32(1), out=start_idx)
+    ws.table_mv[: 4 * m] = start_idx.view(_np.uint8)
+    return ws.mask, ws.roots, ws.table, m
+
+
+def _compress_indexed(data: bytes, max_distance: int) -> bytes:
+    """The fast path: same parse as the scan, driven by the prebuilt
+    previous-occurrence index (see :func:`_build_index`)."""
+    n = len(data)
+    if n < _MIN_MATCH:
+        out = bytearray()
+        _flush_literals(out, data, 0, n)
+        return bytes(out)
+    mask, roots, table, m = _build_index(data, n)
+
+    out = bytearray()
+    out_append = out.append
+    literal_start = 0
+    unbounded = n <= max_distance
+    scan_limit = n - 2
+    find_interesting = mask.find
+    pos = find_interesting(1, 0, scan_limit)
+    while pos >= 0:
+        root = roots[pos]
+        candidate = table[root] - 1
+        table[root] = pos + 1
+        if candidate >= 0 and (unbounded or pos - candidate <= max_distance):
+            match_len = _extend_match(data, candidate, pos, n)
+            _emit_literals(out, out_append, data, literal_start, pos)
+            distance = pos - candidate
+            out_append(0x80 | (match_len - _MIN_MATCH))
+            out_append(distance & 0xFF)
+            out_append(distance >> 8)
+            end = pos + match_len
+            zero_to = end if end <= m else m
+            if zero_to > pos + 1:
+                table[pos + 1 : zero_to] = _ZERO_TABLE[: zero_to - pos - 1]
+            literal_start = end
+            pos = find_interesting(1, end, scan_limit)
+        else:
+            pos = find_interesting(1, pos + 1, scan_limit)
+    _flush_literals(out, data, literal_start, n)
+    return bytes(out)
+
+
+def _size_scan(data: bytes, max_distance: int) -> int:
+    """``len(_compress_scan(data, max_distance))`` without building output."""
+    n = len(data)
+    if n == 0:
+        return 0
+    size = 0
+    table: dict[bytes, int] = {}
+    setdefault = table.setdefault
+    pos = 0
+    literal_start = 0
+    scan_end = n - _MIN_MATCH
+    unbounded = n <= max_distance
+    while pos <= scan_end:
+        key = data[pos : pos + 3]
+        candidate = setdefault(key, pos)
+        if candidate != pos:
+            table[key] = pos
+            if unbounded or pos - candidate <= max_distance:
+                match_len = _extend_match(data, candidate, pos, n)
+                run = pos - literal_start
+                if run:
+                    size += run + (run + 127) // 128
+                size += 3
+                pos += match_len
+                literal_start = pos
+                continue
+        pos += 1
+    run = n - literal_start
+    if run:
+        size += run + (run + 127) // 128
+    return size
+
+
+def _size_indexed(data: bytes, max_distance: int) -> int:
+    """``len(_compress_indexed(data, max_distance))`` without building output.
+
+    Identical parse to :func:`_compress_indexed`; a literal run of
+    ``run`` bytes costs ``run + ceil(run / 128)`` output bytes and every
+    match costs 3, so the tally is pure arithmetic.  The match extension
+    is inlined — this loop is the hottest code in system-level runs.
+    """
+    n = len(data)
+    if n < _MIN_MATCH:
+        return n + 1 if n else 0
+    mask, roots, table, m = _build_index(data, n)
+
+    size = 0
+    literal_start = 0
+    unbounded = n <= max_distance
+    scan_limit = n - 2  # mask positions n-3 .. n-3 inclusive == [0, n-2)
+    find_interesting = mask.find
+    pos = find_interesting(1, 0, scan_limit)
+    while pos >= 0:
+        root = roots[pos]
+        candidate = table[root] - 1
+        table[root] = pos + 1
+        if candidate >= 0 and (unbounded or pos - candidate <= max_distance):
+            limit = n - pos
+            if limit > _MAX_MATCH:
+                limit = _MAX_MATCH
+            match_len = _MIN_MATCH
+            src = candidate + 3
+            dst = pos + 3
+            while (
+                match_len + 16 <= limit
+                and data[src : src + 16] == data[dst : dst + 16]
+            ):
+                src += 16
+                dst += 16
+                match_len += 16
+            while match_len < limit and data[src] == data[dst]:
+                src += 1
+                dst += 1
+                match_len += 1
+            run = pos - literal_start
+            if run:
+                size += run + (run + 127) // 128
+            size += 3
+            end = pos + match_len
+            zero_to = end if end <= m else m
+            if zero_to > pos + 1:
+                table[pos + 1 : zero_to] = _ZERO_TABLE[: zero_to - pos - 1]
+            literal_start = end
+            pos = find_interesting(1, end, scan_limit)
+        else:
+            pos = find_interesting(1, pos + 1, scan_limit)
+    run = n - literal_start
+    if run:
+        size += run + (run + 127) // 128
+    return size
+
+
+def _extend_match(data: bytes, candidate: int, pos: int, n: int) -> int:
+    """Length of the greedy match at ``pos`` against ``candidate`` (3..130).
+
+    Extends by 16-byte slice compares, then byte-refines; identical to a
+    pure byte-at-a-time extension (overlap is fine: comparison, unlike
+    copying, has no ordering hazard).
+    """
+    limit = n - pos
+    if limit > _MAX_MATCH:
+        limit = _MAX_MATCH
+    match_len = _MIN_MATCH
+    src = candidate + _MIN_MATCH
+    dst = pos + _MIN_MATCH
+    while match_len + 16 <= limit and data[src : src + 16] == data[dst : dst + 16]:
+        src += 16
+        dst += 16
+        match_len += 16
+    while match_len < limit and data[src] == data[dst]:
+        src += 1
+        dst += 1
+        match_len += 1
+    return match_len
+
+
+def _emit_literals(out, out_append, data, start: int, end: int) -> None:
+    """Emit pending literals before a match (fast path for short runs)."""
+    if start < end:
+        run = end - start
+        if run <= _MAX_LITERAL_RUN:
+            out_append(run - 1)
+            out += data[start:end]
+        else:
+            _flush_literals(out, data, start, end)
 
 
 def _flush_literals(out: bytearray, data: bytes, start: int, end: int) -> None:

@@ -51,6 +51,7 @@ def build_context(
     platform: PlatformConfig | None = None,
     codec_name: str = "lzo",
     latency: LatencyModel | None = None,
+    sizes: SizeCache | None = None,
 ) -> SchemeContext:
     """Construct a fresh context (new clock, empty pools, zero counters).
 
@@ -59,6 +60,8 @@ def build_context(
         codec_name: Which codec the swap path uses (the paper evaluates
             LZO, the Pixel 7 default; LZ4 is also available).
         latency: Override latency model (tests inject simplified ones).
+        sizes: Shared size cache (e.g. the experiment harness's
+            disk-backed cache); a private in-memory cache by default.
     """
     config = platform if platform is not None else pixel7_platform()
     device = FlashDevice()
@@ -71,5 +74,5 @@ def build_context(
         flash_swap=FlashSwapArea(device, config.swap_bytes, byte_scale=config.scale),
         codec=get_compressor(codec_name),
         latency=latency if latency is not None else LatencyModel(),
-        sizes=SizeCache(),
+        sizes=sizes if sizes is not None else SizeCache(),
     )

@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 from ..errors import MemoryPressureError, PageStateError
 from ..mem.organizer import DataOrganizer
 from ..mem.page import Hotness, Page, PageLocation
-from ..metrics import APP, KSWAPD, LatencyBreakdown
+from ..metrics import APP, EMPTY_BREAKDOWN, KSWAPD, LatencyBreakdown
 from ..units import PAGE_SIZE
 from .context import SchemeContext
 from .stored import StoredChunk
@@ -44,6 +44,14 @@ class AccessResult:
     stall_ns: int
     source: PageLocation
     breakdown: LatencyBreakdown = field(default_factory=LatencyBreakdown)
+
+
+#: Shared result for zero-stall DRAM hits: every field is identical for
+#: every hit and callers only read access results, so one instance
+#: serves the most frequent operation in the simulator allocation-free.
+_DRAM_HIT = AccessResult(
+    stall_ns=0, source=PageLocation.DRAM, breakdown=EMPTY_BREAKDOWN
+)
 
 
 class SwapScheme(ABC):
@@ -134,26 +142,53 @@ class SwapScheme(ABC):
 
         Allocation itself is not a measured path, so reclaim here is
         treated as background work (CPU charged, no stall returned).
+
+        Batch admission, number-invariant by construction: when the
+        whole batch fits above the high watermark, one check admits
+        everything — the per-page reference would have evicted nothing
+        either (free only shrinks by one page per admission, so every
+        intermediate check passes too).  Under pressure the exact
+        per-page reference walk runs, because eviction-victim selection
+        may legitimately reach into this very batch (pages admitted a
+        step earlier become candidates — e.g. the foreground app as the
+        last-resort pool, or its cold list under Ariadne's global
+        cold-first order), which no pre-batched walk can reproduce.
         """
+        if not pages:
+            return
         organizer = self.organizer(uid)
-        for page in pages:
-            self._make_room(1, direct=False, thread=KSWAPD)
-            self.ctx.dram.add_page(page)
-            organizer.add_page(page)
-            self._charge(APP, "list_ops", self.ctx.platform.list_op_ns)
+        ctx = self.ctx
+        target_free = len(pages) * PAGE_SIZE + ctx.platform.high_watermark_bytes
+        if self.free_dram_bytes() >= target_free:
+            add_resident = ctx.dram.add_page
+            add_to_lists = organizer.add_page
+            for page in pages:
+                add_resident(page)
+                add_to_lists(page)
+        else:
+            for page in pages:
+                self._make_room(1, direct=False, thread=KSWAPD)
+                ctx.dram.add_page(page)
+                organizer.add_page(page)
+        self._charge(APP, "list_ops", ctx.platform.list_op_ns * len(pages))
 
     # ----------------------------------------------------------------- access
 
     def access(self, page: Page, thread: str = APP) -> AccessResult:
-        """Touch ``page``, faulting it in if necessary."""
-        now = self.ctx.clock.now_ns
+        """Touch ``page``, faulting it in if necessary.
+
+        The resident-hit path is checked first (a page is never both
+        resident and staged, so the probe order is free) and kept lean:
+        it is the single most frequent operation in any scenario run.
+        """
+        ctx = self.ctx
+        if page.pfn in ctx.dram._resident:
+            self._organizers[page.uid].on_access(page, ctx.clock.now_ns)
+            ctx.cpu.charge(thread, "list_ops", ctx.platform.list_op_ns)
+            return _DRAM_HIT
         staged = self._staging_hit(page)
         if staged is not None:
             return staged
-        if self.ctx.dram.is_resident(page):
-            self.organizer(page.uid).on_access(page, now)
-            self._charge(thread, "list_ops", self.ctx.platform.list_op_ns)
-            return AccessResult(stall_ns=0, source=PageLocation.DRAM)
         if page.pfn in self._lost_pfns:
             return self._access_lost(page, thread)
         chunk = self._stored_by_pfn.get(page.pfn)

@@ -7,6 +7,8 @@ import sys
 import time
 
 from . import EXPERIMENTS
+from .common import flush_artifacts
+from .runner import default_jobs, run_experiments
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -23,6 +25,15 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run a reduced workload (for smoke testing)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run independent experiments on N worker processes "
+        f"(default: 1 for a single experiment, up to {default_jobs()} "
+        "for 'all'); workers share the on-disk artifact cache",
+    )
     args = parser.parse_args(argv)
 
     if args.name == "list":
@@ -35,13 +46,28 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         print(f"unknown experiment(s): {unknown}; try 'list'", file=sys.stderr)
         return 2
-    for name in names:
-        start = time.perf_counter()
-        result = EXPERIMENTS[name](quick=args.quick)
-        elapsed = time.perf_counter() - start
-        print(result.render())
-        print(f"[{name} finished in {elapsed:.1f}s]\n")
-    return 0
+    jobs = args.jobs
+    if jobs is None:
+        jobs = default_jobs() if len(names) > 1 else 1
+    if jobs < 1:
+        print(f"--jobs must be >= 1, got {jobs}", file=sys.stderr)
+        return 2
+
+    def show(outcome) -> None:
+        if outcome.ok:
+            print(outcome.rendered)
+            print(f"[{outcome.name} finished in {outcome.elapsed_s:.1f}s]\n", flush=True)
+        else:
+            print(f"[{outcome.name} FAILED: {outcome.error}]\n", file=sys.stderr)
+
+    start = time.perf_counter()
+    outcomes = run_experiments(names, jobs=jobs, quick=args.quick, on_result=show)
+    failures = sum(1 for outcome in outcomes if not outcome.ok)
+    if len(names) > 1:
+        total = time.perf_counter() - start
+        print(f"[suite: {len(names)} experiments in {total:.1f}s on {jobs} jobs]")
+    flush_artifacts()
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -16,10 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..compression import LatencyModel, get_compressor
-from ..compression.chunking import SizeCache
 from ..core import AriadneConfig, RelaunchScenario
 from ..units import KIB
-from .common import FIGURE_APPS, render_table, workload_trace
+from .common import FIGURE_APPS, _SHARED_SIZES, render_table, workload_trace
 from .codec_profile import CodecProfile, profile_app
 
 SCHEMES: tuple[AriadneConfig | None, ...] = (
@@ -76,7 +75,7 @@ def run(quick: bool = False) -> Fig15Result:
     trace = workload_trace(n_apps=5)
     codec = get_compressor("lzo")
     model = LatencyModel()
-    cache = SizeCache()
+    cache = _SHARED_SIZES
     profiles = []
     for config in SCHEMES:
         for app_name in apps:

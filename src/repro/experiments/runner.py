@@ -1,0 +1,118 @@
+"""Parallel experiment runner: the paper suite across a process pool.
+
+Every experiment regenerates one independent figure/table — no state is
+shared between them beyond the deterministic artifact cache — so the
+full suite parallelizes embarrassingly.  Workers recompute nothing that
+another run already measured: they share the on-disk artifact cache
+(:mod:`repro.cache`), flushing newly measured compressed sizes after
+every experiment so concurrent and later workers reuse them.
+
+Used by ``python -m repro.experiments all --jobs N`` and importable
+directly::
+
+    from repro.experiments.runner import run_experiments
+    outcomes = run_experiments(["fig2", "fig13"], jobs=4, quick=True)
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+from dataclasses import dataclass
+
+
+@dataclass
+class ExperimentOutcome:
+    """One experiment's rendered result and timing."""
+
+    name: str
+    rendered: str
+    elapsed_s: float
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def default_jobs() -> int:
+    """Worker count when ``--jobs`` is not given: one per usable core.
+
+    Uses the scheduler affinity mask (the cgroup/container allowance)
+    rather than the host core count, and caps at 8 — the suite has ~15
+    cells, so more workers than that only burns memory (each worker
+    materializes its own traces and systems).
+    """
+    try:
+        usable = len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without sched_getaffinity
+        usable = os.cpu_count() or 1
+    return max(1, min(usable, 8))
+
+
+def _run_one(args: tuple[str, bool]) -> ExperimentOutcome:
+    """Worker body: run one experiment and flush shared artifacts."""
+    name, quick = args
+    # Imported here so "spawn" contexts work and the parent can fork
+    # before the (heavier) experiment modules are loaded.
+    from . import EXPERIMENTS
+    from .common import flush_artifacts
+
+    start = time.perf_counter()
+    try:
+        result = EXPERIMENTS[name](quick=quick)
+        rendered = result.render()
+        error = None
+    except Exception as exc:  # surface per-cell failures without killing the run
+        rendered = ""
+        error = f"{type(exc).__name__}: {exc}"
+    flush_artifacts()
+    return ExperimentOutcome(
+        name=name,
+        rendered=rendered,
+        elapsed_s=time.perf_counter() - start,
+        error=error,
+    )
+
+
+def run_experiments(
+    names: list[str],
+    jobs: int | None = None,
+    quick: bool = False,
+    on_result=None,
+) -> list[ExperimentOutcome]:
+    """Run ``names`` on up to ``jobs`` worker processes; ordered results.
+
+    Results stream in submission order as they complete —
+    ``on_result(outcome)`` fires per finished cell (the CLI prints each
+    figure the moment it is ready, minutes before the suite ends).
+    With ``jobs <= 1`` everything runs in-process (no pool overhead).
+    Workers share the on-disk artifact cache, so a size measured by one
+    cell is never re-measured by another — across this run or the next.
+    """
+    from . import EXPERIMENTS
+
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiment(s): {unknown}")
+    workers = jobs if jobs is not None else default_jobs()
+    workers = max(1, min(workers, len(names)))
+    tasks = [(name, quick) for name in names]
+    outcomes: list[ExperimentOutcome] = []
+    if workers == 1:
+        for task in tasks:
+            outcome = _run_one(task)
+            outcomes.append(outcome)
+            if on_result is not None:
+                on_result(outcome)
+        return outcomes
+    # fork keeps warm parent state (imported modules); experiments
+    # re-derive everything else from their own contexts.
+    ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
+    with ctx.Pool(processes=workers) as pool:
+        for outcome in pool.imap(_run_one, tasks):
+            outcomes.append(outcome)
+            if on_result is not None:
+                on_result(outcome)
+    return outcomes

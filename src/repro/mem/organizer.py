@@ -218,21 +218,37 @@ class HotWarmColdOrganizer(DataOrganizer):
         self.list_operations += 1
 
     def on_access(self, page: Page, now_ns: int) -> None:
-        page.record_access(now_ns)
-        lru = self._list_of(page)
-        if lru is None:
-            raise PageStateError(
-                f"page {page.pfn} accessed but not resident in app {self.uid}"
-            )
-        if self._relaunch_active:
-            self._relaunch_accessed.add(page.pfn)
-        if lru is self.cold:
-            self.cold.remove(page)
-            self.warm.add(page)
-            self.list_operations += 2
-        else:
-            lru.touch(page)
+        # The hottest organizer operation: membership and recency updates
+        # go straight at the backing dicts (one lookup each instead of
+        # LruList's check-then-act pair).
+        page.last_access_ns = now_ns
+        page.access_count += 1
+        pfn = page.pfn
+        hot_pages = self.hot._pages
+        warm_pages = self.warm._pages
+        if pfn in hot_pages:
+            if self._relaunch_active:
+                self._relaunch_accessed.add(pfn)
+            hot_pages.move_to_end(pfn)
             self.list_operations += 1
+            return
+        if pfn in warm_pages:
+            if self._relaunch_active:
+                self._relaunch_accessed.add(pfn)
+            warm_pages.move_to_end(pfn)
+            self.list_operations += 1
+            return
+        cold_pages = self.cold._pages
+        if pfn in cold_pages:
+            if self._relaunch_active:
+                self._relaunch_accessed.add(pfn)
+            del cold_pages[pfn]
+            warm_pages[pfn] = page
+            self.list_operations += 2
+            return
+        raise PageStateError(
+            f"page {page.pfn} accessed but not resident in app {self.uid}"
+        )
 
     def remove_page(self, page: Page) -> None:
         lru = self._list_of(page)

@@ -28,8 +28,10 @@ class CpuAccount:
     """
 
     def __init__(self) -> None:
-        self._by_thread: dict[str, int] = defaultdict(int)
-        self._by_activity: dict[str, int] = defaultdict(int)
+        #: The only store is the (thread, activity) ledger — the charge
+        #: path is the hottest accounting call in the simulator, so the
+        #: per-thread and per-activity rollups are derived on read (reads
+        #: are rare: once per report) instead of maintained on write.
         self._by_pair: dict[tuple[str, str], int] = defaultdict(int)
 
     def charge(self, thread: str, activity: str, ns: int) -> None:
@@ -38,17 +40,19 @@ class CpuAccount:
             raise SchedulingError(
                 f"cannot charge negative CPU time ({ns} ns) to {thread}/{activity}"
             )
-        self._by_thread[thread] += ns
-        self._by_activity[activity] += ns
         self._by_pair[(thread, activity)] += ns
 
     def thread_ns(self, thread: str) -> int:
         """Total CPU ns charged to ``thread``."""
-        return self._by_thread.get(thread, 0)
+        return sum(
+            ns for (t, _a), ns in self._by_pair.items() if t == thread
+        )
 
     def activity_ns(self, activity: str) -> int:
         """Total CPU ns charged to ``activity`` across all threads."""
-        return self._by_activity.get(activity, 0)
+        return sum(
+            ns for (_t, a), ns in self._by_pair.items() if a == activity
+        )
 
     def pair_ns(self, thread: str, activity: str) -> int:
         """CPU ns for one (thread, activity) pair."""
@@ -57,15 +61,21 @@ class CpuAccount:
     @property
     def total_ns(self) -> int:
         """All CPU time charged anywhere."""
-        return sum(self._by_thread.values())
+        return sum(self._by_pair.values())
 
     def activities(self) -> dict[str, int]:
-        """Copy of the per-activity totals."""
-        return dict(self._by_activity)
+        """Per-activity totals (derived from the pair ledger)."""
+        totals: dict[str, int] = defaultdict(int)
+        for (_thread, activity), ns in self._by_pair.items():
+            totals[activity] += ns
+        return dict(totals)
 
     def threads(self) -> dict[str, int]:
-        """Copy of the per-thread totals."""
-        return dict(self._by_thread)
+        """Per-thread totals (derived from the pair ledger)."""
+        totals: dict[str, int] = defaultdict(int)
+        for (thread, _activity), ns in self._by_pair.items():
+            totals[thread] += ns
+        return dict(totals)
 
     def merged_with(self, other: "CpuAccount") -> "CpuAccount":
         """Return a new account holding the sum of both."""
@@ -137,6 +147,12 @@ class LatencyBreakdown:
         self.flash_write_ns += other.flash_write_ns
         self.process_create_ns += other.process_create_ns
         self.other_ns += other.other_ns
+
+
+#: Shared all-zero breakdown for zero-stall results (DRAM hits).  Treated
+#: as immutable everywhere: consumers may read or identity-compare it to
+#: skip no-op accumulation, but must never mutate it.
+EMPTY_BREAKDOWN = LatencyBreakdown()
 
 
 @dataclass

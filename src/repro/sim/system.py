@@ -15,6 +15,7 @@ how the schemes differentiate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import groupby
 
 from ..core import (
     AriadneConfig,
@@ -30,7 +31,7 @@ from ..core import (
 )
 from ..errors import ConfigError, PageStateError
 from ..mem.page import Page
-from ..metrics import APP, RelaunchResult
+from ..metrics import APP, EMPTY_BREAKDOWN, RelaunchResult
 from ..trace.records import AppTrace, WorkloadTrace
 from ..units import MS, SECOND
 
@@ -96,8 +97,13 @@ class MobileSystem:
         )
         self.scheme.note_app_switch(live.uid)
         ordered = sorted(live.trace.pages, key=lambda r: (r.created_at_s, r.pfn))
-        for record in ordered:
-            self.scheme.on_pages_created(live.uid, [live.pages[record.pfn]])
+        # Pages allocated at the same instant arrive as one batch (the
+        # kernel admits allocation bursts under a single watermark walk);
+        # (created_at_s, pfn) order is preserved across and within batches.
+        for _, batch in groupby(ordered, key=lambda r: r.created_at_s):
+            self.scheme.on_pages_created(
+                live.uid, [live.pages[record.pfn] for record in batch]
+            )
         self.scheme.end_launch(live.uid)
         # Touch the first session's execution set: the app ran for a while
         # before being backgrounded, so its warm data has been accessed.
@@ -177,11 +183,14 @@ class MobileSystem:
             app_name=name, scheme_name=self.scheme.name, latency_ns=fixed_ns
         )
         result.breakdown.dram_ns += fixed_ns
+        access_page = self.scheme.access
+        pages = live.pages
         for pfn in session.relaunch_pfns:
-            access = self.scheme.access(live.pages[pfn], thread=APP)
+            access = access_page(pages[pfn], thread=APP)
             result.latency_ns += per_page_ns + access.stall_ns
             result.breakdown.dram_ns += per_page_ns
-            result.breakdown.add(access.breakdown)
+            if access.breakdown is not EMPTY_BREAKDOWN:
+                result.breakdown.add(access.breakdown)
             result.pages_accessed += 1
             source = access.source.value
             if source == "dram":

@@ -36,6 +36,10 @@ from .records import AppTrace, PageRecord, SessionRecord, WorkloadTrace
 #: five times", Section 3).
 DEFAULT_SESSIONS = 5
 
+#: Bumped whenever generation semantics change, so persistently cached
+#: traces (see :mod:`repro.cache`) can never go stale silently.
+GENERATOR_VERSION = 1
+
 #: Hot-set churn happens in contiguous spans (whole UI modules/activities
 #: enter or leave the working set together), which preserves the sector
 #: adjacency that PreDecomp exploits.

@@ -7,6 +7,14 @@ the same code paths in milliseconds.
 
 from __future__ import annotations
 
+import os
+
+# Tests must be hermetic: the golden-number suite verifies measured
+# values bit-for-bit, so experiments may not read (or pollute) the
+# user's persistent artifact cache.  Set before any repro import —
+# repro.experiments.common binds its shared caches at import time.
+os.environ["REPRO_CACHE_DIR"] = "off"
+
 import pytest
 
 from repro.core import AriadneConfig, PlatformConfig, RelaunchScenario

@@ -1,0 +1,162 @@
+"""Persistent artifact cache tests (repro.cache)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import (
+    ArtifactCache,
+    PersistentSizeCache,
+    default_cache_root,
+)
+from repro.compression import get_compressor
+from repro.compression.chunking import SizeCache, chunk_compress, payload_digest
+from repro.trace.generate import GENERATOR_VERSION, TraceGenerator
+from repro.workload.profiles import APP_CATALOG
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ArtifactCache(tmp_path / "artifacts")
+
+
+class TestSizeStore:
+    def test_roundtrip(self, cache):
+        entries = {payload_digest(bytes([i]) * 64): 10 + i for i in range(50)}
+        cache.append_sizes("lzo", 4096, entries)
+        assert cache.load_sizes("lzo", 4096) == entries
+
+    def test_appends_accumulate(self, cache):
+        first = {payload_digest(b"a" * 32): 7}
+        second = {payload_digest(b"b" * 32): 9}
+        cache.append_sizes("lzo", 4096, first)
+        cache.append_sizes("lzo", 4096, second)
+        assert cache.load_sizes("lzo", 4096) == {**first, **second}
+
+    def test_pairs_are_isolated(self, cache):
+        cache.append_sizes("lzo", 4096, {payload_digest(b"x" * 16): 3})
+        assert cache.load_sizes("lzo", 2048) == {}
+        assert cache.load_sizes("lz4", 4096) == {}
+
+    def test_missing_file_is_empty(self, cache):
+        assert cache.load_sizes("lzo", 512) == {}
+
+    def test_truncated_tail_record_is_ignored(self, cache):
+        entries = {payload_digest(b"q" * 16): 5}
+        cache.append_sizes("lzo", 4096, entries)
+        path = cache._sizes_path("lzo", 4096)
+        path.write_bytes(path.read_bytes() + b"\x01\x02\x03")  # torn write
+        assert cache.load_sizes("lzo", 4096) == entries
+
+
+class TestTraceStore:
+    def test_workload_roundtrips_exactly(self, cache):
+        trace = TraceGenerator(seed=11).generate_workload(
+            profiles=APP_CATALOG[:2], n_sessions=2
+        )
+        key = ArtifactCache.trace_key(
+            seed=11,
+            profiles=tuple(APP_CATALOG[:2]),
+            n_sessions=2,
+            duration_s=300.0,
+            generator_version=GENERATOR_VERSION,
+        )
+        cache.store_workload(key, trace)
+        loaded = cache.load_workload(key)
+        # Exact equality matters: a cached trace must regenerate the very
+        # same figures as a generated one.
+        assert loaded == trace
+
+    def test_miss_returns_none(self, cache):
+        assert cache.load_workload("0" * 32) is None
+
+    def test_corrupt_artifact_is_a_miss_and_removed(self, cache):
+        key = "f" * 32
+        path = cache._trace_path(key)
+        path.write_bytes(b"not a trace file at all")
+        assert cache.load_workload(key) is None
+        assert not path.exists()
+
+    def test_key_depends_on_inputs(self):
+        base = dict(
+            seed=1,
+            profiles=tuple(APP_CATALOG[:2]),
+            n_sessions=2,
+            duration_s=300.0,
+            generator_version=GENERATOR_VERSION,
+        )
+        key = ArtifactCache.trace_key(**base)
+        assert ArtifactCache.trace_key(**{**base, "seed": 2}) != key
+        assert ArtifactCache.trace_key(**{**base, "n_sessions": 3}) != key
+        assert (
+            ArtifactCache.trace_key(
+                **{**base, "generator_version": GENERATOR_VERSION + 1}
+            )
+            != key
+        )
+
+
+class FailingCodec:
+    """Codec double that forbids real measurement (must be cache-served)."""
+
+    name = "lzo"
+
+    def compressed_size(self, data: bytes) -> int:
+        raise AssertionError("size should have come from the disk cache")
+
+    def compress(self, data: bytes) -> bytes:
+        raise AssertionError("compress should not run on a cached payload")
+
+
+class TestPersistentSizeCache:
+    def test_miss_measures_and_flush_persists(self, cache):
+        codec = get_compressor("lzo")
+        sizes = PersistentSizeCache(cache)
+        payload = b"persistent payload " * 400
+        measured = sizes.compressed_size(codec, payload, 4096)
+        assert measured == chunk_compress(codec, payload, 4096).stored_len
+        assert sizes.flush() > 0
+        assert sizes.flush() == 0  # nothing newly dirty
+
+        # A fresh process (new instance) serves the size from disk: the
+        # codec is never asked to measure anything.
+        reloaded = PersistentSizeCache(cache)
+        assert reloaded.compressed_size(FailingCodec(), payload, 4096) == measured
+        assert reloaded.disk_entries_loaded > 0
+
+    def test_matches_plain_size_cache(self, cache):
+        codec = get_compressor("lzo")
+        persistent = PersistentSizeCache(cache)
+        plain = SizeCache()
+        payloads = [bytes([i % 7]) * 600 + b"tail" * i for i in range(12)]
+        for payload in payloads:
+            assert persistent.compressed_size(
+                codec, payload, 512
+            ) == plain.compressed_size(codec, payload, 512)
+
+    def test_clear_resets_memory_not_disk(self, cache):
+        codec = get_compressor("lzo")
+        sizes = PersistentSizeCache(cache)
+        payload = b"clearable " * 300
+        sizes.compressed_size(codec, payload, 2048)
+        sizes.flush()
+        sizes.clear()
+        assert len(sizes) == 0
+        fresh = PersistentSizeCache(cache)
+        assert fresh.compressed_size(FailingCodec(), payload, 2048) > 0
+
+
+class TestDefaultRoot:
+    def test_disabled_values(self, monkeypatch):
+        for value in ("0", "off", "", "none", "DISABLED"):
+            monkeypatch.setenv("REPRO_CACHE_DIR", value)
+            assert default_cache_root() is None
+
+    def test_explicit_path(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        assert default_cache_root() == tmp_path / "c"
+
+    def test_unset_uses_home_cache(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        root = default_cache_root()
+        assert root is not None and root.name == "ariadne-repro"

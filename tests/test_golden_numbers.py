@@ -1,0 +1,87 @@
+"""Golden-number tests: key fig2/fig13 outputs pinned to the pre-
+optimization seed.
+
+Every performance change in this codebase is required to be
+*number-invariant*: the optimized codecs emit byte-identical blobs, the
+batched reclaim selects identical victims, and the caches memoize only
+deterministic facts.  These tests pin exact figure outputs captured from
+the seed implementation — any drift, however small, is a bug in an
+optimization, not a tolerance issue, which is why comparisons are exact
+(``==``) rather than approximate.
+
+The golden values were captured by running ``fig2.run(quick=True)`` and
+``fig13.run(quick=True)`` on the seed revision (commit 017f06b).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig2, fig13
+
+#: Seed fig2 (quick): relaunch latency in ms per scheme per app.
+GOLDEN_FIG2_LATENCY_MS = {
+    "DRAM": {
+        "YouTube": 67.999935,
+        "Twitter": 59.999976,
+        "Firefox": 94.999788,
+    },
+    "ZRAM": {
+        "YouTube": 145.514229,
+        "Twitter": 129.19431,
+        "Firefox": 229.505808,
+    },
+    "SWAP": {
+        "YouTube": 321.262029,
+        "Twitter": 262.488717,
+        "Firefox": 477.72576,
+    },
+}
+
+#: Seed fig13 (quick): compression ratio per (scheme, app).
+GOLDEN_FIG13_RATIOS = {
+    ("ZRAM", "YouTube"): 2.2817902890307433,
+    ("ZRAM", "Twitter"): 2.505847196404621,
+    ("ZRAM", "Firefox"): 2.411207987876279,
+    ("Ariadne-EHL-1K-4K-16K", "YouTube"): 2.5162762438398705,
+    ("Ariadne-EHL-1K-4K-16K", "Twitter"): 2.7833711957146265,
+    ("Ariadne-EHL-1K-4K-16K", "Firefox"): 2.7009784122849676,
+    ("Ariadne-AL-512-2K-16K", "YouTube"): 2.2257608909309345,
+    ("Ariadne-AL-512-2K-16K", "Twitter"): 2.3988222643523125,
+    ("Ariadne-AL-512-2K-16K", "Firefox"): 2.3685737164797063,
+}
+
+
+@pytest.fixture(scope="module")
+def fig2_result():
+    return fig2.run(quick=True)
+
+
+@pytest.fixture(scope="module")
+def fig13_result():
+    return fig13.run(quick=True)
+
+
+class TestFig2Golden:
+    def test_schemes_present(self, fig2_result):
+        assert set(fig2_result.latency_ms) == set(GOLDEN_FIG2_LATENCY_MS)
+
+    def test_latencies_bit_identical_to_seed(self, fig2_result):
+        for scheme, per_app in GOLDEN_FIG2_LATENCY_MS.items():
+            for app, golden_ms in per_app.items():
+                measured = fig2_result.latency_ms[scheme][app]
+                assert measured == golden_ms, (
+                    f"fig2 {scheme}/{app}: {measured!r} != seed {golden_ms!r}"
+                )
+
+
+class TestFig13Golden:
+    def test_ratios_bit_identical_to_seed(self, fig13_result):
+        for (scheme, app), golden_ratio in GOLDEN_FIG13_RATIOS.items():
+            measured = fig13_result.ratio(scheme, app)
+            assert measured == golden_ratio, (
+                f"fig13 {scheme}/{app}: {measured!r} != seed {golden_ratio!r}"
+            )
+
+    def test_headline_claim_still_holds(self, fig13_result):
+        assert fig13_result.ehl_beats_zram_everywhere()

@@ -1,0 +1,52 @@
+"""Parallel experiment runner tests (repro.experiments.runner)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import (
+    ExperimentOutcome,
+    default_jobs,
+    run_experiments,
+)
+
+
+class TestRunExperiments:
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiments(["not-a-figure"], jobs=1)
+
+    def test_serial_run(self):
+        outcomes = run_experiments(["platform"], jobs=1, quick=True)
+        assert len(outcomes) == 1
+        assert outcomes[0].ok
+        assert outcomes[0].name == "platform"
+        assert outcomes[0].rendered
+
+    def test_parallel_preserves_order_and_output(self):
+        names = ["platform", "platform"]
+        parallel = run_experiments(names, jobs=2, quick=True)
+        assert [outcome.name for outcome in parallel] == names
+        assert all(outcome.ok for outcome in parallel)
+        serial = run_experiments(["platform"], jobs=1, quick=True)
+        # A worker process renders the same text the in-process path does.
+        assert parallel[0].rendered == serial[0].rendered
+
+    def test_jobs_capped_to_task_count(self):
+        outcomes = run_experiments(["platform"], jobs=64, quick=True)
+        assert len(outcomes) == 1 and outcomes[0].ok
+
+
+class TestDefaultJobs:
+    def test_at_least_one_and_bounded(self):
+        jobs = default_jobs()
+        assert 1 <= jobs <= 8
+
+
+class TestOutcome:
+    def test_ok_reflects_error(self):
+        good = ExperimentOutcome(name="x", rendered="r", elapsed_s=0.1)
+        bad = ExperimentOutcome(
+            name="y", rendered="", elapsed_s=0.1, error="ValueError: nope"
+        )
+        assert good.ok and not bad.ok
