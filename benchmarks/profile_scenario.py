@@ -1,0 +1,123 @@
+"""Reproducible hot-spot profiling: the PERFORMANCE.md methodology as a
+command.
+
+Profiles the representative system-level workload (a switching scenario
+over the five-app trace), not microbenchmarks, exactly as every
+optimization round in this repo has been validated:
+
+- the workload trace is generated (or loaded) *before* profiling starts,
+  so trace generation never pollutes the profile;
+- the size cache starts cold by default (persistent artifacts bypassed),
+  so the profile shows real codec + scheme work — pass ``--warm`` to
+  pre-run the scenario once and profile the codec-free simulator
+  instead;
+- output is a cProfile table plus the wall-time split between codec
+  (size-cache misses) and everything else, which is the first number to
+  look at before reading any per-function rows.
+
+Examples::
+
+    PYTHONPATH=src python benchmarks/profile_scenario.py
+    PYTHONPATH=src python benchmarks/profile_scenario.py --scheme ZRAM \
+        --scenario heavy --duration 30 --sort cumtime --top 30
+    PYTHONPATH=src python benchmarks/profile_scenario.py --warm
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import time
+
+from repro.compression.chunking import SizeCache
+from repro.experiments.common import scenario_build, workload_trace
+from repro.sim.scenario import run_heavy_scenario, run_light_scenario
+from repro.sim.system import SCHEME_NAMES
+
+
+class _TimedSizeCache(SizeCache):
+    """SizeCache that accounts wall time spent in codec misses."""
+
+    def __init__(self, max_entries: int = 262144) -> None:
+        super().__init__(max_entries=max_entries)
+        self.codec_seconds = 0.0
+
+    def _measure(self, codec, data, chunk_size):
+        start = time.perf_counter()
+        size = super()._measure(codec, data, chunk_size)
+        self.codec_seconds += time.perf_counter() - start
+        return size
+
+
+def profile(
+    scheme: str,
+    scenario: str,
+    duration_s: float,
+    sort: str,
+    top: int,
+    warm: bool,
+) -> None:
+    trace = workload_trace(n_apps=5)  # warm-up: excluded from the profile
+    runner = run_light_scenario if scenario == "light" else run_heavy_scenario
+    sizes = _TimedSizeCache()
+    if warm:
+        system = scenario_build(scheme, trace)
+        system.ctx.sizes = sizes
+        runner(system, duration_s=duration_s)
+        sizes.codec_seconds = 0.0  # keep the warm entries, reset the clock
+
+    system = scenario_build(scheme, trace)
+    system.ctx.sizes = sizes
+    profiler = cProfile.Profile()
+    wall_start = time.perf_counter()
+    profiler.enable()
+    runner(system, duration_s=duration_s)
+    profiler.disable()
+    wall = time.perf_counter() - wall_start
+
+    codec = sizes.codec_seconds
+    print(
+        f"# {scheme} {scenario} scenario, {duration_s:.0f}s simulated, "
+        f"{'warm' if warm else 'cold'} size cache"
+    )
+    print(
+        f"# wall {wall:.3f}s = codec {codec:.3f}s "
+        f"+ simulator {wall - codec:.3f}s "
+        f"({sizes.misses} codec calls, {sizes.hits} size-cache hits)"
+    )
+    print("# (profiled wall time includes cProfile overhead)")
+    pstats.Stats(profiler).sort_stats(sort).print_stats(top)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scheme", default="Ariadne", choices=SCHEME_NAMES)
+    parser.add_argument("--scenario", default="light", choices=["light", "heavy"])
+    parser.add_argument("--duration", type=float, default=60.0)
+    parser.add_argument(
+        "--sort",
+        default="tottime",
+        choices=["tottime", "cumtime", "ncalls"],
+        help="cProfile sort key (default: tottime)",
+    )
+    parser.add_argument("--top", type=int, default=20, metavar="N")
+    parser.add_argument(
+        "--warm",
+        action="store_true",
+        help="pre-run once so the profile shows the codec-free simulator",
+    )
+    args = parser.parse_args()
+    profile(
+        scheme=args.scheme,
+        scenario=args.scenario,
+        duration_s=args.duration,
+        sort=args.sort,
+        top=args.top,
+        warm=args.warm,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

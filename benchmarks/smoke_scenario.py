@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import time
 
@@ -41,6 +42,7 @@ def run(duration_s: float, repeats: int) -> dict:
         "wall_time_all_s": timings,
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "cpus": os.cpu_count(),
         # Correctness echo: these must stay bit-stable across commits.
         "simulated_wall_ns": result.wall_ns,
         "relaunches": len(result.relaunches),

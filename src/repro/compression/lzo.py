@@ -60,8 +60,6 @@ _MAX_DISTANCE = 32 * 1024
 #: nothing; both paths emit identical bytes so the cutoff is free to tune.
 _INDEXED_MIN_LEN = 512
 
-_ZERO_TABLE = array("i", bytes(4 * (_MAX_MATCH - 1)))
-
 
 class LzoCompressor(Compressor):
     """Byte-aligned minimum-match-3 LZ77 codec (LZO design point)."""
@@ -170,7 +168,7 @@ def _compress_scan(data: bytes, max_distance: int) -> bytes:
 class _IndexedWorkspace:
     """Reusable scratch buffers for :func:`_compress_indexed`.
 
-    The indexed path streams ~0.5 MB of intermediate arrays per call;
+    The indexed path streams several intermediate arrays per call;
     allocating them fresh each time costs more than the arithmetic once
     the encoder runs inside a large simulation heap (page faults and
     allocator churn).  One workspace per process is reused for every
@@ -180,15 +178,16 @@ class _IndexedWorkspace:
 
     def __init__(self, cap: int) -> None:
         self.cap = cap
-        self.b1 = _np.empty(cap, dtype=_np.int64)
-        self.b2 = _np.empty(cap, dtype=_np.int64)
-        self.o32 = _np.empty(cap, dtype=_np.int32)
-        self.w32 = _np.empty(cap, dtype=_np.int32)
-        self.r32 = _np.empty(cap, dtype=_np.int32)
+        self.g32 = _np.empty(cap, dtype=_np.uint32)
+        self.s32 = _np.empty(cap, dtype=_np.uint32)
         self.root = _np.empty(cap, dtype=_np.int32)
         self.bool_ = _np.empty(cap, dtype=bool)
         self.idx32 = _np.arange(cap, dtype=_np.int32)
-        self.idx64 = _np.arange(cap, dtype=_np.int64)
+        #: The match table's initial contents (entry i holds i + 1)
+        #: never vary, so one prebuilt byte image resets it per call
+        #: (kept as a memoryview so the reset is a single copy-free
+        #: slice handoff into one memcpy).
+        self.table_init = memoryview((self.idx32 + 1).tobytes())
         self.mask = bytearray(cap)
         self.roots = array("i", bytes(4 * cap))
         self.table = array("i", bytes(4 * cap))
@@ -200,13 +199,30 @@ class _IndexedWorkspace:
 _WORKSPACE: _IndexedWorkspace | None = None
 _WORKSPACE_CAP = 64 * 1024
 
+#: Direct-address previous-occurrence table over all 2^24 3-grams
+#: (64 MiB, allocated lazily per process).  Never cleared between
+#: inputs: each call gathers only at grams it scattered this call, so
+#: stale entries are unreachable by construction.
+_GRAM_TABLE = None
+
+
+def _gram_table():
+    global _GRAM_TABLE
+    if _GRAM_TABLE is None:
+        _GRAM_TABLE = _np.empty(1 << 24, dtype=_np.int32)
+    return _GRAM_TABLE
+
 
 def _build_index(data: bytes, n: int):
     """Previous-occurrence structure for the indexed parse.
 
-    One ``numpy`` sort of ``(gram << bits) | position`` composites
-    yields, per position, the first occurrence of its 3-gram and
-    whether any earlier occurrence exists at all.  Returns
+    Two scatters and a gather against the direct-address 3-gram table
+    yield, per position, the first occurrence of its 3-gram and whether
+    any earlier occurrence exists at all: scattering positions in
+    *reversed* order leaves each gram's slot holding its smallest
+    position (NumPy fancy assignment applies indices in order, so the
+    last write — the lowest position — wins), replacing the former
+    sort-based group pass at a fraction of the cost.  Returns
     ``(mask, roots, table, m)`` where ``m = n - 2`` grams exist:
 
     - ``mask[pos]`` is 1 iff the gram at ``pos`` occurred earlier —
@@ -217,9 +233,8 @@ def _build_index(data: bytes, n: int):
       starts as ``r + 1`` ("the first occurrence itself is the
       candidate"), is overwritten with ``pos + 1`` at each visited
       occurrence, and is zeroed (no candidate) when a match interior
-      swallows it.  Zeroing a match's interior with one slice
-      assignment is sound because entries above the current position
-      are provably still at their initial value.
+      swallows it — see the scan loops for why clearing the final two
+      interior entries covers the whole interior.
     """
     global _WORKSPACE
     m = n - 2
@@ -230,39 +245,26 @@ def _build_index(data: bytes, n: int):
             _WORKSPACE = _IndexedWorkspace(_WORKSPACE_CAP)
         ws = _WORKSPACE
     af = _np.frombuffer(data, dtype=_np.uint8)
-    composite = ws.b1[:m]
-    scratch = ws.b2[:m]
-    _np.copyto(composite, af[:m])
-    composite <<= 8
+    gram = ws.g32[:m]
+    scratch = ws.s32[:m]
+    _np.copyto(gram, af[:m])
+    gram <<= 8
     _np.copyto(scratch, af[1 : 1 + m])
-    composite |= scratch
-    composite <<= 8
+    gram |= scratch
+    gram <<= 8
     _np.copyto(scratch, af[2 : 2 + m])
-    composite |= scratch
-    bits = (m - 1).bit_length() if m > 1 else 1
-    composite <<= bits
-    composite |= ws.idx64[:m]
-    composite.sort()
-    _np.bitwise_and(composite, (1 << bits) - 1, out=scratch)
-    order = ws.o32[:m]
-    _np.copyto(order, scratch)
-    composite >>= bits  # composite now holds the sorted gram keys
-    group_starts = ws.bool_[:m]
-    group_starts[0] = True
-    _np.not_equal(composite[1:], composite[:-1], out=group_starts[1:])
+    gram |= scratch
     idxs = ws.idx32[:m]
-    start_idx = ws.w32[:m]
-    _np.multiply(idxs, group_starts, out=start_idx)
-    _np.maximum.accumulate(start_idx, out=start_idx)
-    root_sorted = ws.r32[:m]
-    _np.take(order, start_idx, out=root_sorted)
+    table24 = _gram_table()
+    table24[gram[::-1]] = idxs[::-1]
     root_pos = ws.root[:m]
-    root_pos[order] = root_sorted
-    _np.not_equal(root_pos, idxs, out=group_starts)
-    ws.mask_mv[:m] = group_starts.view(_np.uint8)
+    # Every gram value is < 2^24, so bounds checking is pure overhead.
+    _np.take(table24, gram, out=root_pos, mode="clip")
+    mask_arr = ws.bool_[:m]
+    _np.not_equal(root_pos, idxs, out=mask_arr)
+    ws.mask_mv[:m] = mask_arr.view(_np.uint8)
     ws.roots_mv[: 4 * m] = root_pos.view(_np.uint8)
-    _np.add(idxs, _np.int32(1), out=start_idx)
-    ws.table_mv[: 4 * m] = start_idx.view(_np.uint8)
+    ws.table_mv[: 4 * m] = ws.table_init[: 4 * m]
     return ws.mask, ws.roots, ws.table, m
 
 
@@ -295,9 +297,15 @@ def _compress_indexed(data: bytes, max_distance: int) -> bytes:
             out_append(distance & 0xFF)
             out_append(distance >> 8)
             end = pos + match_len
+            # Invalidate the swallowed interior (see _size_indexed for
+            # why clearing the last two entries is the whole job).
             zero_to = end if end <= m else m
-            if zero_to > pos + 1:
-                table[pos + 1 : zero_to] = _ZERO_TABLE[: zero_to - pos - 1]
+            q = end - 2
+            if q < zero_to:
+                table[q] = 0
+                q += 1
+                if q < zero_to:
+                    table[q] = 0
             literal_start = end
             pos = find_interesting(1, end, scan_limit)
         else:
@@ -357,6 +365,7 @@ def _size_indexed(data: bytes, max_distance: int) -> int:
     unbounded = n <= max_distance
     scan_limit = n - 2  # mask positions n-3 .. n-3 inclusive == [0, n-2)
     find_interesting = mask.find
+    from_bytes = int.from_bytes
     pos = find_interesting(1, 0, scan_limit)
     while pos >= 0:
         root = roots[pos]
@@ -366,30 +375,69 @@ def _size_indexed(data: bytes, max_distance: int) -> int:
             limit = n - pos
             if limit > _MAX_MATCH:
                 limit = _MAX_MATCH
-            match_len = _MIN_MATCH
+            ext = limit - 3
             src = candidate + 3
             dst = pos + 3
-            while (
-                match_len + 16 <= limit
-                and data[src : src + 16] == data[dst : dst + 16]
-            ):
-                src += 16
-                dst += 16
-                match_len += 16
-            while match_len < limit and data[src] == data[dst]:
-                src += 1
-                dst += 1
-                match_len += 1
+            if ext <= 0:
+                match_len = 3
+            else:
+                # Two-stage XOR (see _extend_match): most matches end
+                # inside the first 64 bytes, so probing that window
+                # first halves the bigint work on the common case.  No
+                # first-byte guard here: only ~4% of matches stop at
+                # the minimum length, so the probe costs more than the
+                # early exit saves.
+                head = ext if ext < 64 else 64
+                x = from_bytes(data[src : src + head], "little") ^ from_bytes(
+                    data[dst : dst + head], "little"
+                )
+                if x:
+                    match_len = 3 + (((x & -x).bit_length() - 1) >> 3)
+                elif head == ext:
+                    match_len = limit
+                else:
+                    x = from_bytes(data[src + 64 : src + ext], "little") ^ from_bytes(
+                        data[dst + 64 : dst + ext], "little"
+                    )
+                    if x == 0:
+                        match_len = limit
+                    else:
+                        match_len = 67 + (((x & -x).bit_length() - 1) >> 3)
             run = pos - literal_start
             if run:
                 size += run + (run + 127) // 128
             size += 3
             end = pos + match_len
+            # Invalidate the swallowed interior.  The reference rule is
+            # "skipped positions never enter the table", which the
+            # indexed parse models by clearing interior entries — but
+            # only entries that can be *read* again matter, and reads
+            # happen at ``table[root]`` where roots are first
+            # occurrences (mask 0).  Every interior position up to
+            # ``end - 3`` repeats the gram at ``position - distance``
+            # inside the match source, so it has an earlier occurrence
+            # (mask 1) and can never be a root; only the final two
+            # positions' grams straddle the match end and may be novel
+            # first occurrences.  Clearing those two entries is
+            # therefore exactly equivalent to clearing the whole
+            # interior (the differential tests hold both paths to the
+            # reference parse).
             zero_to = end if end <= m else m
-            if zero_to > pos + 1:
-                table[pos + 1 : zero_to] = _ZERO_TABLE[: zero_to - pos - 1]
+            q = end - 2
+            if q < zero_to:
+                table[q] = 0
+                q += 1
+                if q < zero_to:
+                    table[q] = 0
             literal_start = end
-            pos = find_interesting(1, end, scan_limit)
+            # The next interesting position usually is `end` itself
+            # (match interiors repeat earlier grams, and so does the
+            # data right after them): one subscript probe beats a find
+            # call in the common case.
+            if end < scan_limit and mask[end]:
+                pos = end
+            else:
+                pos = find_interesting(1, end, scan_limit)
         else:
             pos = find_interesting(1, pos + 1, scan_limit)
     run = n - literal_start
@@ -401,25 +449,36 @@ def _size_indexed(data: bytes, max_distance: int) -> int:
 def _extend_match(data: bytes, candidate: int, pos: int, n: int) -> int:
     """Length of the greedy match at ``pos`` against ``candidate`` (3..130).
 
-    Extends by 16-byte slice compares, then byte-refines; identical to a
-    pure byte-at-a-time extension (overlap is fine: comparison, unlike
-    copying, has no ordering hazard).
+    The extension is the common-prefix length of the two tails, capped
+    at the window; instead of stepping bytewise it XORs the tails as
+    little-endian integers — the count of trailing zero *bytes* of the
+    XOR is exactly the number of leading equal bytes — probing the
+    first 64 bytes before the (at most 63-byte) remainder, since most
+    matches end inside the first window.  Overlap is fine: comparison,
+    unlike copying, has no ordering hazard.
     """
     limit = n - pos
     if limit > _MAX_MATCH:
         limit = _MAX_MATCH
-    match_len = _MIN_MATCH
+    ext = limit - _MIN_MATCH
     src = candidate + _MIN_MATCH
     dst = pos + _MIN_MATCH
-    while match_len + 16 <= limit and data[src : src + 16] == data[dst : dst + 16]:
-        src += 16
-        dst += 16
-        match_len += 16
-    while match_len < limit and data[src] == data[dst]:
-        src += 1
-        dst += 1
-        match_len += 1
-    return match_len
+    if ext <= 0 or data[src] != data[dst]:
+        return _MIN_MATCH
+    head = ext if ext < 64 else 64
+    x = int.from_bytes(data[src : src + head], "little") ^ int.from_bytes(
+        data[dst : dst + head], "little"
+    )
+    if x:
+        return _MIN_MATCH + (((x & -x).bit_length() - 1) >> 3)
+    if head == ext:
+        return limit
+    x = int.from_bytes(data[src + 64 : src + ext], "little") ^ int.from_bytes(
+        data[dst + 64 : dst + ext], "little"
+    )
+    if x == 0:
+        return limit
+    return _MIN_MATCH + 64 + (((x & -x).bit_length() - 1) >> 3)
 
 
 def _emit_literals(out, out_append, data, start: int, end: int) -> None:

@@ -22,7 +22,7 @@ from __future__ import annotations
 from ..errors import FlashFullError
 from ..mem.organizer import ActiveInactiveOrganizer, DataOrganizer, HotWarmColdOrganizer
 from ..mem.page import Hotness, Page, PageLocation
-from ..metrics import KSWAPD, PREDECOMP, LatencyBreakdown
+from ..metrics import APP, KSWAPD, PREDECOMP, AccessBatchSummary, LatencyBreakdown
 from ..units import PAGE_SIZE
 from .adaptive import chunk_size_for, gather_cold_group
 from .config import AriadneConfig
@@ -294,6 +294,17 @@ class AriadneScheme(SwapScheme):
             organizer.add_page_as(staged, Hotness.HOT)
 
     # ------------------------------------------------------------------ faults
+
+    def access_batch(
+        self, pages: list[Page], thread: str = APP
+    ) -> AccessBatchSummary:
+        """Batched replay: the resident-run/fault split stays exact under
+        PreDecomp because staged pages are *not* DRAM-resident — they sit
+        in the reserved buffer until claimed — so a staging hit always
+        takes the fall-back :meth:`access` path, and any pages it stages
+        or materializes are seen by the re-probe of the rest of the
+        batch."""
+        return self._access_batch_runs(pages, thread)
 
     def _staging_hit(self, page: Page) -> AccessResult | None:
         staged = self.staging.claim(page.pfn)

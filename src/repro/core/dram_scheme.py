@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from ..mem.organizer import ActiveInactiveOrganizer, DataOrganizer
 from ..mem.page import Page
-from ..metrics import KSWAPD
+from ..metrics import APP, KSWAPD, AccessBatchSummary
 from .context import SchemeContext
 from .scheme import AccessResult, SwapScheme
 from .stored import StoredChunk
@@ -60,6 +60,19 @@ class DramScheme(SwapScheme):
                 self.ctx.counters.incr("file_pages_written")
             self.ctx.dram.add_page(page)
             organizer.add_page(page)
+
+    def access_batch(
+        self, pages: list[Page], thread: str = APP
+    ) -> AccessBatchSummary:
+        """Batched replay without residency probes: this scheme never
+        evicts or loses anonymous pages, so every page of a valid replay
+        is resident and the whole batch is one hit run.  (A page that
+        somehow is not resident still raises :class:`PageStateError`,
+        from the organizer instead of the access dispatcher.)"""
+        self._touch_resident_run(pages, thread)
+        summary = AccessBatchSummary()
+        summary.add_hits(len(pages))
+        return summary
 
     def background_reclaim(self) -> None:
         """Anonymous data is never reclaimed; kswapd still shrinks the

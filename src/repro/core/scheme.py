@@ -31,7 +31,13 @@ from dataclasses import dataclass, field
 from ..errors import MemoryPressureError, PageStateError
 from ..mem.organizer import DataOrganizer
 from ..mem.page import Hotness, Page, PageLocation
-from ..metrics import APP, EMPTY_BREAKDOWN, KSWAPD, LatencyBreakdown
+from ..metrics import (
+    APP,
+    EMPTY_BREAKDOWN,
+    KSWAPD,
+    AccessBatchSummary,
+    LatencyBreakdown,
+)
 from ..units import PAGE_SIZE
 from .context import SchemeContext
 from .stored import StoredChunk
@@ -160,16 +166,22 @@ class SwapScheme(ABC):
         ctx = self.ctx
         target_free = len(pages) * PAGE_SIZE + ctx.platform.high_watermark_bytes
         if self.free_dram_bytes() >= target_free:
+            ctx.dram.add_pages(pages)
+            organizer.add_page_run(pages)
+        else:
+            # _make_room with free already at the per-page target is a
+            # no-op by its own first check, so probing here first skips
+            # the call without changing a single eviction.
+            page_target = PAGE_SIZE + ctx.platform.high_watermark_bytes
+            free = self.free_dram_bytes
+            make_room = self._make_room
             add_resident = ctx.dram.add_page
             add_to_lists = organizer.add_page
             for page in pages:
+                if free() < page_target:
+                    make_room(1, direct=False, thread=KSWAPD)
                 add_resident(page)
                 add_to_lists(page)
-        else:
-            for page in pages:
-                self._make_room(1, direct=False, thread=KSWAPD)
-                ctx.dram.add_page(page)
-                organizer.add_page(page)
         self._charge(APP, "list_ops", ctx.platform.list_op_ns * len(pages))
 
     # ----------------------------------------------------------------- access
@@ -197,6 +209,87 @@ class SwapScheme(ABC):
                 f"page {page.pfn} is neither resident, staged, stored, nor lost"
             )
         return self._fault_in(page, chunk, thread)
+
+    def access_batch(
+        self, pages: list[Page], thread: str = APP
+    ) -> AccessBatchSummary:
+        """Touch a known sequence of pages; returns the aggregate summary.
+
+        This default replays the batch one :meth:`access` at a time and
+        is correct by construction for any scheme.  Concrete schemes
+        override it with :meth:`_access_batch_runs` (or a tighter
+        specialization), which must leave *identical* simulator state
+        and aggregate numbers — ``tests/test_access_batch.py`` holds the
+        two paths against each other.
+        """
+        summary = AccessBatchSummary()
+        add = summary.add_result
+        access = self.access
+        for page in pages:
+            add(access(page, thread))
+        return summary
+
+    def _access_batch_runs(
+        self, pages: list[Page], thread: str = APP
+    ) -> AccessBatchSummary:
+        """Shared fast batch path: coalesce resident-hit runs, fault singly.
+
+        A run of currently-resident pages is serviced with one shared
+        zero-stall outcome (count bumps on the summary), one bulk
+        organizer touch, and one CPU charge — exactly the sums the
+        per-page loop produces, since hits never change residency, the
+        clock is frozen across a replay, and CPU/list accounting is
+        additive.  Every non-resident page falls back to the exact
+        per-page :meth:`access`, because a fault may change the
+        residency of *later* batch pages (chunk siblings materialize,
+        staging fills, reclaim can evict) — so residency is re-probed
+        from the faulted page onward.
+        """
+        summary = AccessBatchSummary()
+        resident = self.ctx.dram._resident
+        n = len(pages)
+        i = 0
+        while i < n:
+            page = pages[i]
+            if page.pfn in resident:
+                j = i + 1
+                while j < n and pages[j].pfn in resident:
+                    j += 1
+                self._touch_resident_run(pages[i:j] if i or j < n else pages,
+                                         thread)
+                summary.add_hits(j - i)
+                i = j
+            else:
+                summary.add_result(self.access(page, thread))
+                i += 1
+        return summary
+
+    def _touch_resident_run(self, run: list[Page], thread: str) -> None:
+        """Bulk bookkeeping for a run of resident hits (no stall, no fault).
+
+        Splits the run into per-app segments (in practice a replay is
+        single-app, so this is one segment), hands each to its
+        organizer's bulk touch, and charges the per-hit list-op CPU in
+        one call.
+        """
+        n = len(run)
+        if n == 0:
+            # No hits, no charge: a zero-ns charge would still create a
+            # ledger key the per-page reference never creates.
+            return
+        ctx = self.ctx
+        now_ns = ctx.clock.now_ns
+        organizers = self._organizers
+        i = 0
+        while i < n:
+            uid = run[i].uid
+            j = i + 1
+            while j < n and run[j].uid == uid:
+                j += 1
+            organizers[uid].on_access_run(run[i:j] if i or j < n else run,
+                                          now_ns)
+            i = j
+        ctx.cpu.charge(thread, "list_ops", ctx.platform.list_op_ns * n)
 
     def _staging_hit(self, page: Page) -> AccessResult | None:
         """Hook for PreDecomp's staging buffer (Ariadne overrides)."""

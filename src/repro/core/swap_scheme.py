@@ -11,7 +11,7 @@ from __future__ import annotations
 from ..errors import FlashFullError
 from ..mem.organizer import ActiveInactiveOrganizer, DataOrganizer
 from ..mem.page import Hotness, Page, PageLocation
-from ..metrics import LatencyBreakdown
+from ..metrics import APP, AccessBatchSummary, LatencyBreakdown
 from ..units import PAGE_SIZE
 from .context import SchemeContext
 from .scheme import AccessResult, SwapScheme
@@ -29,6 +29,15 @@ class FlashSwapScheme(SwapScheme):
 
     def _make_organizer(self, uid: int, hot_seed_limit: int) -> DataOrganizer:
         return ActiveInactiveOrganizer(uid)
+
+    def access_batch(
+        self, pages: list[Page], thread: str = APP
+    ) -> AccessBatchSummary:
+        """Batched replay: every flash fault goes through the exact
+        per-page path (a swap-in admits only the faulted page, but its
+        direct reclaim can evict later batch pages), so the generic
+        split applies unchanged."""
+        return self._access_batch_runs(pages, thread)
 
     def _evict(self, page: Page, thread: str) -> int:
         """Write one raw page to swap.

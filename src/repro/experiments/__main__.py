@@ -6,7 +6,7 @@ import argparse
 import sys
 import time
 
-from . import EXPERIMENTS
+from . import EXPERIMENTS, SHARDED_EXPERIMENTS
 from .common import flush_artifacts
 from .runner import default_jobs, run_experiments
 
@@ -30,9 +30,10 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=None,
         metavar="N",
-        help="run independent experiments on N worker processes "
+        help="run independent experiment cells on N worker processes "
         f"(default: 1 for a single experiment, up to {default_jobs()} "
-        "for 'all'); workers share the on-disk artifact cache",
+        "for 'all'); sharded experiments (fig10/fig11) split into "
+        "per-scheme cells; workers share the on-disk artifact cache",
     )
     args = parser.parse_args(argv)
 
@@ -48,7 +49,10 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     jobs = args.jobs
     if jobs is None:
-        jobs = default_jobs() if len(names) > 1 else 1
+        # Suites parallelize across experiments; a single sharded
+        # experiment still parallelizes across its own cells.
+        parallelizes = len(names) > 1 or names[0] in SHARDED_EXPERIMENTS
+        jobs = default_jobs() if parallelizes else 1
     if jobs < 1:
         print(f"--jobs must be >= 1, got {jobs}", file=sys.stderr)
         return 2
@@ -56,7 +60,14 @@ def main(argv: list[str] | None = None) -> int:
     def show(outcome) -> None:
         if outcome.ok:
             print(outcome.rendered)
-            print(f"[{outcome.name} finished in {outcome.elapsed_s:.1f}s]\n", flush=True)
+            sharded = (
+                f" across {outcome.cells} cells" if outcome.cells > 1 else ""
+            )
+            print(
+                f"[{outcome.name} finished in {outcome.elapsed_s:.1f}s"
+                f"{sharded}]\n",
+                flush=True,
+            )
         else:
             print(f"[{outcome.name} FAILED: {outcome.error}]\n", file=sys.stderr)
 

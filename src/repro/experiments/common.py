@@ -201,6 +201,34 @@ def paper_scheme_matrix(quick: bool) -> list[tuple[str, AriadneConfig | None]]:
     return matrix
 
 
+def scheme_matrix_cells(
+    quick: bool,
+) -> list[tuple[str, str, AriadneConfig | None]]:
+    """The matrix as named (scheme x config) cells.
+
+    Each entry is ``(cell_key, scheme_name, config)``.  The key is the
+    rendered column label (``DRAM`` / ``ZRAM`` / the Ariadne config
+    label), which is stable across processes and runs — sharded
+    experiments use it to address one independently executable unit of
+    work, and the runner uses it to key scheduling and result merging.
+    """
+    cells: list[tuple[str, str, AriadneConfig | None]] = []
+    for scheme_name, config in paper_scheme_matrix(quick):
+        key = config.label if config is not None else scheme_name
+        cells.append((key, scheme_name, config))
+    return cells
+
+
+def scheme_matrix_cell(
+    key: str, quick: bool
+) -> tuple[str, AriadneConfig | None]:
+    """Resolve one matrix cell key back to ``(scheme_name, config)``."""
+    for cell_key, scheme_name, config in scheme_matrix_cells(quick):
+        if cell_key == key:
+            return scheme_name, config
+    raise KeyError(f"unknown scheme-matrix cell {key!r}")
+
+
 def render_table(title: str, headers: list[str], rows: list[list[str]]) -> str:
     """Render a fixed-width text table."""
     widths = [len(h) for h in headers]

@@ -15,9 +15,10 @@ from .common import (
     FIGURE_APPS,
     build,
     measured_relaunch,
-    paper_scheme_matrix,
     render_table,
     scenario_for,
+    scheme_matrix_cell,
+    scheme_matrix_cells,
     workload_trace,
 )
 
@@ -67,27 +68,52 @@ class Fig10Result:
         )
 
 
+def cells(quick: bool = False) -> list[str]:
+    """Independently executable (scheme x config) cell keys."""
+    return [key for key, _, _ in scheme_matrix_cells(quick)]
+
+
+def run_cell(key: str, quick: bool = False) -> dict[str, float]:
+    """Measure one scheme column: relaunch latency (ms) per app.
+
+    Each cell builds its own systems from the shared deterministic
+    trace, so cells are order-independent and safe to run on separate
+    worker processes; the runner merges them with :func:`merge`.
+    """
+    scheme_name, config = scheme_matrix_cell(key, quick)
+    apps = FIGURE_APPS[:3] if quick else FIGURE_APPS
+    trace = workload_trace(n_apps=5)
+    scenario = scenario_for(scheme_name, config)
+    column: dict[str, float] = {}
+    for target in apps:
+        system = build(scheme_name, trace, config)
+        system.launch_all()
+        pressure = [a for a in apps if a != target][:2]
+        result = measured_relaunch(system, target, 1, scenario, pressure)
+        column[target] = result.latency_ms
+    return column
+
+
+def merge(
+    cell_results: dict[str, dict[str, float]], quick: bool = False
+) -> Fig10Result:
+    """Assemble cell outputs into the figure, in matrix column order."""
+    order = [key for key in cells(quick) if key in cell_results]
+    return Fig10Result(
+        columns=order,
+        latency_ms={key: cell_results[key] for key in order},
+    )
+
+
 def run(quick: bool = False) -> Fig10Result:
     """Measure relaunch latency for the paper's scheme matrix.
 
     Mirrors the paper's per-trace methodology: each target app gets a
     fresh system (the paper collects one trace per target, launching the
-    other apps for pressure, then relaunching the target).
+    other apps for pressure, then relaunching the target).  Defined as
+    the serial merge of the per-cell runs, so the sharded path is
+    equivalent by construction.
     """
-    apps = FIGURE_APPS[:3] if quick else FIGURE_APPS
-    trace = workload_trace(n_apps=5)
-    columns: list[str] = []
-    latency: dict[str, dict[str, float]] = {}
-    for scheme_name, config in paper_scheme_matrix(quick):
-        scenario = scenario_for(scheme_name, config)
-        column = None
-        for target in apps:
-            system = build(scheme_name, trace, config)
-            system.launch_all()
-            column = system.scheme.name
-            pressure = [a for a in apps if a != target][:2]
-            result = measured_relaunch(system, target, 1, scenario, pressure)
-            latency.setdefault(column, {})[target] = result.latency_ms
-        if column is not None:
-            columns.append(column)
-    return Fig10Result(columns=columns, latency_ms=latency)
+    return merge(
+        {key: run_cell(key, quick) for key in cells(quick)}, quick
+    )

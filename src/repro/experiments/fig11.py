@@ -22,9 +22,10 @@ from .common import (
     FIGURE_APPS,
     build,
     measured_relaunch,
-    paper_scheme_matrix,
     render_table,
     scenario_for,
+    scheme_matrix_cell,
+    scheme_matrix_cells,
     workload_trace,
 )
 
@@ -79,33 +80,60 @@ def _codec_cpu_for_cycle(scheme_name: str, config, target: str, trace) -> int:
     return after - before
 
 
-def run(quick: bool = False) -> Fig11Result:
-    """Measure normalized codec CPU for the paper's scheme matrix."""
+def cells(quick: bool = False) -> list[str]:
+    """Cell keys: the scheme matrix minus DRAM (no codec CPU at all)."""
+    return [
+        key for key, name, _ in scheme_matrix_cells(quick) if name != "DRAM"
+    ]
+
+
+def run_cell(key: str, quick: bool = False) -> dict[str, int]:
+    """Measure one scheme column: raw codec CPU (ns) per target app.
+
+    Cells return *raw* nanoseconds; normalization against the ZRAM cell
+    happens at merge time, which is what makes each cell independent.
+    """
+    scheme_name, config = scheme_matrix_cell(key, quick)
     apps = FIGURE_APPS[:2] if quick else FIGURE_APPS
     trace = workload_trace(n_apps=5)
-    matrix = [
-        (name, config)
-        for name, config in paper_scheme_matrix(quick)
-        if name != "DRAM"  # DRAM has no codec CPU at all
-    ]
-    raw: dict[str, dict[str, int]] = {}
-    columns: list[str] = []
-    for scheme_name, config in matrix:
-        column = None
-        for target in apps:
-            cpu_ns = _codec_cpu_for_cycle(scheme_name, config, target, trace)
-            system_label = (
-                config.label if config is not None else scheme_name
-            )
-            column = system_label
-            raw.setdefault(column, {})[target] = cpu_ns
-        if column is not None:
-            columns.append(column)
+    return {
+        target: _codec_cpu_for_cycle(scheme_name, config, target, trace)
+        for target in apps
+    }
+
+
+def merge(
+    cell_results: dict[str, dict[str, int]], quick: bool = False
+) -> Fig11Result:
+    """Normalize cell outputs against the ZRAM column, in matrix order.
+
+    Columns absent from ``cell_results`` are simply omitted — except
+    ZRAM, the normalization baseline, without which no column can be
+    rendered at all.
+    """
+    if "ZRAM" not in cell_results:
+        raise KeyError(
+            "fig11.merge needs the ZRAM cell to normalize against; "
+            f"got only {sorted(cell_results)}"
+        )
+    columns = [key for key in cells(quick) if key in cell_results]
+    zram = cell_results["ZRAM"]
     normalized = {
         column: {
-            app: raw[column][app] / max(raw["ZRAM"][app], 1)
-            for app in raw[column]
+            app: cell_results[column][app] / max(zram[app], 1)
+            for app in cell_results[column]
         }
         for column in columns
     }
     return Fig11Result(columns=columns, normalized=normalized)
+
+
+def run(quick: bool = False) -> Fig11Result:
+    """Measure normalized codec CPU for the paper's scheme matrix.
+
+    Defined as the serial merge of the per-cell runs, so the sharded
+    path is equivalent by construction.
+    """
+    return merge(
+        {key: run_cell(key, quick) for key in cells(quick)}, quick
+    )

@@ -2,16 +2,22 @@
 
 Every experiment regenerates one independent figure/table — no state is
 shared between them beyond the deterministic artifact cache — so the
-full suite parallelizes embarrassingly.  Workers recompute nothing that
-another run already measured: they share the on-disk artifact cache
+full suite parallelizes embarrassingly.  Experiments that implement the
+sharded-cell protocol (``cells`` / ``run_cell`` / ``merge``, see
+:data:`repro.experiments.SHARDED_EXPERIMENTS`) are scheduled at
+(scheme x config) **cell** granularity: the heavyweight figures (10 and
+11) split into independently executable, cache-keyed units that run
+concurrently, so no single experiment dominates the suite's critical
+path on a multi-core host.  Workers recompute nothing that another run
+already measured: they share the on-disk artifact cache
 (:mod:`repro.cache`), flushing newly measured compressed sizes after
-every experiment so concurrent and later workers reuse them.
+every task so concurrent and later workers reuse them.
 
 Used by ``python -m repro.experiments all --jobs N`` and importable
 directly::
 
     from repro.experiments.runner import run_experiments
-    outcomes = run_experiments(["fig2", "fig13"], jobs=4, quick=True)
+    outcomes = run_experiments(["fig10", "fig13"], jobs=4, quick=True)
 """
 
 from __future__ import annotations
@@ -24,12 +30,18 @@ from dataclasses import dataclass
 
 @dataclass
 class ExperimentOutcome:
-    """One experiment's rendered result and timing."""
+    """One experiment's rendered result and timing.
+
+    ``elapsed_s`` is the experiment's critical-path time: the single
+    task for unsharded experiments, the slowest cell for sharded ones
+    (cells run concurrently, so their sum is not wall time).
+    """
 
     name: str
     rendered: str
     elapsed_s: float
     error: str | None = None
+    cells: int = 1
 
     @property
     def ok(self) -> bool:
@@ -40,9 +52,10 @@ def default_jobs() -> int:
     """Worker count when ``--jobs`` is not given: one per usable core.
 
     Uses the scheduler affinity mask (the cgroup/container allowance)
-    rather than the host core count, and caps at 8 — the suite has ~15
-    cells, so more workers than that only burns memory (each worker
-    materializes its own traces and systems).
+    rather than the host core count, and caps at 8 — the suite has ~20
+    schedulable tasks once fig10/fig11 shard into cells, so more
+    workers than that only burns memory (each worker materializes its
+    own traces and systems).
     """
     try:
         usable = len(os.sched_getaffinity(0))
@@ -51,29 +64,82 @@ def default_jobs() -> int:
     return max(1, min(usable, 8))
 
 
-def _run_one(args: tuple[str, bool]) -> ExperimentOutcome:
-    """Worker body: run one experiment and flush shared artifacts."""
-    name, quick = args
+def _run_task(args: tuple[int, str, str | None, bool]):
+    """Worker body: run one whole experiment or one sharded cell.
+
+    Returns ``(group_id, cell_key, payload, elapsed_s, error)`` where
+    ``payload`` is the rendered text for a whole experiment or the
+    picklable cell result for a sharded cell.
+    """
+    group_id, name, cell_key, quick = args
     # Imported here so "spawn" contexts work and the parent can fork
     # before the (heavier) experiment modules are loaded.
-    from . import EXPERIMENTS
+    from . import EXPERIMENTS, SHARDED_EXPERIMENTS
     from .common import flush_artifacts
 
     start = time.perf_counter()
+    payload: object = ""
+    error = None
     try:
-        result = EXPERIMENTS[name](quick=quick)
-        rendered = result.render()
-        error = None
-    except Exception as exc:  # surface per-cell failures without killing the run
-        rendered = ""
+        if cell_key is None:
+            payload = EXPERIMENTS[name](quick=quick).render()
+        else:
+            payload = SHARDED_EXPERIMENTS[name].run_cell(cell_key, quick=quick)
+    except Exception as exc:  # surface per-task failures without killing the run
         error = f"{type(exc).__name__}: {exc}"
     flush_artifacts()
-    return ExperimentOutcome(
-        name=name,
-        rendered=rendered,
-        elapsed_s=time.perf_counter() - start,
-        error=error,
-    )
+    return group_id, cell_key, payload, time.perf_counter() - start, error
+
+
+class _Group:
+    """Parent-side bookkeeping for one requested experiment."""
+
+    def __init__(self, name: str, cell_keys: list[str] | None) -> None:
+        self.name = name
+        self.cell_keys = cell_keys
+        self.partials: dict[str | None, object] = {}
+        self.elapsed_s = 0.0
+        self.error: str | None = None
+        self.pending = 1 if cell_keys is None else len(cell_keys)
+
+    def consume(self, cell_key: str | None, payload, elapsed_s, error) -> bool:
+        """Fold in one finished task; True when the group is complete."""
+        self.elapsed_s = max(self.elapsed_s, elapsed_s)
+        if error is not None and self.error is None:
+            self.error = error
+        self.partials[cell_key] = payload
+        self.pending -= 1
+        return self.pending == 0
+
+    def outcome(self, quick: bool) -> ExperimentOutcome:
+        """Render the finished group (merging cells for sharded runs)."""
+        if self.cell_keys is None:
+            rendered = self.partials.get(None, "") if self.error is None else ""
+            return ExperimentOutcome(
+                name=self.name,
+                rendered=str(rendered),
+                elapsed_s=self.elapsed_s,
+                error=self.error,
+            )
+        rendered = ""
+        if self.error is None:
+            from . import SHARDED_EXPERIMENTS
+
+            try:
+                result = SHARDED_EXPERIMENTS[self.name].merge(
+                    {key: self.partials[key] for key in self.cell_keys},
+                    quick=quick,
+                )
+                rendered = result.render()
+            except Exception as exc:  # pragma: no cover - merge is pure
+                self.error = f"{type(exc).__name__}: {exc}"
+        return ExperimentOutcome(
+            name=self.name,
+            rendered=rendered,
+            elapsed_s=self.elapsed_s,
+            error=self.error,
+            cells=len(self.cell_keys),
+        )
 
 
 def run_experiments(
@@ -84,35 +150,59 @@ def run_experiments(
 ) -> list[ExperimentOutcome]:
     """Run ``names`` on up to ``jobs`` worker processes; ordered results.
 
-    Results stream in submission order as they complete —
-    ``on_result(outcome)`` fires per finished cell (the CLI prints each
-    figure the moment it is ready, minutes before the suite ends).
-    With ``jobs <= 1`` everything runs in-process (no pool overhead).
-    Workers share the on-disk artifact cache, so a size measured by one
-    cell is never re-measured by another — across this run or the next.
+    Sharded experiments are expanded into per-cell tasks whenever more
+    than one worker is available — including a *single* requested
+    experiment, so ``run_experiments(["fig10"], jobs=4)`` parallelizes
+    internally.  ``on_result(outcome)`` fires per finished experiment
+    the moment its last task (cell) completes; the returned list is in
+    request order regardless of completion order.  With one worker
+    everything runs in-process, unsharded (no pool overhead).  Workers
+    share the on-disk artifact cache, so a size measured by one cell is
+    never re-measured by another — across this run or the next.
     """
-    from . import EXPERIMENTS
+    from . import EXPERIMENTS, SHARDED_EXPERIMENTS
 
     unknown = [name for name in names if name not in EXPERIMENTS]
     if unknown:
         raise KeyError(f"unknown experiment(s): {unknown}")
     workers = jobs if jobs is not None else default_jobs()
-    workers = max(1, min(workers, len(names)))
-    tasks = [(name, quick) for name in names]
-    outcomes: list[ExperimentOutcome] = []
+    tasks: list[tuple[int, str, str | None, bool]] = []
+    groups: list[_Group] = []
+    for group_id, name in enumerate(names):
+        module = SHARDED_EXPERIMENTS.get(name)
+        keys = module.cells(quick) if module is not None and workers > 1 else []
+        if keys:
+            groups.append(_Group(name, keys))
+            tasks.extend((group_id, name, key, quick) for key in keys)
+        else:
+            # Unsharded — including the degenerate empty-cells case,
+            # which would otherwise create a group no task ever
+            # completes.
+            groups.append(_Group(name, None))
+            tasks.append((group_id, name, None, quick))
+    workers = max(1, min(workers, len(tasks)))
+
+    outcomes: dict[int, ExperimentOutcome] = {}
+
+    def consume(result) -> None:
+        group_id, cell_key, payload, elapsed_s, error = result
+        group = groups[group_id]
+        if group.consume(cell_key, payload, elapsed_s, error):
+            outcome = group.outcome(quick)
+            outcomes[group_id] = outcome
+            if on_result is not None:
+                on_result(outcome)
+
     if workers == 1:
         for task in tasks:
-            outcome = _run_one(task)
-            outcomes.append(outcome)
-            if on_result is not None:
-                on_result(outcome)
-        return outcomes
-    # fork keeps warm parent state (imported modules); experiments
-    # re-derive everything else from their own contexts.
-    ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
-    with ctx.Pool(processes=workers) as pool:
-        for outcome in pool.imap(_run_one, tasks):
-            outcomes.append(outcome)
-            if on_result is not None:
-                on_result(outcome)
-    return outcomes
+            consume(_run_task(task))
+    else:
+        # fork keeps warm parent state (imported modules); experiments
+        # re-derive everything else from their own contexts.
+        ctx = mp.get_context(
+            "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        )
+        with ctx.Pool(processes=workers) as pool:
+            for result in pool.imap_unordered(_run_task, tasks):
+                consume(result)
+    return [outcomes[group_id] for group_id in range(len(names))]

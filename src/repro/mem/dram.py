@@ -64,6 +64,28 @@ class MainMemory:
         page.location = PageLocation.DRAM
         self.peak_used_bytes = max(self.peak_used_bytes, self.used_bytes)
 
+    def add_pages(self, pages: list[Page]) -> None:
+        """Make a batch of pages resident; the caller ensured room.
+
+        Identical outcome to calling :meth:`add_page` per page when the
+        whole batch fits (the duplicate check runs per page; the peak
+        watermark is monotone, so one update at the end records the same
+        high-water mark).  If the batch does not fit, the per-page path
+        runs so the failure surfaces at exactly the page it would have.
+        """
+        if self.free_bytes < len(pages) * PAGE_SIZE:
+            for page in pages:
+                self.add_page(page)
+            return
+        resident = self._resident
+        for page in pages:
+            pfn = page.pfn
+            if pfn in resident:
+                raise PageStateError(f"page {pfn} is already resident")
+            resident[pfn] = page
+            page.location = PageLocation.DRAM
+        self.peak_used_bytes = max(self.peak_used_bytes, self.used_bytes)
+
     def remove_page(self, page: Page) -> None:
         """Evict ``page`` from DRAM (caller decides where it goes)."""
         if self._resident.pop(page.pfn, None) is None:

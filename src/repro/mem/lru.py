@@ -43,6 +43,21 @@ class LruList:
             raise PageStateError(f"page {page.pfn} already on list {self.name!r}")
         self._pages[page.pfn] = page
 
+    def add_run(self, pages) -> None:
+        """Insert pages at the MRU end in order; error on any duplicate.
+
+        The bulk analogue of :meth:`add` for admission batches: same
+        final order, same duplicate check, one attribute resolution.
+        """
+        _pages = self._pages
+        for page in pages:
+            pfn = page.pfn
+            if pfn in _pages:
+                raise PageStateError(
+                    f"page {pfn} already on list {self.name!r}"
+                )
+            _pages[pfn] = page
+
     def add_lru(self, page: Page) -> None:
         """Insert ``page`` at the LRU end (evicted first)."""
         if page.pfn in self._pages:
@@ -55,6 +70,26 @@ class LruList:
         if page.pfn not in self._pages:
             raise PageStateError(f"page {page.pfn} not on list {self.name!r}")
         self._pages.move_to_end(page.pfn)
+
+    def touch_run(self, pfns) -> int:
+        """Move already-present pages to the MRU end, in order; returns count.
+
+        The bulk analogue of :meth:`touch` for access replay: one
+        attribute resolution serves the whole run, and the in-order
+        moves leave exactly the recency order a touch-per-page loop
+        would.  Callers guarantee membership (the organizer classified
+        each pfn against this list's backing dict first); an absent pfn
+        is a caller bug and surfaces as :class:`PageStateError`.
+        """
+        move = self._pages.move_to_end
+        try:
+            for pfn in pfns:
+                move(pfn)
+        except KeyError:
+            raise PageStateError(
+                f"page {pfn} not on list {self.name!r}"
+            ) from None
+        return len(pfns)
 
     def remove(self, page: Page) -> None:
         """Remove ``page``; error if absent."""

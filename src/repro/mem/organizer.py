@@ -40,9 +40,30 @@ class DataOrganizer(ABC):
     def add_page(self, page: Page) -> None:
         """Register a newly resident page."""
 
+    def add_page_run(self, pages: list[Page]) -> None:
+        """Register a batch of newly resident pages, in order.
+
+        Semantically identical to calling :meth:`add_page` per page;
+        concrete organizers override with bulk list inserts.
+        """
+        for page in pages:
+            self.add_page(page)
+
     @abstractmethod
     def on_access(self, page: Page, now_ns: int) -> None:
         """Record an access to a resident page (may promote it)."""
+
+    def on_access_run(self, pages: list[Page], now_ns: int) -> None:
+        """Record an in-order run of accesses to resident pages.
+
+        Semantically identical to calling :meth:`on_access` once per
+        page in order — same final list states, same ``list_operations``
+        count — but implemented as one bulk operation by the concrete
+        organizers, which is what makes batched access replay cheap.
+        This default is the correct-by-construction fallback.
+        """
+        for page in pages:
+            self.on_access(page, now_ns)
 
     @abstractmethod
     def remove_page(self, page: Page) -> None:
@@ -93,6 +114,10 @@ class ActiveInactiveOrganizer(DataOrganizer):
         self.inactive.add(page)
         self.list_operations += 1
 
+    def add_page_run(self, pages: list[Page]) -> None:
+        self.inactive.add_run(pages)
+        self.list_operations += len(pages)
+
     def on_access(self, page: Page, now_ns: int) -> None:
         page.record_access(now_ns)
         if page in self.inactive:
@@ -106,6 +131,32 @@ class ActiveInactiveOrganizer(DataOrganizer):
             raise PageStateError(
                 f"page {page.pfn} accessed but not resident in app {self.uid}"
             )
+
+    def on_access_run(self, pages: list[Page], now_ns: int) -> None:
+        # Touches and inactive->active promotions land on the *same*
+        # list, so their relative order matters and no touch can be
+        # deferred past a promotion (unlike the tri-list organizer,
+        # where promotions enter warm, never hot).  The bulk win here is
+        # hoisting the backing dicts and accumulating the op count.
+        inactive_pages = self.inactive._pages
+        active_pages = self.active._pages
+        active_move = active_pages.move_to_end
+        ops = 0
+        for page in pages:
+            page.record_access(now_ns)
+            pfn = page.pfn
+            if pfn in inactive_pages:
+                del inactive_pages[pfn]
+                active_pages[pfn] = page
+                ops += 2
+            elif pfn in active_pages:
+                active_move(pfn)
+                ops += 1
+            else:
+                raise PageStateError(
+                    f"page {pfn} accessed but not resident in app {self.uid}"
+                )
+        self.list_operations += ops
 
     def remove_page(self, page: Page) -> None:
         if not (self.inactive.discard(page) or self.active.discard(page)):
@@ -210,6 +261,24 @@ class HotWarmColdOrganizer(DataOrganizer):
             self.cold.add(page)
         self.list_operations += 1
 
+    def add_page_run(self, pages: list[Page]) -> None:
+        # The per-page routing state is fixed across an admission batch
+        # (relaunch flag and launch window only flip between batches);
+        # only the hot-seed budget moves, so the batch splits into at
+        # most one hot prefix and one cold tail.
+        count = len(pages)
+        if self._relaunch_active:
+            self.hot.add_run(pages)
+        elif self._in_launch_window and self._seeded < self._hot_seed_limit:
+            take = min(self._hot_seed_limit - self._seeded, count)
+            self.hot.add_run(pages[:take] if take < count else pages)
+            self._seeded += take
+            if take < count:
+                self.cold.add_run(pages[take:])
+        else:
+            self.cold.add_run(pages)
+        self.list_operations += count
+
     def add_page_as(self, page: Page, hotness: Hotness) -> None:
         """Insert a page directly into a specific list (used by swap-in)."""
         {Hotness.HOT: self.hot, Hotness.WARM: self.warm, Hotness.COLD: self.cold}[
@@ -249,6 +318,49 @@ class HotWarmColdOrganizer(DataOrganizer):
         raise PageStateError(
             f"page {page.pfn} accessed but not resident in app {self.uid}"
         )
+
+    def on_access_run(self, pages: list[Page], now_ns: int) -> None:
+        # Hot-list touches can be deferred to one bulk touch_run at the
+        # end: accesses never move a page *into or out of* the hot list
+        # (cold promotes to warm), so the final hot order depends only
+        # on the order of hot touches — which the collected run
+        # preserves.  Warm/cold ops interleave on the warm list and run
+        # inline.  Relaunch-accessed tracking is a set; order-free.
+        hot_pages = self.hot._pages
+        warm_pages = self.warm._pages
+        cold_pages = self.cold._pages
+        warm_move = warm_pages.move_to_end
+        relaunch = self._relaunch_active
+        accessed = self._relaunch_accessed
+        hot_run: list[int] = []
+        hot_append = hot_run.append
+        ops = 0
+        for page in pages:
+            page.last_access_ns = now_ns
+            page.access_count += 1
+            pfn = page.pfn
+            if pfn in hot_pages:
+                hot_append(pfn)
+            elif pfn in warm_pages:
+                if relaunch:
+                    accessed.add(pfn)
+                warm_move(pfn)
+                ops += 1
+            elif pfn in cold_pages:
+                if relaunch:
+                    accessed.add(pfn)
+                del cold_pages[pfn]
+                warm_pages[pfn] = page
+                ops += 2
+            else:
+                raise PageStateError(
+                    f"page {pfn} accessed but not resident in app {self.uid}"
+                )
+        if hot_run:
+            ops += self.hot.touch_run(hot_run)
+            if relaunch:
+                accessed.update(hot_run)
+        self.list_operations += ops
 
     def remove_page(self, page: Page) -> None:
         lru = self._list_of(page)

@@ -156,6 +156,48 @@ EMPTY_BREAKDOWN = LatencyBreakdown()
 
 
 @dataclass
+class AccessBatchSummary:
+    """Aggregate outcome of a batched access replay.
+
+    One summary replaces a stream of per-access :class:`AccessResult`
+    objects: the scheme's ``access_batch`` coalesces resident-hit runs
+    into count bumps here, and folds each fault's stall/breakdown in as
+    it happens.  Totals are exactly the sums the per-access loop would
+    have produced (additive accounting is order-free), which is what
+    keeps batched replay number-invariant.
+    """
+
+    pages: int = 0
+    stall_ns: int = 0
+    breakdown: LatencyBreakdown = field(default_factory=LatencyBreakdown)
+    from_dram: int = 0
+    from_zpool: int = 0
+    from_flash: int = 0
+    from_staging: int = 0
+
+    def add_hits(self, count: int) -> None:
+        """Fold in ``count`` zero-stall resident hits."""
+        self.pages += count
+        self.from_dram += count
+
+    def add_result(self, result) -> None:
+        """Fold in one :class:`repro.core.scheme.AccessResult`."""
+        self.pages += 1
+        self.stall_ns += result.stall_ns
+        if result.breakdown is not EMPTY_BREAKDOWN:
+            self.breakdown.add(result.breakdown)
+        source = result.source.value
+        if source == "dram":
+            self.from_dram += 1
+        elif source == "zpool":
+            self.from_zpool += 1
+        elif source == "flash":
+            self.from_flash += 1
+        else:
+            self.from_staging += 1
+
+
+@dataclass
 class RelaunchResult:
     """Outcome of one measured application relaunch."""
 

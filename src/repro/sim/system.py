@@ -31,7 +31,7 @@ from ..core import (
 )
 from ..errors import ConfigError, PageStateError
 from ..mem.page import Page
-from ..metrics import APP, EMPTY_BREAKDOWN, RelaunchResult
+from ..metrics import APP, RelaunchResult
 from ..trace.records import AppTrace, WorkloadTrace
 from ..units import MS, SECOND
 
@@ -110,8 +110,10 @@ class MobileSystem:
         # Address order decorrelates this initial pass from the session's
         # own access order — the two are different executions.
         if live.trace.sessions:
-            for pfn in sorted(live.trace.sessions[0].execution_pfns):
-                self.scheme.access(live.pages[pfn])
+            pages = live.pages
+            self.scheme.access_batch(
+                [pages[pfn] for pfn in sorted(live.trace.sessions[0].execution_pfns)]
+            )
         live.launched = True
         self.ctx.clock.advance(int(settle_seconds * SECOND))
         self.scheme.background_reclaim()
@@ -183,24 +185,21 @@ class MobileSystem:
             app_name=name, scheme_name=self.scheme.name, latency_ns=fixed_ns
         )
         result.breakdown.dram_ns += fixed_ns
-        access_page = self.scheme.access
+        # Batched replay: the summary's totals are exactly what the
+        # per-access loop accumulated (per-page DRAM time is uniform, so
+        # it distributes over the count), with no per-hit object churn.
         pages = live.pages
-        for pfn in session.relaunch_pfns:
-            access = access_page(pages[pfn], thread=APP)
-            result.latency_ns += per_page_ns + access.stall_ns
-            result.breakdown.dram_ns += per_page_ns
-            if access.breakdown is not EMPTY_BREAKDOWN:
-                result.breakdown.add(access.breakdown)
-            result.pages_accessed += 1
-            source = access.source.value
-            if source == "dram":
-                result.pages_from_dram += 1
-            elif source == "zpool":
-                result.pages_from_zpool += 1
-            elif source == "flash":
-                result.pages_from_flash += 1
-            else:
-                result.pages_from_staging += 1
+        summary = self.scheme.access_batch(
+            [pages[pfn] for pfn in session.relaunch_pfns], thread=APP
+        )
+        result.latency_ns += per_page_ns * summary.pages + summary.stall_ns
+        result.breakdown.dram_ns += per_page_ns * summary.pages
+        result.breakdown.add(summary.breakdown)
+        result.pages_accessed += summary.pages
+        result.pages_from_dram += summary.from_dram
+        result.pages_from_zpool += summary.from_zpool
+        result.pages_from_flash += summary.from_flash
+        result.pages_from_staging += summary.from_staging
         self.ctx.clock.advance(result.latency_ns)
         self.scheme.end_relaunch(live.uid)
         if run_execution:
@@ -216,11 +215,11 @@ class MobileSystem:
         Execution faults stall the app but are not part of relaunch
         latency; they still cost CPU and move the clock.
         """
-        total_stall = 0
-        for pfn in session.execution_pfns:
-            access = self.scheme.access(live.pages[pfn], thread=APP)
-            total_stall += access.stall_ns
-        self.ctx.clock.advance(total_stall)
+        pages = live.pages
+        summary = self.scheme.access_batch(
+            [pages[pfn] for pfn in session.execution_pfns], thread=APP
+        )
+        self.ctx.clock.advance(summary.stall_ns)
 
     # ----------------------------------------------------------------- helpers
 

@@ -1,0 +1,165 @@
+"""Differential tests for the batched access path.
+
+The contract of ``SwapScheme.access_batch`` (and every bulk op beneath
+it) is *state equivalence*: the fast run-splitting overrides must leave
+exactly the simulator state — list orders, CPU ledger, counters, clock,
+relaunch results — the correct-by-construction per-page default leaves.
+These tests drive full miniature workloads through both paths and
+compare everything observable.
+"""
+
+from __future__ import annotations
+
+import random
+from types import MethodType
+
+import pytest
+
+from repro.core import AriadneConfig, RelaunchScenario
+from repro.core.scheme import SwapScheme
+from repro.mem import ActiveInactiveOrganizer, HotWarmColdOrganizer, Page
+
+from tests.conftest import build_tiny
+
+SCHEMES = ["ZRAM", "SWAP", "Ariadne", "DRAM"]
+
+
+def _lru_order(lru) -> list[int]:
+    return [page.pfn for page in lru]
+
+
+def _organizer_fingerprint(organizer) -> dict:
+    if isinstance(organizer, HotWarmColdOrganizer):
+        lists = {
+            "hot": _lru_order(organizer.hot),
+            "warm": _lru_order(organizer.warm),
+            "cold": _lru_order(organizer.cold),
+        }
+    else:
+        lists = {
+            "active": _lru_order(organizer.active),
+            "inactive": _lru_order(organizer.inactive),
+        }
+    return {
+        "lists": lists,
+        "list_operations": organizer.list_operations,
+    }
+
+
+def _system_fingerprint(system) -> dict:
+    scheme = system.scheme
+    return {
+        "clock": system.ctx.clock.now_ns,
+        "cpu": dict(system.ctx.cpu._by_pair),
+        "counters": system.ctx.counters.as_dict(),
+        "organizers": {
+            uid: _organizer_fingerprint(org)
+            for uid, org in scheme._organizers.items()
+        },
+        "stored": sorted(scheme._stored_by_pfn),
+        "resident": sorted(system.ctx.dram._resident),
+        "relaunches": [
+            (
+                r.app_name,
+                r.latency_ns,
+                r.pages_from_dram,
+                r.pages_from_zpool,
+                r.pages_from_flash,
+                r.pages_from_staging,
+            )
+            for app in system.apps
+            for r in app.relaunch_results
+        ],
+    }
+
+
+def _run_workload(scheme_name, tiny_trace, force_default: bool):
+    config = (
+        AriadneConfig(scenario=RelaunchScenario.EHL)
+        if scheme_name == "Ariadne"
+        else None
+    )
+    system = build_tiny(scheme_name, tiny_trace, config)
+    if force_default:
+        # Rebind the abstract per-page replay over the scheme's fast
+        # override: the reference behavior every override must match.
+        system.scheme.access_batch = MethodType(
+            SwapScheme.access_batch, system.scheme
+        )
+    system.launch_all()
+    names = [app.name for app in system.apps]
+    for name in names + names[:2]:
+        system.relaunch(name)
+    return _system_fingerprint(system)
+
+
+class TestBatchedReplayEquivalence:
+    @pytest.mark.parametrize("scheme_name", SCHEMES)
+    def test_fast_path_matches_per_page_reference(
+        self, scheme_name, tiny_trace
+    ):
+        fast = _run_workload(scheme_name, tiny_trace, force_default=False)
+        reference = _run_workload(scheme_name, tiny_trace, force_default=True)
+        assert fast == reference
+
+
+class TestBulkOrganizerOps:
+    """on_access_run / add_page_run equal their per-page loops."""
+
+    def _random_mixed_sequence(self, pages, seed):
+        rng = random.Random(seed)
+        return [rng.choice(pages) for _ in range(64)]
+
+    @pytest.mark.parametrize("organizer_cls", ["ai", "hwc"])
+    @pytest.mark.parametrize("relaunch", [False, True])
+    def test_on_access_run_equivalence(self, organizer_cls, relaunch):
+        def make():
+            if organizer_cls == "ai":
+                org = ActiveInactiveOrganizer(uid=1)
+            else:
+                org = HotWarmColdOrganizer(uid=1, hot_seed_limit=4)
+            pages = [Page(pfn=i, uid=1) for i in range(12)]
+            for page in pages:
+                org.add_page(page)
+            # Promote a few so the run crosses list boundaries.
+            for page in pages[3:7]:
+                org.on_access(page, now_ns=5)
+            if relaunch and organizer_cls == "hwc":
+                org.begin_relaunch()
+            return org, pages
+
+        bulk_org, bulk_pages = make()
+        loop_org, loop_pages = make()
+        sequence = self._random_mixed_sequence(range(12), seed=7)
+
+        bulk_org.on_access_run([bulk_pages[i] for i in sequence], now_ns=9)
+        for i in sequence:
+            loop_org.on_access(loop_pages[i], now_ns=9)
+
+        assert _organizer_fingerprint(bulk_org) == _organizer_fingerprint(
+            loop_org
+        )
+        for bulk_page, loop_page in zip(bulk_pages, loop_pages):
+            assert bulk_page.access_count == loop_page.access_count
+            assert bulk_page.last_access_ns == loop_page.last_access_ns
+        if relaunch and organizer_cls == "hwc":
+            assert bulk_org._relaunch_accessed == loop_org._relaunch_accessed
+
+    def test_hwc_add_page_run_splits_seed_budget(self):
+        bulk = HotWarmColdOrganizer(uid=1, hot_seed_limit=5)
+        loop = HotWarmColdOrganizer(uid=1, hot_seed_limit=5)
+        bulk_pages = [Page(pfn=i, uid=1) for i in range(8)]
+        loop_pages = [Page(pfn=i, uid=1) for i in range(8)]
+        bulk.add_page_run(bulk_pages[:3])  # all inside the seed budget
+        bulk.add_page_run(bulk_pages[3:])  # straddles the budget boundary
+        for page in loop_pages:
+            loop.add_page(page)
+        assert _organizer_fingerprint(bulk) == _organizer_fingerprint(loop)
+
+    def test_hwc_add_page_run_during_relaunch_goes_hot(self):
+        org = HotWarmColdOrganizer(uid=1, hot_seed_limit=0)
+        org.end_launch_window()
+        org.begin_relaunch()
+        batch = [Page(pfn=i, uid=1) for i in range(3)]
+        org.add_page_run(batch)
+        assert _lru_order(org.hot) == [0, 1, 2]

@@ -1,0 +1,73 @@
+"""CI bench-gate tests (benchmarks/check_bench_regression.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_bench_regression",
+    Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "check_bench_regression.py",
+)
+gate = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(gate)
+
+
+def artifact(**overrides) -> dict:
+    base = {
+        "wall_time_s": 0.5,
+        "simulated_wall_ns": 60789924846,
+        "relaunches": 56,
+        "compress_ops": 525,
+        "kswapd_cpu_ns": 4613256710,
+        "machine": "x86_64",
+        "python": "3.11.7",
+        "cpus": 4,
+    }
+    base.update(overrides)
+    return base
+
+
+class TestBenchGate:
+    def test_identical_artifacts_pass(self):
+        assert gate.check(artifact(), artifact(), 0.25) == []
+
+    def test_small_slowdown_within_margin_passes(self):
+        fresh = artifact(wall_time_s=0.6)
+        assert gate.check(fresh, artifact(), 0.25) == []
+
+    def test_regression_beyond_margin_fails(self):
+        fresh = artifact(wall_time_s=0.7)
+        failures = gate.check(fresh, artifact(), 0.25)
+        assert len(failures) == 1
+        assert "regressed" in failures[0]
+
+    def test_improvement_always_passes(self):
+        fresh = artifact(wall_time_s=0.1)
+        assert gate.check(fresh, artifact(), 0.25) == []
+
+    def test_correctness_drift_fails_regardless_of_speed(self):
+        fresh = artifact(wall_time_s=0.1, compress_ops=526)
+        failures = gate.check(fresh, artifact(), 0.25)
+        assert any("compress_ops" in failure for failure in failures)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [{"machine": "aarch64"}, {"python": "3.12.1"}, {"cpus": 1}],
+    )
+    def test_environment_mismatch_disarms_timing_only(self, overrides):
+        fresh = artifact(wall_time_s=5.0, **overrides)
+        assert gate.check(fresh, artifact(), 0.25) == []
+        # correctness echoes still enforced across environments
+        fresh = artifact(wall_time_s=5.0, relaunches=1, **overrides)
+        failures = gate.check(fresh, artifact(), 0.25)
+        assert any("relaunches" in failure for failure in failures)
+
+    def test_python_patch_release_does_not_disarm(self):
+        fresh = artifact(wall_time_s=0.7, python="3.11.9")
+        failures = gate.check(fresh, artifact(), 0.25)
+        assert any("regressed" in failure for failure in failures)

@@ -265,6 +265,22 @@ class TestLz4Equivalence:
         for data in CORPUS:
             assert codec._compress_scan(data) == codec.compress(data)
 
+    @pytest.mark.parametrize("acceleration", [1, 4, 32])
+    def test_size_fast_path_matches_blob_length(self, acceleration):
+        codec = Lz4Compressor(acceleration=acceleration)
+        for data in CORPUS:
+            assert codec.compressed_size(data) == len(codec.compress(data))
+
+    def test_size_scan_fallback_matches_blob_length(self, monkeypatch):
+        """The dependency-free size path is exact too (numpy-less hosts)."""
+        from repro.compression import lz4 as lz4_mod
+
+        codec = Lz4Compressor()
+        blobs = [codec.compress(data) for data in CORPUS]
+        monkeypatch.setattr(lz4_mod, "_np", None)
+        for data, blob in zip(CORPUS, blobs):
+            assert codec.compressed_size(data) == len(blob)
+
     def test_roundtrip_on_corpus(self):
         codec = Lz4Compressor()
         for data in CORPUS:

@@ -1,23 +1,33 @@
-"""Golden-number tests: key fig2/fig13 outputs pinned to the pre-
-optimization seed.
+"""Golden-number tests: key fig2/fig13 outputs and a full heavy-scenario
+fingerprint pinned to the pre-optimization seed.
 
 Every performance change in this codebase is required to be
 *number-invariant*: the optimized codecs emit byte-identical blobs, the
-batched reclaim selects identical victims, and the caches memoize only
-deterministic facts.  These tests pin exact figure outputs captured from
-the seed implementation — any drift, however small, is a bug in an
-optimization, not a tolerance issue, which is why comparisons are exact
-(``==``) rather than approximate.
+batched reclaim selects identical victims, batched access replay
+coalesces only bookkeeping, and the caches memoize only deterministic
+facts.  These tests pin exact figure outputs captured from the seed
+implementation — any drift, however small, is a bug in an optimization,
+not a tolerance issue, which is why comparisons are exact (``==``)
+rather than approximate.
 
-The golden values were captured by running ``fig2.run(quick=True)`` and
-``fig13.run(quick=True)`` on the seed revision (commit 017f06b).
+The fig2/fig13 golden values were captured by running
+``fig2.run(quick=True)`` and ``fig13.run(quick=True)`` on the seed
+revision (commit 017f06b).  The heavy-scenario fingerprint was captured
+from the same numbers at the fast-path PR revision (verified bit-equal
+to the seed) and locks the batched replay path well beyond what the
+figure outputs exercise: wall clock, every relaunch latency, per-thread
+and per-activity CPU, every counter, and flash traffic.
 """
 
 from __future__ import annotations
 
+import hashlib
+
 import pytest
 
 from repro.experiments import fig2, fig13
+from repro.experiments.common import scenario_build, workload_trace
+from repro.sim.scenario import run_heavy_scenario
 
 #: Seed fig2 (quick): relaunch latency in ms per scheme per app.
 GOLDEN_FIG2_LATENCY_MS = {
@@ -49,6 +59,43 @@ GOLDEN_FIG13_RATIOS = {
     ("Ariadne-AL-512-2K-16K", "YouTube"): 2.2257608909309345,
     ("Ariadne-AL-512-2K-16K", "Twitter"): 2.3988222643523125,
     ("Ariadne-AL-512-2K-16K", "Firefox"): 2.3685737164797063,
+}
+
+
+#: Quick-mode heavy scenario (3 apps, 10 simulated seconds, Ariadne):
+#: the full measured state of one run, bit-exact.
+GOLDEN_HEAVY_FINGERPRINT = {
+    "wall_ns": 10066963733,
+    "n_relaunches": 135,
+    # blake2b-16 over the comma-joined per-relaunch latencies (ns).
+    "relaunch_digest": "58f3c15084a7dcaa9e870888bbba8074",
+    "cpu_by_thread": {"app": 183710082, "kswapd": 3243473738},
+    "cpu_by_activity": {
+        "compress": 1810517888,
+        "decompress": 136216832,
+        "fault": 9344000,
+        "file_writeback": 1413120000,
+        "flash_read": 2496000,
+        "list_ops": 38849100,
+        "writeback": 16640000,
+    },
+    "counters": {
+        "bytes_original": 3911680,
+        "bytes_stored": 1363691,
+        "chunks_written_back": 40,
+        "compress_ops": 239,
+        "decompress_ops": 73,
+        "dram_bytes_moved": 653787136,
+        "file_pages_written": 4416,
+        "flash_reads": 6,
+        "pages_compressed": 955,
+        "pages_decompressed": 292,
+        "pages_swapped_in": 292,
+        "pages_written_back": 160,
+        "predecomp_skipped_cold": 66,
+    },
+    "flash_bytes_read": 2429888,
+    "flash_bytes_written": 15320320,
 }
 
 
@@ -85,3 +132,56 @@ class TestFig13Golden:
 
     def test_headline_claim_still_holds(self, fig13_result):
         assert fig13_result.ehl_beats_zram_everywhere()
+
+
+@pytest.fixture(scope="module")
+def heavy_scenario_result():
+    trace = workload_trace(n_apps=3, sessions=4)
+    system = scenario_build("Ariadne", trace)
+    return run_heavy_scenario(system, duration_s=10.0)
+
+
+class TestHeavyScenarioFingerprint:
+    """Bit-exact scenario fingerprint: locks the batched access replay
+    (and every other number-invariant optimization) against the seed's
+    measured state, far beyond the per-figure golden values."""
+
+    def test_wall_clock(self, heavy_scenario_result):
+        assert (
+            heavy_scenario_result.wall_ns
+            == GOLDEN_HEAVY_FINGERPRINT["wall_ns"]
+        )
+
+    def test_every_relaunch_latency(self, heavy_scenario_result):
+        latencies = [r.latency_ns for r in heavy_scenario_result.relaunches]
+        assert len(latencies) == GOLDEN_HEAVY_FINGERPRINT["n_relaunches"]
+        digest = hashlib.blake2b(
+            ",".join(map(str, latencies)).encode(), digest_size=16
+        ).hexdigest()
+        assert digest == GOLDEN_HEAVY_FINGERPRINT["relaunch_digest"]
+
+    def test_cpu_accounting(self, heavy_scenario_result):
+        assert (
+            heavy_scenario_result.cpu_by_thread
+            == GOLDEN_HEAVY_FINGERPRINT["cpu_by_thread"]
+        )
+        assert (
+            heavy_scenario_result.cpu_by_activity
+            == GOLDEN_HEAVY_FINGERPRINT["cpu_by_activity"]
+        )
+
+    def test_all_counters(self, heavy_scenario_result):
+        assert (
+            heavy_scenario_result.counters
+            == GOLDEN_HEAVY_FINGERPRINT["counters"]
+        )
+
+    def test_flash_traffic(self, heavy_scenario_result):
+        assert (
+            heavy_scenario_result.flash_bytes_read
+            == GOLDEN_HEAVY_FINGERPRINT["flash_bytes_read"]
+        )
+        assert (
+            heavy_scenario_result.flash_bytes_written
+            == GOLDEN_HEAVY_FINGERPRINT["flash_bytes_written"]
+        )

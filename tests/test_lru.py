@@ -108,3 +108,44 @@ def test_matches_reference_model(ops):
         elif op == "pop" and model:
             assert lru.pop_lru().pfn == model.pop(0)
     assert [p.pfn for p in lru] == model
+
+
+class TestBulkOps:
+    """touch_run / add_run equal their per-page loops."""
+
+    def test_touch_run_matches_touch_loop(self):
+        bulk, loop = LruList(), LruList()
+        for i in range(6):
+            bulk.add(make_page(i))
+            loop.add(make_page(i))
+        sequence = [2, 4, 2, 0, 5, 2]
+        bulk.touch_run(sequence)
+        for pfn in sequence:
+            loop.touch(make_page(pfn))
+        assert [p.pfn for p in bulk] == [p.pfn for p in loop]
+
+    def test_touch_run_returns_count(self):
+        lru = LruList()
+        for i in range(3):
+            lru.add(make_page(i))
+        assert lru.touch_run([0, 1, 0]) == 3
+
+    def test_touch_run_absent_pfn_raises(self):
+        lru = LruList()
+        lru.add(make_page(1))
+        with pytest.raises(PageStateError):
+            lru.touch_run([1, 99])
+
+    def test_add_run_matches_add_loop(self):
+        bulk, loop = LruList(), LruList()
+        pages = [make_page(i) for i in (3, 1, 4, 1 + 10, 5)]
+        bulk.add_run(pages)
+        for page in pages:
+            loop.add(page)
+        assert [p.pfn for p in bulk] == [p.pfn for p in loop]
+
+    def test_add_run_duplicate_raises(self):
+        lru = LruList()
+        lru.add(make_page(7))
+        with pytest.raises(PageStateError):
+            lru.add_run([make_page(8), make_page(7)])

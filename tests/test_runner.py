@@ -4,11 +4,103 @@ from __future__ import annotations
 
 import pytest
 
+from repro.experiments import EXPERIMENTS, SHARDED_EXPERIMENTS, fig10, fig11
 from repro.experiments.runner import (
     ExperimentOutcome,
     default_jobs,
     run_experiments,
 )
+
+
+class _FakeResult:
+    """Mergeable result for the fake sharded experiment below."""
+
+    def __init__(self, partials: dict) -> None:
+        self.partials = partials
+
+    def render(self) -> str:
+        cells = ",".join(
+            f"{key}={self.partials[key][key]}" for key in sorted(self.partials)
+        )
+        return f"cells[{cells}]"
+
+
+class _FakeSharded:
+    """Minimal sharded-protocol experiment (module-level: fork-visible)."""
+
+    @staticmethod
+    def cells(quick: bool = False) -> list[str]:
+        return ["alpha", "beta", "gamma"]
+
+    @staticmethod
+    def run_cell(key: str, quick: bool = False) -> dict:
+        if key == "boom":
+            raise ValueError("cell exploded")
+        return {key: key.upper()}
+
+    @staticmethod
+    def merge(partials: dict, quick: bool = False) -> _FakeResult:
+        return _FakeResult(partials)
+
+
+def _fake_run(quick: bool = False) -> _FakeResult:
+    return _FakeSharded.merge(
+        {key: _FakeSharded.run_cell(key, quick) for key in _FakeSharded.cells(quick)}
+    )
+
+
+class _FakeShardedFailing(_FakeSharded):
+    @staticmethod
+    def cells(quick: bool = False) -> list[str]:
+        return ["alpha", "boom"]
+
+
+@pytest.fixture()
+def fake_sharded(monkeypatch):
+    monkeypatch.setitem(EXPERIMENTS, "fake", _fake_run)
+    monkeypatch.setitem(SHARDED_EXPERIMENTS, "fake", _FakeSharded)
+
+
+class TestShardedScheduling:
+    def test_fig10_and_fig11_expose_matrix_cells(self):
+        assert fig10.cells(quick=True)[:2] == ["DRAM", "ZRAM"]
+        assert len(fig10.cells(quick=True)) == 4
+        # fig11 normalizes to ZRAM, so DRAM (no codec CPU) is not a cell.
+        assert "DRAM" not in fig11.cells(quick=True)
+        assert "ZRAM" in fig11.cells(quick=True)
+        assert len(fig11.cells(quick=False)) > len(fig11.cells(quick=True))
+
+    def test_serial_and_sharded_render_identically(self, fake_sharded):
+        serial = run_experiments(["fake"], jobs=1)
+        sharded = run_experiments(["fake"], jobs=2)
+        assert serial[0].ok and sharded[0].ok
+        assert serial[0].rendered == sharded[0].rendered
+        assert serial[0].cells == 1  # one worker: runs whole, unsharded
+        assert sharded[0].cells == 3
+
+    def test_cell_failure_surfaces_as_experiment_error(self, monkeypatch):
+        monkeypatch.setitem(EXPERIMENTS, "fake", _fake_run)
+        monkeypatch.setitem(SHARDED_EXPERIMENTS, "fake", _FakeShardedFailing)
+        (outcome,) = run_experiments(["fake"], jobs=2)
+        assert not outcome.ok
+        assert "cell exploded" in outcome.error
+
+    def test_mixed_suite_keeps_request_order(self, fake_sharded):
+        outcomes = run_experiments(["platform", "fake"], jobs=2, quick=True)
+        assert [outcome.name for outcome in outcomes] == ["platform", "fake"]
+        assert all(outcome.ok for outcome in outcomes)
+
+    def test_empty_cell_list_falls_back_to_whole_run(self, monkeypatch):
+        class _NoCells(_FakeSharded):
+            @staticmethod
+            def cells(quick: bool = False) -> list[str]:
+                return []
+
+        monkeypatch.setitem(EXPERIMENTS, "fake", _fake_run)
+        monkeypatch.setitem(SHARDED_EXPERIMENTS, "fake", _NoCells)
+        (outcome,) = run_experiments(["fake"], jobs=2)
+        assert outcome.ok and outcome.cells == 1
+        assert outcome.rendered == _fake_run().render()
 
 
 class TestRunExperiments:
