@@ -86,6 +86,15 @@ def profile(
         f"+ simulator {wall - codec:.3f}s "
         f"({sizes.misses} codec calls, {sizes.hits} size-cache hits)"
     )
+    # The accounting layer's cost at a glance: watermark probes are
+    # O(1) reads of the running free-bytes counter, accounting updates
+    # are the occupancy hooks that maintain it (PR 3).
+    probed = system.scheme
+    print(
+        f"# accounting: {probed.watermark_probes} watermark probes, "
+        f"{probed.accounting_updates} occupancy-hook updates "
+        "(incremental free-bytes counter, no recompute per probe)"
+    )
     print("# (profiled wall time includes cProfile overhead)")
     pstats.Stats(profiler).sort_stats(sort).print_stats(top)
 

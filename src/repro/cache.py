@@ -1,29 +1,39 @@
-"""Persistent artifact cache: compressed sizes and workload traces.
+"""Persistent artifact cache: compressed sizes, workload traces, and
+experiment results.
 
-Every figure and table regenerates from two expensive, perfectly
+Every figure and table regenerates from expensive, perfectly
 deterministic artifacts:
 
 - *compressed sizes* — ``(payload, codec, chunk size) -> stored bytes``
   facts measured by really running the codecs (the encoders are
   byte-stable by contract, so a measured size never goes stale);
 - *workload traces* — deterministic functions of ``(generator version,
-  seed, profiles, sessions, duration)``.
+  seed, profiles, sessions, duration)``;
+- *experiment results* — whole experiments and their sharded cells are
+  deterministic functions of the source tree and their arguments, so
+  :class:`ExperimentResultCache` memoizes them keyed by a code
+  fingerprint: an unchanged cell is a disk read on re-runs and in CI,
+  and *any* source edit invalidates everything at once.
 
-This module persists both across processes so repeated benchmark and CI
-runs skip trace generation and first-touch compression entirely, without
-changing a single measured number.
+This module persists all three across processes so repeated benchmark
+and CI runs skip trace generation, first-touch compression, and
+re-measurement of unchanged cells entirely, without changing a single
+measured number.
 
 Layout under the cache root::
 
     sizes-v1-<codec>-<chunk_size>.bin   # 20-byte records: digest(16) + u32 size
     trace-v1-<key digest>.artrace       # via repro.trace.io
+    result-v1-<experiment>-<key digest>.pkl   # pickled cell/figure result
 
 Size files are append-only; each flush is a single ``write`` of whole
 records to an ``O_APPEND`` descriptor, so concurrent writers (the
 parallel experiment runner) interleave only at record granularity.  A
 truncated tail record — possible if a writer dies mid-write — is ignored
 on load.  Duplicate records are harmless (same key, same deterministic
-value).
+value).  Result files are written atomically (rename), so concurrent
+workers racing on the same cell simply overwrite each other with the
+identical payload.
 
 Set ``REPRO_CACHE_DIR`` to relocate the cache, or to ``0`` / ``off`` to
 disable persistence (experiments then fall back to in-memory caching).
@@ -33,7 +43,9 @@ from __future__ import annotations
 
 import json
 import os
+import pickle
 import struct
+from functools import lru_cache
 from hashlib import blake2b
 from pathlib import Path
 
@@ -50,6 +62,9 @@ from .workload.profiles import AppProfile
 _SIZES_FORMAT = 1
 #: Bump when the trace container or generator semantics change.
 _TRACE_FORMAT = 1
+#: Bump when the result-cache envelope changes (content invalidation is
+#: automatic via the code fingerprint).
+_RESULTS_FORMAT = 1
 
 _RECORD = struct.Struct(f"<{_DIGEST_SIZE}sI")
 
@@ -159,6 +174,91 @@ class ArtifactCache:
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         save_trace(trace, tmp)
         os.replace(tmp, path)
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Content digest of the whole ``repro`` source tree.
+
+    Hashes every ``*.py`` file under the package root (path + bytes), so
+    *any* source change — a codec tweak, a scheme refactor, an
+    experiment edit — yields a new fingerprint and therefore a cold
+    result cache.  Deliberately coarse: correctness of memoized results
+    can never depend on guessing which modules an experiment touches.
+    """
+    digest = blake2b(digest_size=16)
+    root = Path(__file__).resolve().parent
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+class ExperimentResultCache:
+    """Memoized experiment results keyed by code version and arguments.
+
+    Payloads are whatever an experiment's ``run_cell`` returns (or a
+    whole experiment's rendered text, under ``cell=None``): perfectly
+    deterministic given the source tree, the experiment, the cell, and
+    the arguments — exactly the key.  A hit replaces a simulation run
+    with one disk read; a source edit anywhere in ``repro`` changes the
+    fingerprint and misses everything, so stale results are structurally
+    impossible rather than policed.
+    """
+
+    def __init__(self, root: str | Path, fingerprint: str | None = None) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.fingerprint = (
+            fingerprint if fingerprint is not None else code_fingerprint()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, experiment: str, cell: str | None, args: object) -> Path:
+        blob = json.dumps(
+            {
+                "fingerprint": self.fingerprint,
+                "experiment": experiment,
+                "cell": cell,
+                "args": args,
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        key = blake2b(blob, digest_size=16).hexdigest()
+        return self.root / f"result-v{_RESULTS_FORMAT}-{experiment}-{key}.pkl"
+
+    def load(self, experiment: str, cell: str | None, args: object) -> object | None:
+        """Cached payload for this exact (code, experiment, cell, args),
+        or ``None`` on miss.  A corrupt file is a miss and is removed."""
+        path = self._path(experiment, cell, args)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            payload = pickle.loads(raw)
+        except Exception:
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def store(
+        self, experiment: str, cell: str | None, args: object, payload: object
+    ) -> None:
+        """Persist ``payload`` (atomic rename; best-effort on I/O errors)."""
+        path = self._path(experiment, cell, args)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            tmp.write_bytes(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+            os.replace(tmp, path)
+        except (OSError, pickle.PicklingError):
+            tmp.unlink(missing_ok=True)
 
 
 class PersistentSizeCache(SizeCache):

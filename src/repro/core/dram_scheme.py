@@ -31,6 +31,7 @@ class DramScheme(SwapScheme):
 
     name = "DRAM"
     uses_zpool = False
+    tracks_free_dram = False  # memory never runs out: no counter to keep
 
     def __init__(
         self, ctx: SchemeContext, pressure_budget_bytes: int | None = None
@@ -43,6 +44,11 @@ class DramScheme(SwapScheme):
 
     def free_dram_bytes(self) -> int:
         """The optimistic assumption: memory never runs out."""
+        self.watermark_probes += 1
+        return self.ctx.platform.dram_bytes
+
+    def audit_free_dram_bytes(self) -> int:
+        """Matches :meth:`free_dram_bytes`: the constant optimistic view."""
         return self.ctx.platform.dram_bytes
 
     def on_pages_created(self, uid: int, pages: list[Page]) -> None:

@@ -67,9 +67,28 @@ class SwapScheme(ABC):
     name: str = "abstract"
     #: Whether this scheme keeps a zpool in DRAM.
     uses_zpool: bool = True
+    #: Whether free DRAM depends on pool occupancy at all (the DRAM
+    #: baseline's does not, so it skips the hook subscriptions).
+    tracks_free_dram: bool = True
 
     def __init__(self, ctx: SchemeContext) -> None:
         self.ctx = ctx
+        #: Running free-DRAM counter: maintained by the byte-delta hooks
+        #: below, so a watermark probe is an integer compare, never a
+        #: recompute.  ``tests/test_invariants.py`` holds it against the
+        #: from-scratch :meth:`audit_free_dram_bytes` after randomized
+        #: admit/evict/writeback sequences.
+        self._free_dram_bytes = ctx.platform.dram_bytes - ctx.dram.used_bytes
+        if self.tracks_free_dram:
+            if self.uses_zpool:
+                self._free_dram_bytes -= ctx.zpool.used_bytes
+                ctx.zpool.subscribe(self._on_used_bytes_delta)
+            ctx.dram.subscribe(self._on_used_bytes_delta)
+        #: Accounting-layer observability (profiling, not simulation
+        #: state): how often the watermark was probed and how often the
+        #: occupancy hooks fired.
+        self.watermark_probes = 0
+        self.accounting_updates = 0
         self._organizers: dict[int, DataOrganizer] = {}
         #: Recency order over apps: first key is least recently used.
         self._app_lru: OrderedDict[int, None] = OrderedDict()
@@ -108,11 +127,31 @@ class SwapScheme(ABC):
 
     # -------------------------------------------------------------- accounting
 
+    def _on_used_bytes_delta(self, delta: int) -> None:
+        """Occupancy hook: DRAM/zpool usage moved by ``delta`` bytes."""
+        self._free_dram_bytes -= delta
+        self.accounting_updates += 1
+
     def free_dram_bytes(self) -> int:
-        """Free DRAM under the shared resident+zpool budget."""
-        used = self.ctx.dram.used_bytes
+        """Free DRAM under the shared resident+zpool budget (O(1)).
+
+        The running counter is maintained by the occupancy hooks, so
+        this never recomputes from the pools — reclaim loops probe the
+        watermark at integer-compare cost.
+        """
+        self.watermark_probes += 1
+        return self._free_dram_bytes
+
+    def audit_free_dram_bytes(self) -> int:
+        """From-scratch recompute of :meth:`free_dram_bytes`.
+
+        Rebuilds the figure from the pools' own audited occupancy —
+        the invariant tests assert the running counter equals this
+        after arbitrary operation sequences.
+        """
+        used = self.ctx.dram.audit_used_bytes()
         if self.uses_zpool:
-            used += self.ctx.zpool.used_bytes
+            used += self.ctx.zpool.audit_used_bytes()
         return self.ctx.platform.dram_bytes - used
 
     def _charge(self, thread: str, activity: str, ns: int) -> None:

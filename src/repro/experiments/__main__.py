@@ -32,8 +32,9 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="run independent experiment cells on N worker processes "
         f"(default: 1 for a single experiment, up to {default_jobs()} "
-        "for 'all'); sharded experiments (fig10/fig11) split into "
-        "per-scheme cells; workers share the on-disk artifact cache",
+        "for 'all'); scheme-matrix experiments (fig2/fig3/table2/"
+        "fig10-fig13) split into per-scheme cells; workers share the "
+        "on-disk artifact and result caches",
     )
     args = parser.parse_args(argv)
 
@@ -63,9 +64,14 @@ def main(argv: list[str] | None = None) -> int:
             sharded = (
                 f" across {outcome.cells} cells" if outcome.cells > 1 else ""
             )
+            cached = (
+                f", {outcome.cached_tasks} from result cache"
+                if outcome.cached_tasks
+                else ""
+            )
             print(
                 f"[{outcome.name} finished in {outcome.elapsed_s:.1f}s"
-                f"{sharded}]\n",
+                f"{sharded}{cached}]\n",
                 flush=True,
             )
         else:

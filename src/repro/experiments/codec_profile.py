@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..compression import Compressor, LatencyModel
+from ..compression import Compressor, LatencyModel, get_compressor
 from ..compression.chunking import SizeCache
 from ..core import AriadneConfig, RelaunchScenario
 from ..mem.page import Hotness
@@ -93,6 +93,59 @@ def _stored_bytes(
     if original == 0:
         return 0, 0
     return total_original, round(stored * total_original / original)
+
+
+def sweep_cell_keys(
+    schemes: tuple[AriadneConfig | None, ...],
+) -> list[str]:
+    """Cell keys for a codec-sweep experiment: one per scheme config.
+
+    Shared by fig12/fig13 (each module keeps its own ``SCHEMES`` tuple
+    but the sharded-cell plumbing is identical): the key is the
+    rendered column label — ``ZRAM`` for the ``None`` baseline, the
+    config label otherwise — stable across processes and runs.
+    """
+    return [
+        "ZRAM" if config is None else config.label for config in schemes
+    ]
+
+
+def sweep_cell(
+    schemes: tuple[AriadneConfig | None, ...],
+    key: str,
+    app_traces: list[AppTrace],
+    cache: SizeCache,
+) -> list[CodecProfile]:
+    """Run one codec-sweep cell: profile every app under ``key``'s config.
+
+    Each (config, app) profile is an independent pure computation over
+    the shared deterministic trace, so cells are order-independent and
+    safe on separate worker processes.
+    """
+    for config in schemes:
+        if ("ZRAM" if config is None else config.label) == key:
+            break
+    else:
+        raise KeyError(f"unknown codec-sweep cell {key!r}")
+    codec = get_compressor("lzo")
+    model = LatencyModel()
+    return [
+        profile_app(app_trace, config, codec, model, cache)
+        for app_trace in app_traces
+    ]
+
+
+def sweep_merge(
+    schemes: tuple[AriadneConfig | None, ...],
+    cell_results: dict[str, list[CodecProfile]],
+) -> list[CodecProfile]:
+    """Concatenate cell outputs in scheme order (the serial row order)."""
+    return [
+        profile
+        for key in sweep_cell_keys(schemes)
+        if key in cell_results
+        for profile in cell_results[key]
+    ]
 
 
 def profile_app(

@@ -13,7 +13,12 @@ from __future__ import annotations
 import atexit
 from functools import lru_cache
 
-from ..cache import ArtifactCache, PersistentSizeCache, default_cache_root
+from ..cache import (
+    ArtifactCache,
+    ExperimentResultCache,
+    PersistentSizeCache,
+    default_cache_root,
+)
 from ..compression.chunking import SizeCache
 from ..core import AriadneConfig, PlatformConfig, RelaunchScenario, pixel7_platform
 from ..core.config import PAPER_CONFIGS
@@ -40,6 +45,24 @@ def artifact_cache() -> ArtifactCache | None:
         return ArtifactCache(root)
     except OSError:
         return None  # unwritable cache location: run without persistence
+
+
+@lru_cache(maxsize=1)
+def result_cache() -> ExperimentResultCache | None:
+    """Process-wide experiment-result memo (``None`` when disabled).
+
+    Shares the artifact cache's root (and its ``REPRO_CACHE_DIR``
+    disable switch): a cached result is just another deterministic
+    artifact, keyed by the source-tree fingerprint so any code change
+    invalidates it wholesale.
+    """
+    cache = artifact_cache()
+    if cache is None:
+        return None
+    try:
+        return ExperimentResultCache(cache.root)
+    except OSError:
+        return None
 
 
 def _make_shared_sizes() -> SizeCache:

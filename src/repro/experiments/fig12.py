@@ -10,11 +10,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..compression import LatencyModel, get_compressor
 from ..core import AriadneConfig, RelaunchScenario
 from ..units import KIB
 from .common import FIGURE_APPS, _SHARED_SIZES, render_table, workload_trace
-from .codec_profile import CodecProfile, profile_app
+from .codec_profile import (
+    CodecProfile,
+    sweep_cell,
+    sweep_cell_keys,
+    sweep_merge,
+)
 
 SCHEMES: tuple[AriadneConfig | None, ...] = (
     None,  # ZRAM
@@ -64,17 +68,34 @@ class Fig12Result:
         )
 
 
-def run(quick: bool = False) -> Fig12Result:
-    """Feed trace data to the codecs under each scheme's chunk policy."""
+def cells(quick: bool = False) -> list[str]:
+    """Independently executable scheme cells (one codec sweep each)."""
+    return sweep_cell_keys(SCHEMES)
+
+
+def run_cell(key: str, quick: bool = False) -> list[CodecProfile]:
+    """Profile every app under one scheme's chunk policy (see
+    :func:`repro.experiments.codec_profile.sweep_cell`)."""
     apps = FIGURE_APPS[:3] if quick else FIGURE_APPS
     trace = workload_trace(n_apps=5)
-    codec = get_compressor("lzo")
-    model = LatencyModel()
-    cache = _SHARED_SIZES
-    profiles = []
-    for config in SCHEMES:
-        for app_name in apps:
-            profiles.append(
-                profile_app(trace.app(app_name), config, codec, model, cache)
-            )
-    return Fig12Result(profiles=profiles)
+    return sweep_cell(
+        SCHEMES, key, [trace.app(app) for app in apps], _SHARED_SIZES
+    )
+
+
+def merge(
+    cell_results: dict[str, list[CodecProfile]], quick: bool = False
+) -> Fig12Result:
+    """Concatenate cell outputs in scheme order (the serial row order)."""
+    return Fig12Result(profiles=sweep_merge(SCHEMES, cell_results))
+
+
+def run(quick: bool = False) -> Fig12Result:
+    """Feed trace data to the codecs under each scheme's chunk policy.
+
+    Defined as the serial merge of the per-cell runs, so the sharded
+    path is equivalent by construction.
+    """
+    return merge(
+        {key: run_cell(key, quick) for key in cells(quick)}, quick
+    )

@@ -45,15 +45,48 @@ class Fig3Result:
         )
 
 
-def run(quick: bool = False) -> Fig3Result:
-    """Run the light switching scenario under each baseline scheme and
-    compare reclaim-thread CPU."""
+def cells(quick: bool = False) -> list[str]:
+    """Independently executable scheme cells (one scenario per scheme)."""
+    return ["DRAM", "ZRAM", "SWAP"]
+
+
+def run_cell(key: str, quick: bool = False) -> float:
+    """Run the light switching scenario for one scheme; kswapd CPU (s).
+
+    Each cell builds its own system from the shared deterministic
+    trace, so cells are order-independent and safe on separate worker
+    processes.
+    """
+    if key not in cells(quick):
+        raise KeyError(f"unknown fig3 cell {key!r}")
     n_apps = 3 if quick else 5
     duration = 20.0 if quick else 60.0
-    kswapd: dict[str, float] = {}
-    for scheme_name in ("DRAM", "ZRAM", "SWAP"):
-        trace = workload_trace(n_apps=n_apps)
-        system = scenario_build(scheme_name, trace)
-        result = run_light_scenario(system, duration_s=duration)
-        kswapd[scheme_name] = result.kswapd_cpu_ns / 1e9
-    return Fig3Result(kswapd_cpu_s=kswapd)
+    trace = workload_trace(n_apps=n_apps)
+    system = scenario_build(key, trace)
+    result = run_light_scenario(system, duration_s=duration)
+    return result.kswapd_cpu_ns / 1e9
+
+
+def merge(
+    cell_results: dict[str, float], quick: bool = False
+) -> Fig3Result:
+    """Assemble cell outputs into the figure, in scheme order."""
+    return Fig3Result(
+        kswapd_cpu_s={
+            key: cell_results[key]
+            for key in cells(quick)
+            if key in cell_results
+        }
+    )
+
+
+def run(quick: bool = False) -> Fig3Result:
+    """Run the light switching scenario under each baseline scheme and
+    compare reclaim-thread CPU.
+
+    Defined as the serial merge of the per-cell runs, so the sharded
+    path is equivalent by construction.
+    """
+    return merge(
+        {key: run_cell(key, quick) for key in cells(quick)}, quick
+    )

@@ -5,13 +5,17 @@ shared between them beyond the deterministic artifact cache — so the
 full suite parallelizes embarrassingly.  Experiments that implement the
 sharded-cell protocol (``cells`` / ``run_cell`` / ``merge``, see
 :data:`repro.experiments.SHARDED_EXPERIMENTS`) are scheduled at
-(scheme x config) **cell** granularity: the heavyweight figures (10 and
-11) split into independently executable, cache-keyed units that run
-concurrently, so no single experiment dominates the suite's critical
-path on a multi-core host.  Workers recompute nothing that another run
-already measured: they share the on-disk artifact cache
-(:mod:`repro.cache`), flushing newly measured compressed sizes after
-every task so concurrent and later workers reuse them.
+(scheme x config) **cell** granularity: every scheme-matrix experiment
+(fig2/fig3/table2/fig10/fig11/fig12/fig13) splits into independently
+executable, cache-keyed units that run concurrently, so no single
+experiment dominates the suite's critical path on a multi-core host.
+Workers recompute nothing that another run already measured: they share
+the on-disk artifact cache (:mod:`repro.cache`), flushing newly
+measured compressed sizes after every task so concurrent and later
+workers reuse them — and every finished task (cell or whole experiment)
+is memoized in the :class:`repro.cache.ExperimentResultCache` keyed by
+a source-tree fingerprint, so an unchanged task on a re-run is a single
+disk read instead of a simulation.
 
 Used by ``python -m repro.experiments all --jobs N`` and importable
 directly::
@@ -35,6 +39,8 @@ class ExperimentOutcome:
     ``elapsed_s`` is the experiment's critical-path time: the single
     task for unsharded experiments, the slowest cell for sharded ones
     (cells run concurrently, so their sum is not wall time).
+    ``cached_tasks`` counts tasks served from the persistent result
+    cache instead of being re-measured.
     """
 
     name: str
@@ -42,6 +48,7 @@ class ExperimentOutcome:
     elapsed_s: float
     error: str | None = None
     cells: int = 1
+    cached_tasks: int = 0
 
     @property
     def ok(self) -> bool:
@@ -67,28 +74,50 @@ def default_jobs() -> int:
 def _run_task(args: tuple[int, str, str | None, bool]):
     """Worker body: run one whole experiment or one sharded cell.
 
-    Returns ``(group_id, cell_key, payload, elapsed_s, error)`` where
-    ``payload`` is the rendered text for a whole experiment or the
-    picklable cell result for a sharded cell.
+    Returns ``(group_id, cell_key, payload, elapsed_s, error, cached)``
+    where ``payload`` is the rendered text for a whole experiment or
+    the picklable cell result for a sharded cell, and ``cached`` is
+    whether it came from the persistent result cache instead of a
+    fresh measurement.  Results are memoized per (code fingerprint,
+    experiment, cell, args): on an unchanged tree a task is one disk
+    read, and any source edit misses wholesale.
     """
     group_id, name, cell_key, quick = args
     # Imported here so "spawn" contexts work and the parent can fork
     # before the (heavier) experiment modules are loaded.
-    from . import EXPERIMENTS, SHARDED_EXPERIMENTS
-    from .common import flush_artifacts
+    from . import EXPERIMENTS, SHARDED_EXPERIMENTS, UNCACHED_EXPERIMENTS
+    from .common import flush_artifacts, result_cache
 
     start = time.perf_counter()
+    # Live-timing experiments are hardware-truthful only when freshly
+    # measured; serving them from disk would present another machine's
+    # (or another day's) wall clock as a measurement.
+    results = None if name in UNCACHED_EXPERIMENTS else result_cache()
+    run_args = {"quick": quick}
     payload: object = ""
+    cached = False
     error = None
     try:
-        if cell_key is None:
-            payload = EXPERIMENTS[name](quick=quick).render()
-        else:
-            payload = SHARDED_EXPERIMENTS[name].run_cell(cell_key, quick=quick)
+        if results is not None:
+            hit = results.load(name, cell_key, run_args)
+            if hit is not None:
+                payload = hit
+                cached = True
+        if not cached:
+            if cell_key is None:
+                payload = EXPERIMENTS[name](quick=quick).render()
+            else:
+                payload = SHARDED_EXPERIMENTS[name].run_cell(
+                    cell_key, quick=quick
+                )
+            if results is not None:
+                results.store(name, cell_key, run_args, payload)
     except Exception as exc:  # surface per-task failures without killing the run
         error = f"{type(exc).__name__}: {exc}"
     flush_artifacts()
-    return group_id, cell_key, payload, time.perf_counter() - start, error
+    return (
+        group_id, cell_key, payload, time.perf_counter() - start, error, cached,
+    )
 
 
 class _Group:
@@ -100,13 +129,18 @@ class _Group:
         self.partials: dict[str | None, object] = {}
         self.elapsed_s = 0.0
         self.error: str | None = None
+        self.cached_tasks = 0
         self.pending = 1 if cell_keys is None else len(cell_keys)
 
-    def consume(self, cell_key: str | None, payload, elapsed_s, error) -> bool:
+    def consume(
+        self, cell_key: str | None, payload, elapsed_s, error, cached
+    ) -> bool:
         """Fold in one finished task; True when the group is complete."""
         self.elapsed_s = max(self.elapsed_s, elapsed_s)
         if error is not None and self.error is None:
             self.error = error
+        if cached:
+            self.cached_tasks += 1
         self.partials[cell_key] = payload
         self.pending -= 1
         return self.pending == 0
@@ -120,6 +154,7 @@ class _Group:
                 rendered=str(rendered),
                 elapsed_s=self.elapsed_s,
                 error=self.error,
+                cached_tasks=self.cached_tasks,
             )
         rendered = ""
         if self.error is None:
@@ -139,6 +174,7 @@ class _Group:
             elapsed_s=self.elapsed_s,
             error=self.error,
             cells=len(self.cell_keys),
+            cached_tasks=self.cached_tasks,
         )
 
 
@@ -185,9 +221,9 @@ def run_experiments(
     outcomes: dict[int, ExperimentOutcome] = {}
 
     def consume(result) -> None:
-        group_id, cell_key, payload, elapsed_s, error = result
+        group_id, cell_key, payload, elapsed_s, error, cached = result
         group = groups[group_id]
-        if group.consume(cell_key, payload, elapsed_s, error):
+        if group.consume(cell_key, payload, elapsed_s, error, cached):
             outcome = group.outcome(quick)
             outcomes[group_id] = outcome
             if on_result is not None:

@@ -49,19 +49,46 @@ class Table2Result:
         )
 
 
-def run(quick: bool = False) -> Table2Result:
-    """Measure scenario energy for the three baseline schemes."""
+def cells(quick: bool = False) -> list[str]:
+    """Independently executable scheme cells (two scenarios per scheme)."""
+    return ["DRAM", "ZRAM", "SWAP"]
+
+
+def run_cell(key: str, quick: bool = False) -> dict[str, float]:
+    """Measure one scheme's light and heavy scenario energy (J).
+
+    Each workload class gets its own fresh system (exactly as the
+    serial loop built them), so cells are order-independent and safe
+    on separate worker processes.
+    """
+    if key not in cells(quick):
+        raise KeyError(f"unknown table2 cell {key!r}")
     n_apps = 3 if quick else 5
     duration = 20.0 if quick else 60.0
-    light: dict[str, float] = {}
-    heavy: dict[str, float] = {}
-    for scheme_name in ("DRAM", "ZRAM", "SWAP"):
-        system = scenario_build(scheme_name, workload_trace(n_apps=n_apps))
-        light[scheme_name] = run_light_scenario(
-            system, duration_s=duration
-        ).energy.total_j
-        system = scenario_build(scheme_name, workload_trace(n_apps=n_apps))
-        heavy[scheme_name] = run_heavy_scenario(
-            system, duration_s=duration
-        ).energy.total_j
-    return Table2Result(light_j=light, heavy_j=heavy)
+    system = scenario_build(key, workload_trace(n_apps=n_apps))
+    light = run_light_scenario(system, duration_s=duration).energy.total_j
+    system = scenario_build(key, workload_trace(n_apps=n_apps))
+    heavy = run_heavy_scenario(system, duration_s=duration).energy.total_j
+    return {"light": light, "heavy": heavy}
+
+
+def merge(
+    cell_results: dict[str, dict[str, float]], quick: bool = False
+) -> Table2Result:
+    """Assemble cell outputs into the table, in scheme order."""
+    order = [key for key in cells(quick) if key in cell_results]
+    return Table2Result(
+        light_j={key: cell_results[key]["light"] for key in order},
+        heavy_j={key: cell_results[key]["heavy"] for key in order},
+    )
+
+
+def run(quick: bool = False) -> Table2Result:
+    """Measure scenario energy for the three baseline schemes.
+
+    Defined as the serial merge of the per-cell runs, so the sharded
+    path is equivalent by construction.
+    """
+    return merge(
+        {key: run_cell(key, quick) for key in cells(quick)}, quick
+    )

@@ -5,9 +5,18 @@ capacity the platform provides for anonymous data.  It deliberately does
 *not* decide what to evict — that is the swap scheme's job — it only
 refuses to go over capacity, forcing callers to reclaim first (the
 simulator's analogue of direct reclaim).
+
+Occupancy is a running counter updated on every add/remove, and
+interested parties (the swap schemes' free-memory accounting) can
+:meth:`subscribe` to byte-delta notifications — the O(1) incremental
+accounting layer that lets watermark probes cost an integer compare
+instead of a recompute.  :meth:`audit_used_bytes` recomputes occupancy
+from scratch for invariant checks.
 """
 
 from __future__ import annotations
+
+from typing import Callable
 
 from ..errors import MemoryPressureError, PageStateError
 from ..units import PAGE_SIZE, fmt_bytes
@@ -29,18 +38,34 @@ class MainMemory:
             )
         self.capacity_bytes = capacity_bytes
         self._resident: dict[int, Page] = {}
+        self._used_bytes = 0
+        #: Byte-delta listeners, called as ``fn(delta)`` after every
+        #: occupancy change (positive on admit, negative on evict).
+        self._listeners: list[Callable[[int], None]] = []
         #: High-water mark of bytes resident (for reports).
         self.peak_used_bytes = 0
 
+    def subscribe(self, listener: Callable[[int], None]) -> None:
+        """Register a byte-delta hook fired on every occupancy change."""
+        self._listeners.append(listener)
+
+    def _notify(self, delta: int) -> None:
+        for listener in self._listeners:
+            listener(delta)
+
     @property
     def used_bytes(self) -> int:
-        """Bytes currently occupied by resident pages."""
+        """Bytes currently occupied by resident pages (running counter)."""
+        return self._used_bytes
+
+    def audit_used_bytes(self) -> int:
+        """From-scratch recompute of :attr:`used_bytes` (invariant checks)."""
         return len(self._resident) * PAGE_SIZE
 
     @property
     def free_bytes(self) -> int:
         """Bytes available before hitting capacity."""
-        return self.capacity_bytes - self.used_bytes
+        return self.capacity_bytes - self._used_bytes
 
     @property
     def resident_count(self) -> int:
@@ -57,12 +82,16 @@ class MainMemory:
             raise PageStateError(f"page {page.pfn} is already resident")
         if self.free_bytes < PAGE_SIZE:
             raise MemoryPressureError(
-                f"DRAM full ({fmt_bytes(self.used_bytes)} of "
+                f"DRAM full ({fmt_bytes(self._used_bytes)} of "
                 f"{fmt_bytes(self.capacity_bytes)}); reclaim before adding"
             )
         self._resident[page.pfn] = page
         page.location = PageLocation.DRAM
-        self.peak_used_bytes = max(self.peak_used_bytes, self.used_bytes)
+        self._used_bytes += PAGE_SIZE
+        if self._used_bytes > self.peak_used_bytes:
+            self.peak_used_bytes = self._used_bytes
+        if self._listeners:
+            self._notify(PAGE_SIZE)
 
     def add_pages(self, pages: list[Page]) -> None:
         """Make a batch of pages resident; the caller ensured room.
@@ -70,26 +99,46 @@ class MainMemory:
         Identical outcome to calling :meth:`add_page` per page when the
         whole batch fits (the duplicate check runs per page; the peak
         watermark is monotone, so one update at the end records the same
-        high-water mark).  If the batch does not fit, the per-page path
-        runs so the failure surfaces at exactly the page it would have.
+        high-water mark; listeners see one summed delta, and deltas are
+        additive by contract).  If the batch does not fit, the per-page
+        path runs so the failure surfaces at exactly the page it would
+        have.
         """
         if self.free_bytes < len(pages) * PAGE_SIZE:
             for page in pages:
                 self.add_page(page)
             return
         resident = self._resident
-        for page in pages:
-            pfn = page.pfn
-            if pfn in resident:
-                raise PageStateError(f"page {pfn} is already resident")
-            resident[pfn] = page
-            page.location = PageLocation.DRAM
-        self.peak_used_bytes = max(self.peak_used_bytes, self.used_bytes)
+        inserted = 0
+        try:
+            for page in pages:
+                pfn = page.pfn
+                if pfn in resident:
+                    raise PageStateError(f"page {pfn} is already resident")
+                resident[pfn] = page
+                page.location = PageLocation.DRAM
+                inserted += 1
+        finally:
+            # Account exactly for what was inserted even when a
+            # duplicate aborts the batch midway — the per-page reference
+            # leaves the earlier pages resident, so the counter (and the
+            # subscribers) must see their delta or it drifts from
+            # audit_used_bytes() forever.
+            if inserted:
+                delta = inserted * PAGE_SIZE
+                self._used_bytes += delta
+                if self._used_bytes > self.peak_used_bytes:
+                    self.peak_used_bytes = self._used_bytes
+                if self._listeners:
+                    self._notify(delta)
 
     def remove_page(self, page: Page) -> None:
         """Evict ``page`` from DRAM (caller decides where it goes)."""
         if self._resident.pop(page.pfn, None) is None:
             raise PageStateError(f"page {page.pfn} is not resident")
+        self._used_bytes -= PAGE_SIZE
+        if self._listeners:
+            self._notify(-PAGE_SIZE)
 
     def is_resident(self, page: Page) -> bool:
         """Whether ``page`` currently occupies DRAM."""
@@ -97,6 +146,6 @@ class MainMemory:
 
     def __repr__(self) -> str:
         return (
-            f"MainMemory(used={fmt_bytes(self.used_bytes)}, "
+            f"MainMemory(used={fmt_bytes(self._used_bytes)}, "
             f"capacity={fmt_bytes(self.capacity_bytes)})"
         )

@@ -10,6 +10,7 @@ prediction relies on.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from ..errors import ZpoolFullError
 from ..units import fmt_bytes
@@ -85,16 +86,33 @@ class Zpool:
         self._next_sector_by_lane: dict[int, int] = {}
         self._used_bytes = 0
         self._payload_bytes = 0
+        #: Byte-delta listeners, called as ``fn(delta)`` after every
+        #: occupancy change (positive on store, negative on free) — the
+        #: same incremental-accounting protocol as
+        #: :meth:`repro.mem.MainMemory.subscribe`.
+        self._listeners: list[Callable[[int], None]] = []
         self.stores = 0
         self.frees = 0
         self.peak_used_bytes = 0
+
+    def subscribe(self, listener: Callable[[int], None]) -> None:
+        """Register a byte-delta hook fired on every occupancy change."""
+        self._listeners.append(listener)
+
+    def _notify(self, delta: int) -> None:
+        for listener in self._listeners:
+            listener(delta)
 
     # -- capacity ---------------------------------------------------------------
 
     @property
     def used_bytes(self) -> int:
-        """Bytes reserved (class sizes) by live entries."""
+        """Bytes reserved (class sizes) by live entries (running counter)."""
         return self._used_bytes
+
+    def audit_used_bytes(self) -> int:
+        """From-scratch recompute of :attr:`used_bytes` (invariant checks)."""
+        return sum(entry.class_bytes for entry in self._entries.values())
 
     @property
     def free_bytes(self) -> int:
@@ -142,7 +160,10 @@ class Zpool:
         self._used_bytes += class_bytes
         self._payload_bytes += payload_bytes
         self.stores += 1
-        self.peak_used_bytes = max(self.peak_used_bytes, self._used_bytes)
+        if self._used_bytes > self.peak_used_bytes:
+            self.peak_used_bytes = self._used_bytes
+        if self._listeners:
+            self._notify(class_bytes)
         return entry
 
     def free(self, handle: int) -> ZpoolEntry:
@@ -154,6 +175,8 @@ class Zpool:
         self._used_bytes -= entry.class_bytes
         self._payload_bytes -= entry.payload_bytes
         self.frees += 1
+        if self._listeners:
+            self._notify(-entry.class_bytes)
         return entry
 
     # -- lookups ----------------------------------------------------------------

@@ -6,7 +6,9 @@ import pytest
 
 from repro.cache import (
     ArtifactCache,
+    ExperimentResultCache,
     PersistentSizeCache,
+    code_fingerprint,
     default_cache_root,
 )
 from repro.compression import get_compressor
@@ -144,6 +146,46 @@ class TestPersistentSizeCache:
         assert len(sizes) == 0
         fresh = PersistentSizeCache(cache)
         assert fresh.compressed_size(FailingCodec(), payload, 2048) > 0
+
+
+class TestExperimentResultCache:
+    def test_roundtrip_cell_payload(self, tmp_path):
+        results = ExperimentResultCache(tmp_path / "results", fingerprint="f1")
+        payload = {"YouTube": 123.456, "Twitter": 7.89}
+        assert results.load("fig2", "ZRAM", {"quick": True}) is None
+        results.store("fig2", "ZRAM", {"quick": True}, payload)
+        assert results.load("fig2", "ZRAM", {"quick": True}) == payload
+        assert results.hits == 1 and results.misses == 1
+
+    def test_key_separates_cell_args_and_experiment(self, tmp_path):
+        results = ExperimentResultCache(tmp_path, fingerprint="f1")
+        results.store("fig2", "ZRAM", {"quick": True}, "payload")
+        assert results.load("fig2", "SWAP", {"quick": True}) is None
+        assert results.load("fig2", "ZRAM", {"quick": False}) is None
+        assert results.load("fig3", "ZRAM", {"quick": True}) is None
+        assert results.load("fig2", None, {"quick": True}) is None
+
+    def test_fingerprint_change_invalidates_everything(self, tmp_path):
+        old = ExperimentResultCache(tmp_path, fingerprint="before-edit")
+        old.store("fig10", "DRAM", {"quick": True}, [1, 2, 3])
+        new = ExperimentResultCache(tmp_path, fingerprint="after-edit")
+        assert new.load("fig10", "DRAM", {"quick": True}) is None
+        # The old code version still sees its own result.
+        assert old.load("fig10", "DRAM", {"quick": True}) == [1, 2, 3]
+
+    def test_corrupt_payload_is_a_miss_and_removed(self, tmp_path):
+        results = ExperimentResultCache(tmp_path, fingerprint="f1")
+        results.store("fig2", "ZRAM", None, "ok")
+        path = results._path("fig2", "ZRAM", None)
+        path.write_bytes(b"definitely not a pickle")
+        assert results.load("fig2", "ZRAM", None) is None
+        assert not path.exists()
+
+    def test_default_fingerprint_is_stable_within_a_tree(self, tmp_path):
+        a = ExperimentResultCache(tmp_path / "a")
+        b = ExperimentResultCache(tmp_path / "b")
+        assert a.fingerprint == b.fingerprint == code_fingerprint()
+        assert len(a.fingerprint) == 32  # blake2b-16 hex
 
 
 class TestDefaultRoot:

@@ -1,0 +1,72 @@
+"""Cells-vs-serial equivalence for every sharded experiment.
+
+Each sharded module defines ``run()`` as the serial merge of its cells,
+so the contract under test is the part that construction alone cannot
+give: cells must be *independent* (executable in any order, in any
+process) and their payloads must survive the worker boundary (pickle)
+— i.e. ``merge(run_cell(c) for c in cells)`` equals ``run()`` exactly
+even when the cells ran reversed and round-tripped through pickle.
+The absolute values themselves are pinned separately by
+``tests/test_golden_numbers.py``.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.experiments import (
+    SHARDED_EXPERIMENTS,
+    fig2,
+    fig3,
+    fig12,
+    fig13,
+    table2,
+)
+
+
+def merged_from_reversed_cells(module):
+    """Run every cell in reverse order, through a pickle round-trip."""
+    results = {}
+    for key in reversed(module.cells(quick=True)):
+        payload = module.run_cell(key, quick=True)
+        results[key] = pickle.loads(pickle.dumps(payload))
+    return module.merge(results, quick=True)
+
+
+def test_every_sharded_module_exposes_the_protocol():
+    for name, module in SHARDED_EXPERIMENTS.items():
+        keys = module.cells(quick=True)
+        assert keys, f"{name} advertises no cells"
+        assert len(keys) == len(set(keys)), f"{name} cell keys collide"
+        assert callable(module.run_cell) and callable(module.merge)
+
+
+@pytest.mark.parametrize("module", [fig2, fig3, table2, fig12, fig13])
+def test_unknown_cell_key_rejected(module):
+    with pytest.raises(KeyError):
+        module.run_cell("not-a-cell", quick=True)
+
+
+def test_fig12_cells_equal_serial():
+    assert merged_from_reversed_cells(fig12) == fig12.run(quick=True)
+
+
+def test_fig13_cells_equal_serial():
+    assert merged_from_reversed_cells(fig13) == fig13.run(quick=True)
+
+
+@pytest.mark.slow
+def test_fig2_cells_equal_serial():
+    assert merged_from_reversed_cells(fig2) == fig2.run(quick=True)
+
+
+@pytest.mark.slow
+def test_fig3_cells_equal_serial():
+    assert merged_from_reversed_cells(fig3) == fig3.run(quick=True)
+
+
+@pytest.mark.slow
+def test_table2_cells_equal_serial():
+    assert merged_from_reversed_cells(table2) == table2.run(quick=True)

@@ -68,3 +68,43 @@ def test_has_room_for():
     memory.add_page(Page(pfn=1, uid=1))
     assert memory.has_room_for(1)
     assert not memory.has_room_for(2)
+
+
+def test_subscriber_sees_every_occupancy_delta():
+    memory = MainMemory(capacity_bytes=8 * PAGE_SIZE)
+    deltas: list[int] = []
+    memory.subscribe(deltas.append)
+    memory.add_page(Page(pfn=1, uid=1))
+    memory.add_pages([Page(pfn=2, uid=1), Page(pfn=3, uid=1)])
+    memory.remove_page(Page(pfn=2, uid=1))
+    assert deltas == [PAGE_SIZE, 2 * PAGE_SIZE, -PAGE_SIZE]
+    # Summing the deltas reconstructs the occupancy exactly.
+    assert sum(deltas) == memory.used_bytes == memory.audit_used_bytes()
+
+
+def test_audit_matches_running_counter_through_fallback_path():
+    # add_pages that does not fit falls back to per-page adds (and
+    # per-page notifications); the counter and audit must still agree.
+    memory = MainMemory(capacity_bytes=2 * PAGE_SIZE)
+    deltas: list[int] = []
+    memory.subscribe(deltas.append)
+    with pytest.raises(MemoryPressureError):
+        memory.add_pages([Page(pfn=i, uid=1) for i in range(1, 4)])
+    assert memory.used_bytes == memory.audit_used_bytes() == 2 * PAGE_SIZE
+    assert sum(deltas) == memory.used_bytes
+
+
+def test_mid_batch_duplicate_keeps_counter_in_sync():
+    # A duplicate aborts add_pages midway exactly as the per-page
+    # reference would; the pages inserted before the raise must still
+    # reach the counter and the subscribers.
+    memory = MainMemory(capacity_bytes=8 * PAGE_SIZE)
+    deltas: list[int] = []
+    memory.subscribe(deltas.append)
+    memory.add_page(Page(pfn=5, uid=1))
+    with pytest.raises(PageStateError):
+        memory.add_pages(
+            [Page(pfn=1, uid=1), Page(pfn=2, uid=1), Page(pfn=5, uid=1)]
+        )
+    assert memory.used_bytes == memory.audit_used_bytes() == 3 * PAGE_SIZE
+    assert sum(deltas) == memory.used_bytes

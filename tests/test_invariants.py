@@ -65,6 +65,11 @@ def assert_invariants(system) -> None:
     assert 0 <= ctx.zpool.used_bytes <= ctx.zpool.capacity_bytes
     assert 0 <= ctx.flash_swap.used_bytes <= ctx.flash_swap.capacity_bytes
     assert scheme.free_dram_bytes() >= 0
+    # The O(1) running counters equal a from-scratch recompute: the
+    # incremental accounting layer may never drift from ground truth.
+    assert ctx.dram.used_bytes == ctx.dram.audit_used_bytes()
+    assert ctx.zpool.used_bytes == ctx.zpool.audit_used_bytes()
+    assert scheme.free_dram_bytes() == scheme.audit_free_dram_bytes()
     # Stored-chunk placement fields are consistent.
     for chunk in scheme.stored_chunks():
         if chunk.in_zpool:
@@ -104,6 +109,51 @@ def test_invariants_under_random_operations(scheme_name, operations):
         else:
             system.prepare_relaunch(name, RelaunchScenario.EHL)
         assert_invariants(system)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.sampled_from(["ZRAM", "SWAP", "Ariadne"]),
+    st.lists(
+        st.tuples(
+            st.sampled_from(
+                # admit (relaunch faults pages back in), evict
+                # (prepare/compress force reclaim), and writeback
+                # (Ariadne moves cold chunks to flash under pressure
+                # and on background reclaim) all exercise the hooks.
+                ["relaunch", "compress_all", "compress_cold",
+                 "background_reclaim", "prepare_al"],
+            ),
+            st.integers(min_value=0, max_value=len(APPS) - 1),
+        ),
+        min_size=1,
+        max_size=10,
+    ),
+)
+def test_free_counter_equals_recompute_under_admit_evict_writeback(
+    scheme_name, operations
+):
+    """The running free-bytes counter tracks a from-scratch recompute
+    through randomized admit/evict/writeback sequences — the invariant
+    the O(1) accounting layer must uphold to be number-invariant."""
+    system = fresh_system(scheme_name)
+    scheme = system.scheme
+    for op, app_index in operations:
+        name = APPS[app_index]
+        uid = system.app(name).uid
+        if op == "relaunch":
+            system.relaunch(name)
+        elif op == "compress_all":
+            scheme.force_compress_app(uid)
+        elif op == "compress_cold":
+            scheme.force_compress_app(uid, exclude_hot=True)
+        elif op == "background_reclaim":
+            scheme.background_reclaim()
+        else:
+            system.prepare_relaunch(name, RelaunchScenario.AL)
+        assert system.ctx.dram.used_bytes == system.ctx.dram.audit_used_bytes()
+        assert system.ctx.zpool.used_bytes == system.ctx.zpool.audit_used_bytes()
+        assert scheme.free_dram_bytes() == scheme.audit_free_dram_bytes()
 
 
 @settings(max_examples=6, deadline=None)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments import EXPERIMENTS, SHARDED_EXPERIMENTS, fig10, fig11
+from repro.experiments import common
 from repro.experiments.runner import (
     ExperimentOutcome,
     default_jobs,
@@ -101,6 +102,78 @@ class TestShardedScheduling:
         (outcome,) = run_experiments(["fake"], jobs=2)
         assert outcome.ok and outcome.cells == 1
         assert outcome.rendered == _fake_run().render()
+
+
+@pytest.fixture()
+def persistent_caches(monkeypatch, tmp_path):
+    """Point the (normally disabled-in-tests) disk caches at a tmp dir.
+
+    The runner's workers re-read ``REPRO_CACHE_DIR`` through the
+    ``lru_cache``'d accessors, so both are cleared on entry and exit —
+    exit restores the hermetic ``off`` state the conftest establishes.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    common.artifact_cache.cache_clear()
+    common.result_cache.cache_clear()
+    yield tmp_path / "cache"
+    common.artifact_cache.cache_clear()
+    common.result_cache.cache_clear()
+
+
+class TestResultCacheIntegration:
+    def test_second_sharded_run_serves_cells_from_cache(
+        self, fake_sharded, persistent_caches
+    ):
+        (cold,) = run_experiments(["fake"], jobs=2)
+        assert cold.ok and cold.cells == 3 and cold.cached_tasks == 0
+        (warm,) = run_experiments(["fake"], jobs=2)
+        assert warm.ok and warm.cells == 3 and warm.cached_tasks == 3
+        assert warm.rendered == cold.rendered
+
+    def test_second_serial_run_serves_whole_experiment_from_cache(
+        self, persistent_caches
+    ):
+        (cold,) = run_experiments(["platform"], jobs=1, quick=True)
+        assert cold.ok and cold.cached_tasks == 0
+        (warm,) = run_experiments(["platform"], jobs=1, quick=True)
+        assert warm.ok and warm.cached_tasks == 1
+        assert warm.rendered == cold.rendered
+
+    def test_failed_task_is_not_cached(self, monkeypatch, persistent_caches):
+        monkeypatch.setitem(EXPERIMENTS, "fake", _fake_run)
+        monkeypatch.setitem(SHARDED_EXPERIMENTS, "fake", _FakeShardedFailing)
+        (first,) = run_experiments(["fake"], jobs=2)
+        assert not first.ok
+        (second,) = run_experiments(["fake"], jobs=2)
+        assert not second.ok
+        # Only the successful cell may be served from cache; the failed
+        # one must re-run (and fail again), never be memoized.
+        assert second.cached_tasks <= 1
+
+    def test_disabled_cache_never_reports_cached_tasks(self, fake_sharded):
+        # conftest keeps REPRO_CACHE_DIR=off for hermetic tests.
+        for _ in range(2):
+            (outcome,) = run_experiments(["fake"], jobs=2)
+            assert outcome.ok and outcome.cached_tasks == 0
+
+    def test_live_timing_experiments_are_never_served_from_cache(
+        self, monkeypatch, fake_sharded, persistent_caches
+    ):
+        # Experiments in UNCACHED_EXPERIMENTS embed real wall-clock
+        # measurements; a warm run must re-measure, not replay.
+        import repro.experiments as experiments
+
+        monkeypatch.setattr(experiments, "UNCACHED_EXPERIMENTS", {"fake"})
+        for _ in range(2):
+            (outcome,) = run_experiments(["fake"], jobs=2)
+            assert outcome.ok and outcome.cached_tasks == 0
+
+    def test_fig6_is_marked_uncacheable(self):
+        # fig6 times the real codecs with perf_counter; serving its
+        # rendered wall seconds from disk would misreport hardware.
+        from repro.experiments import UNCACHED_EXPERIMENTS
+
+        assert "fig6" in UNCACHED_EXPERIMENTS
 
 
 class TestRunExperiments:

@@ -109,3 +109,26 @@ class TestZpool:
             pool.free(handle)
         assert pool.used_bytes == 0
         assert pool.entry_count == 0
+
+
+class TestOccupancyHooks:
+    def test_subscriber_sees_store_and_free_deltas(self):
+        pool = Zpool(capacity_bytes=1 << 20)
+        deltas: list[int] = []
+        pool.subscribe(deltas.append)
+        first = pool.store(100)
+        second = pool.store(3000)
+        pool.free(first.handle)
+        assert deltas == [
+            first.class_bytes, second.class_bytes, -first.class_bytes
+        ]
+        assert sum(deltas) == pool.used_bytes == pool.audit_used_bytes()
+
+    def test_audit_recomputes_from_live_entries(self):
+        pool = Zpool(capacity_bytes=1 << 20)
+        handles = [pool.store(size).handle for size in (64, 700, 4096)]
+        pool.free(handles[1])
+        assert pool.audit_used_bytes() == pool.used_bytes
+        assert pool.audit_used_bytes() == sum(
+            entry.class_bytes for entry in pool._entries.values()
+        )
