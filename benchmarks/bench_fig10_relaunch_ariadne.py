@@ -3,12 +3,11 @@ versus ZRAM and lands near the DRAM lower bound."""
 
 from __future__ import annotations
 
-from repro.experiments import fig10
-from conftest import run_once
+from conftest import run_measured
 
 
-def test_bench_fig10(benchmark):
-    result = run_once(benchmark, fig10.run)
+def test_bench_fig10(benchmark, request):
+    result = run_measured(benchmark, request, "fig10")
     print()
     print(result.render())
     assert result.ariadne_reduction_vs_zram > 0.35   # paper: ~50%

@@ -7,12 +7,11 @@ EXPERIMENTS.md for the discussion).
 
 from __future__ import annotations
 
-from repro.experiments import fig11
-from conftest import run_once
+from conftest import run_measured
 
 
-def test_bench_fig11(benchmark):
-    result = run_once(benchmark, fig11.run)
+def test_bench_fig11(benchmark, request):
+    result = run_measured(benchmark, request, "fig11")
     print()
     print(result.render())
     assert result.ariadne_mean_reduction > 0.10   # paper: ~15%

@@ -6,12 +6,11 @@ Paper shape (LZO): decompression latency drops ~60% (YouTube/Twitter) to
 
 from __future__ import annotations
 
-from repro.experiments import fig12
-from conftest import run_once
+from conftest import run_measured
 
 
-def test_bench_fig12(benchmark):
-    result = run_once(benchmark, fig12.run)
+def test_bench_fig12(benchmark, request):
+    result = run_measured(benchmark, request, "fig12")
     print()
     print(result.render())
     ehl = "Ariadne-EHL-1K-2K-16K"

@@ -8,12 +8,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import fig13
-from conftest import run_once
+from conftest import run_measured
 
 
-def test_bench_fig13(benchmark):
-    result = run_once(benchmark, fig13.run)
+def test_bench_fig13(benchmark, request):
+    result = run_measured(benchmark, request, "fig13")
     print()
     print(result.render())
     assert result.ehl_beats_zram_everywhere()

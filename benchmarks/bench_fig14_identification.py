@@ -5,12 +5,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import fig14
-from conftest import run_once
+from conftest import run_measured
 
 
-def test_bench_fig14(benchmark):
-    result = run_once(benchmark, fig14.run)
+def test_bench_fig14(benchmark, request):
+    result = run_measured(benchmark, request, "fig14")
     print()
     print(result.render())
     assert result.mean_coverage == pytest.approx(0.70, abs=0.12)

@@ -3,15 +3,14 @@ ratio, very small chunks minimize latency at a ratio cost."""
 
 from __future__ import annotations
 
-from repro.experiments import fig15
-from conftest import run_once
+from conftest import run_measured
 
 BIG = "Ariadne-AL-1K-4K-64K"
 SMALL = "Ariadne-AL-256-1K-4K"
 
 
-def test_bench_fig15(benchmark):
-    result = run_once(benchmark, fig15.run)
+def test_bench_fig15(benchmark, request):
+    result = run_measured(benchmark, request, "fig15")
     print()
     print(result.render())
     # The 64K-cold config buys the best ratio.

@@ -5,12 +5,11 @@ Paper shape: ZRAM ~2.1x DRAM on average; SWAP worse than ZRAM.
 
 from __future__ import annotations
 
-from repro.experiments import fig2
-from conftest import run_once
+from conftest import run_measured
 
 
-def test_bench_fig2(benchmark):
-    result = run_once(benchmark, fig2.run)
+def test_bench_fig2(benchmark, request):
+    result = run_measured(benchmark, request, "fig2")
     print()
     print(result.render())
     assert 1.5 <= result.zram_over_dram <= 3.2   # paper: 2.1x

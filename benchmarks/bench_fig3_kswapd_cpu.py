@@ -5,12 +5,11 @@ Paper shape: ZRAM burns the most reclaim CPU (2.6x DRAM, 2.0x SWAP).
 
 from __future__ import annotations
 
-from repro.experiments import fig3
-from conftest import run_once
+from conftest import run_measured
 
 
-def test_bench_fig3(benchmark):
-    result = run_once(benchmark, fig3.run)
+def test_bench_fig3(benchmark, request):
+    result = run_measured(benchmark, request, "fig3")
     print()
     print(result.render())
     assert result.zram_over_dram > 1.5   # paper: 2.6x

@@ -6,12 +6,11 @@ significant share of hot data — LRU is blind to hotness.
 
 from __future__ import annotations
 
-from repro.experiments import fig4
-from conftest import run_once
+from conftest import run_measured
 
 
-def test_bench_fig4(benchmark):
-    result = run_once(benchmark, fig4.run)
+def test_bench_fig4(benchmark, request):
+    result = run_measured(benchmark, request, "fig4")
     print()
     print(result.render())
     # Every app's first part contains hot data (the paper's headline).

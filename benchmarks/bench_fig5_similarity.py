@@ -5,12 +5,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import fig5
-from conftest import run_once
+from conftest import run_measured
 
 
-def test_bench_fig5(benchmark):
-    result = run_once(benchmark, fig5.run)
+def test_bench_fig5(benchmark, request):
+    result = run_measured(benchmark, request, "fig5")
     print()
     print(result.render())
     assert result.mean_similarity == pytest.approx(0.70, abs=0.06)

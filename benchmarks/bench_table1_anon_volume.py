@@ -4,12 +4,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import table1
-from conftest import run_once
+from conftest import run_measured
 
 
-def test_bench_table1(benchmark):
-    result = run_once(benchmark, table1.run)
+def test_bench_table1(benchmark, request):
+    result = run_measured(benchmark, request, "table1")
     print()
     print(result.render())
     for row in result.rows:

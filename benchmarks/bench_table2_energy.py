@@ -6,12 +6,11 @@ DRAM); SWAP sits close to DRAM.
 
 from __future__ import annotations
 
-from repro.experiments import table2
-from conftest import run_once
+from conftest import run_measured
 
 
-def test_bench_table2(benchmark):
-    result = run_once(benchmark, table2.run)
+def test_bench_table2(benchmark, request):
+    result = run_measured(benchmark, request, "table2")
     print()
     print(result.render())
     for workload in ("light", "heavy"):

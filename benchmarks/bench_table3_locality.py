@@ -5,13 +5,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import table3
 from repro.workload import profile_by_name
-from conftest import run_once
+from conftest import run_measured
 
 
-def test_bench_table3(benchmark):
-    result = run_once(benchmark, table3.run)
+def test_bench_table3(benchmark, request):
+    result = run_measured(benchmark, request, "table3")
     print()
     print(result.render())
     for app, p2 in result.p2.items():

@@ -4,16 +4,62 @@ Each paper table/figure has one benchmark that regenerates it end to end
 and prints the result table.  Full experiments are minutes-scale
 simulations, so they run exactly once per session
 (``benchmark.pedantic(rounds=1)``) — the interesting output is the
-regenerated table and the asserted paper-shape claims, not sub-millisecond
-timing statistics (the codec microbenchmarks in ``bench_codecs.py`` cover
-that ground).
+regenerated table and the asserted paper-shape claims, not
+sub-millisecond timing statistics (the codec microbenchmarks in
+``bench_codecs.py`` cover that ground).
+
+Because *measurement*, not timing, is the point of the figure
+benchmarks, :func:`run_measured` routes them through the persistent
+experiment-result cache (:func:`repro.experiments.run_cached`): on an
+unchanged source tree a re-run is one disk read, and any source edit
+invalidates everything via the code fingerprint.  Two opt-outs exist:
+
+- ``pytest benchmarks/ --fresh-measurements`` forces every experiment
+  to re-run (the shared flag for timing-honest sessions);
+- specs flagged ``cacheable = False`` (fig6's live wall-clock columns)
+  always re-measure regardless.
+
+Timing-centric benchmarks (``bench_codecs.py``, the smoke scenario)
+never use the result cache.
 """
 
 from __future__ import annotations
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--fresh-measurements",
+        action="store_true",
+        default=False,
+        help="bypass the persistent experiment-result cache and re-run "
+        "every figure/table experiment from scratch",
+    )
+
+
 def run_once(benchmark, fn, *args, **kwargs):
-    """Run an experiment exactly once under pytest-benchmark and return
-    its result object."""
+    """Run a callable exactly once under pytest-benchmark and return
+    its result object (no result-cache involvement)."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs,
                               rounds=1, iterations=1, warmup_rounds=0)
+
+
+def run_measured(benchmark, request, experiment_id, quick: bool = False):
+    """Regenerate one experiment through the persistent result cache.
+
+    The memo key matches the parallel runner's, so benchmark sessions,
+    CLI runs, and CI share entries.  ``--fresh-measurements`` (or an
+    uncacheable spec) falls back to a direct run.
+    """
+    from repro.experiments import experiment, run_cached
+
+    if request.config.getoption("--fresh-measurements"):
+        spec = experiment(experiment_id)
+        return run_once(benchmark, spec.run, quick=quick)
+    return benchmark.pedantic(
+        run_cached,
+        args=(experiment_id,),
+        kwargs={"quick": quick},
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )

@@ -1,0 +1,210 @@
+"""Assemble the CI wall-time trend from per-commit smoke artifacts.
+
+Every CI run uploads ``BENCH_scenario-<sha>`` containing one
+``BENCH_scenario.json`` (see ``benchmarks/smoke_scenario.py``).  Download
+a batch of them (``gh run download`` / the Actions UI) into one
+directory and point this script at it::
+
+    python benchmarks/plot_bench_trend.py --artifacts ./artifacts \
+        --out-md BENCH_trend.md --out-json BENCH_trend.json
+
+The script discovers every artifact (a ``BENCH_scenario-<sha>``
+directory or a ``BENCH_scenario-<sha>.json`` file), orders the commits
+by ``git log`` history when the repo knows them (falling back to file
+mtime for shas from other branches), and emits:
+
+- a **markdown table** with an ASCII spark bar per commit — the
+  at-a-glance trend line the ROADMAP asked for;
+- a **JSON document** with the raw per-commit rows for downstream
+  tooling (dashboards, regression bisection).
+
+A correctness column flags any commit whose simulated echoes
+(``simulated_wall_ns`` etc.) differ from the committed baseline —
+a perf trend is only meaningful over bit-identical behavior.
+
+Dependency-free by design (stdlib + ``git`` if available): CI and
+laptops can both run it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+#: Echo fields that must stay bit-identical for the trend to be
+#: comparable (mirrors benchmarks/check_bench_regression.py).
+ECHO_FIELDS = (
+    "simulated_wall_ns",
+    "relaunches",
+    "compress_ops",
+    "kswapd_cpu_ns",
+)
+
+_ARTIFACT_RE = re.compile(r"BENCH_scenario-(?P<sha>[0-9a-f]{7,40})(?:\.json)?$")
+
+
+def discover_artifacts(root: Path) -> dict[str, Path]:
+    """Map sha -> artifact JSON path under ``root``.
+
+    Accepts both the downloaded-directory layout
+    (``BENCH_scenario-<sha>/BENCH_scenario.json``) and flat renamed
+    files (``BENCH_scenario-<sha>.json``).
+    """
+    found: dict[str, Path] = {}
+    for entry in sorted(root.iterdir()):
+        match = _ARTIFACT_RE.match(entry.name)
+        if match is None:
+            continue
+        sha = match.group("sha")
+        if entry.is_dir():
+            payload = entry / "BENCH_scenario.json"
+            if payload.is_file():
+                found[sha] = payload
+        elif entry.suffix == ".json":
+            found[sha] = entry
+    return found
+
+
+def git_history_order(shas: list[str]) -> dict[str, int]:
+    """Position of each sha in ``git log`` (older = smaller), when known."""
+    try:
+        out = subprocess.run(
+            ["git", "log", "--format=%H"],
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=Path(__file__).resolve().parent.parent,
+        ).stdout.split()
+    except (OSError, subprocess.CalledProcessError):
+        return {}
+    # git log is newest-first; invert so older commits sort first.
+    position = {full: len(out) - index for index, full in enumerate(out)}
+    order: dict[str, int] = {}
+    for sha in shas:
+        for full, pos in position.items():
+            if full.startswith(sha):
+                order[sha] = pos
+                break
+    return order
+
+
+def load_rows(artifacts: dict[str, Path], baseline: dict | None) -> list[dict]:
+    """One trend row per artifact, oldest first."""
+    order = git_history_order(list(artifacts))
+    rows = []
+    for sha, path in artifacts.items():
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"skipping {path}: {exc}", file=sys.stderr)
+            continue
+        echoes_ok = baseline is None or all(
+            payload.get(field) == baseline.get(field) for field in ECHO_FIELDS
+        )
+        # Commits the local repo knows sort by history position; unknown
+        # shas (other branches, shallow clones) fall back to file mtime
+        # *after* the known history — they must never displace the
+        # "vs first" baseline row.
+        sort_key = (
+            (0, order[sha]) if sha in order else (1, path.stat().st_mtime)
+        )
+        rows.append(
+            {
+                "sha": sha,
+                "wall_time_s": payload.get("wall_time_s"),
+                "python": payload.get("python"),
+                "machine": payload.get("machine"),
+                "cpus": payload.get("cpus"),
+                "echoes_match_baseline": echoes_ok,
+                "sort_key": sort_key,
+            }
+        )
+    rows.sort(key=lambda row: row["sort_key"])
+    for row in rows:
+        del row["sort_key"]
+    return rows
+
+
+def spark_bar(value: float, maximum: float, width: int = 30) -> str:
+    """A proportional ASCII bar (the 'plot' in plot_bench_trend)."""
+    if maximum <= 0:
+        return ""
+    filled = max(1, round(width * value / maximum))
+    return "#" * filled
+
+
+def render_markdown(rows: list[dict]) -> str:
+    """The trend as a markdown table with spark bars."""
+    lines = [
+        "# Smoke-scenario wall-time trend",
+        "",
+        "One row per CI commit artifact, oldest first.  `echoes` flags",
+        "whether the run's simulated numbers matched the committed",
+        "baseline (a perf trend is only comparable over bit-identical",
+        "behavior).",
+        "",
+        "| commit | wall (s) | vs first | echoes | trend |",
+        "|---|---|---|---|---|",
+    ]
+    timed = [row for row in rows if row["wall_time_s"] is not None]
+    slowest = max((row["wall_time_s"] for row in timed), default=0.0)
+    first = timed[0]["wall_time_s"] if timed else None
+    for row in rows:
+        wall = row["wall_time_s"]
+        if wall is None:
+            lines.append(f"| `{row['sha'][:9]}` | ? | ? | ? | |")
+            continue
+        delta = f"{(wall / first - 1.0):+.0%}" if first else "n/a"
+        echoes = "ok" if row["echoes_match_baseline"] else "**DRIFT**"
+        lines.append(
+            f"| `{row['sha'][:9]}` | {wall:.3f} | {delta} | {echoes} "
+            f"| `{spark_bar(wall, slowest)}` |"
+        )
+    if not rows:
+        lines.append("| _no artifacts found_ | | | | |")
+    return "\n".join(lines) + "\n"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--artifacts",
+        type=Path,
+        required=True,
+        help="directory holding downloaded BENCH_scenario-<sha> artifacts",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path(__file__).resolve().parent / "BENCH_baseline.json",
+        help="committed baseline for the correctness-echo column",
+    )
+    parser.add_argument("--out-md", type=Path, default=Path("BENCH_trend.md"))
+    parser.add_argument("--out-json", type=Path, default=Path("BENCH_trend.json"))
+    args = parser.parse_args()
+
+    if not args.artifacts.is_dir():
+        print(f"not a directory: {args.artifacts}", file=sys.stderr)
+        return 2
+    baseline = None
+    if args.baseline.is_file():
+        baseline = json.loads(args.baseline.read_text())
+    artifacts = discover_artifacts(args.artifacts)
+    rows = load_rows(artifacts, baseline)
+
+    markdown = render_markdown(rows)
+    args.out_md.write_text(markdown)
+    args.out_json.write_text(
+        json.dumps({"rows": rows}, indent=2, sort_keys=True) + "\n"
+    )
+    print(markdown)
+    print(f"[{len(rows)} commits -> {args.out_md} + {args.out_json}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,7 +24,7 @@ Layout under the cache root::
 
     sizes-v1-<codec>-<chunk_size>.bin   # 20-byte records: digest(16) + u32 size
     trace-v1-<key digest>.artrace       # via repro.trace.io
-    result-v1-<experiment>-<key digest>.pkl   # pickled cell/figure result
+    result-v1-<experiment>-<key digest>.pkl   # pickled cell payload / result object
 
 Size files are append-only; each flush is a single ``write`` of whole
 records to an ``O_APPEND`` descriptor, so concurrent writers (the
@@ -200,9 +200,9 @@ class ExperimentResultCache:
     """Memoized experiment results keyed by code version and arguments.
 
     Payloads are whatever an experiment's ``run_cell`` returns (or a
-    whole experiment's rendered text, under ``cell=None``): perfectly
-    deterministic given the source tree, the experiment, the cell, and
-    the arguments — exactly the key.  A hit replaces a simulation run
+    whole experiment's structured result object, under ``cell=None``):
+    perfectly deterministic given the source tree, the experiment, the
+    cell, and the arguments — exactly the key.  A hit replaces a simulation run
     with one disk read; a source edit anywhere in ``repro`` changes the
     fingerprint and misses everything, so stale results are structurally
     impossible rather than policed.

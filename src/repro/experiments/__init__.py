@@ -1,77 +1,69 @@
 """Experiment harness: one module per table/figure in the paper.
 
-Every experiment exposes ``run(quick: bool = False) -> <Result>`` where
-the result dataclass carries structured rows plus ``render()`` producing
-a paper-style text table.  ``quick=True`` shrinks the workload for CI;
-benchmarks run the full versions.
+Each module declares a :class:`repro.experiments.registry.Experiment`
+subclass with ``@register``: a declarative spec (``id``, ``title``,
+paper ``anchor``, ``sharded`` / ``cacheable`` flags) plus the behavior —
+unsharded experiments implement ``compute(quick)``, sharded ones
+implement ``cell_keys`` / ``run_cell`` / ``merge`` and get ``run()``
+as the serial merge of their cells for free.  Importing this package
+imports every module, so the registry is complete afterwards; there is
+no side-table of names to keep in sync.
+
+Every experiment returns a structured result that renders the
+paper-style text table (``render()``) *and* serializes to stable JSON
+(``to_json()``) — the machine-readable contract CI artifacts, the
+result cache, and trend tooling consume.  ``quick=True`` shrinks the
+workload for CI; benchmarks run the full versions.
 
 Run from the command line::
 
-    python -m repro.experiments list
+    python -m repro.experiments list            # or: list --json
     python -m repro.experiments fig10
-    python -m repro.experiments all
+    python -m repro.experiments 'fig1*' table2  # name globs
+    python -m repro.experiments all --quick --json --jobs 2
 """
 
-from . import (
+from .registry import (
+    CellSpec,
+    Experiment,
+    ExperimentResult,
+    all_experiments,
+    experiment,
+    experiment_ids,
+    register,
+    run_cached,
+    select,
+)
+
+# Importing the modules registers their specs; the import order below is
+# the paper's presentation order and therefore the registry (and
+# ``list``) order.
+from . import (  # noqa: E402  (registration side effects)
+    table1,
     fig2,
     fig3,
+    table2,
     fig4,
     fig5,
     fig6,
+    table3,
+    platform_info,
     fig10,
     fig11,
     fig12,
     fig13,
     fig14,
     fig15,
-    platform_info,
-    table1,
-    table2,
-    table3,
 )
 
-EXPERIMENTS = {
-    "table1": table1.run,
-    "fig2": fig2.run,
-    "fig3": fig3.run,
-    "table2": table2.run,
-    "fig4": fig4.run,
-    "fig5": fig5.run,
-    "fig6": fig6.run,
-    "table3": table3.run,
-    "platform": platform_info.run,
-    "fig10": fig10.run,
-    "fig11": fig11.run,
-    "fig12": fig12.run,
-    "fig13": fig13.run,
-    "fig14": fig14.run,
-    "fig15": fig15.run,
-}
-
-#: Experiments that expose the sharded-cell protocol: ``cells(quick)``
-#: lists independently executable (scheme x config) units, ``run_cell``
-#: executes one, and ``merge`` assembles the figure from cell outputs.
-#: The parallel runner schedules these per cell so a single heavyweight
-#: figure no longer dominates the suite's critical path.  Every
-#: scheme-matrix experiment now shards: ``run()`` is, in each module,
-#: defined as the serial merge of its cells, so the sharded path is
-#: equivalent by construction (and the per-cell result cache can serve
-#: any of them on re-runs).
-SHARDED_EXPERIMENTS = {
-    "fig2": fig2,
-    "fig3": fig3,
-    "table2": table2,
-    "fig10": fig10,
-    "fig11": fig11,
-    "fig12": fig12,
-    "fig13": fig13,
-}
-
-#: Experiments whose output embeds *live* wall-clock measurements
-#: (fig6 times the real codecs with ``perf_counter``).  Their results
-#: are hardware-truthful only at measurement time, so the result cache
-#: must never serve them — every other experiment is a deterministic
-#: function of the source tree and its arguments.
-UNCACHED_EXPERIMENTS = {"fig6"}
-
-__all__ = ["EXPERIMENTS", "SHARDED_EXPERIMENTS", "UNCACHED_EXPERIMENTS"]
+__all__ = [
+    "CellSpec",
+    "Experiment",
+    "ExperimentResult",
+    "all_experiments",
+    "experiment",
+    "experiment_ids",
+    "register",
+    "run_cached",
+    "select",
+]

@@ -1,12 +1,21 @@
-"""Command-line entry point: ``python -m repro.experiments <name>``."""
+"""Command-line entry point: ``python -m repro.experiments <name>...``.
+
+Selection accepts exact ids, shell-style name globs (quote them:
+``'fig1*'``), and ``all``.  ``list`` prints the registry; ``--json``
+switches either mode to the machine-readable contract: progress lines
+move to stderr and stdout carries one JSON document whose content is
+deterministic — byte-identical across ``--jobs`` counts and cache
+states — so CI can upload it as a per-commit artifact.
+"""
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
-from . import EXPERIMENTS, SHARDED_EXPERIMENTS
+from .registry import all_experiments, experiment, select
 from .common import flush_artifacts
 from .runner import default_jobs, run_experiments
 
@@ -17,13 +26,22 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate the paper's tables and figures.",
     )
     parser.add_argument(
-        "name",
-        help="experiment id (e.g. fig10, table1), 'list', or 'all'",
+        "names",
+        nargs="+",
+        metavar="name",
+        help="experiment ids and/or name globs (e.g. fig10 'fig1*' "
+        "table2), 'list', or 'all'",
     )
     parser.add_argument(
         "--quick",
         action="store_true",
         help="run a reduced workload (for smoke testing)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one deterministic JSON document on stdout (progress "
+        "goes to stderr); with 'list', dump the registry specs",
     )
     parser.add_argument(
         "--jobs",
@@ -32,35 +50,54 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="run independent experiment cells on N worker processes "
         f"(default: 1 for a single experiment, up to {default_jobs()} "
-        "for 'all'); scheme-matrix experiments (fig2/fig3/table2/"
-        "fig10-fig13) split into per-scheme cells; workers share the "
-        "on-disk artifact and result caches",
+        "for suites); sharded experiments split into per-scheme cells; "
+        "workers share the on-disk artifact and result caches",
     )
     args = parser.parse_args(argv)
 
-    if args.name == "list":
-        for key in EXPERIMENTS:
-            print(key)
+    if "list" in args.names:
+        if args.names[0] != "list":
+            print("put 'list' first: list [pattern...]", file=sys.stderr)
+            return 2
+        specs = all_experiments()
+        if args.names[1:]:  # optional filter: list 'fig1*'
+            try:
+                keep = set(select(args.names[1:]))
+            except KeyError as exc:
+                print(f"{exc.args[0]}; try plain 'list'", file=sys.stderr)
+                return 2
+            specs = [spec for spec in specs if spec.id in keep]
+        if args.json:
+            print(json.dumps(
+                [spec.describe() for spec in specs], indent=2, sort_keys=True
+            ))
+        else:
+            for spec in specs:
+                shard = " [sharded]" if spec.sharded else ""
+                print(f"{spec.id:<10} {spec.anchor:<10} {spec.title}{shard}")
         return 0
 
-    names = list(EXPERIMENTS) if args.name == "all" else [args.name]
-    unknown = [n for n in names if n not in EXPERIMENTS]
-    if unknown:
-        print(f"unknown experiment(s): {unknown}; try 'list'", file=sys.stderr)
+    try:
+        names = select(args.names)
+    except KeyError as exc:
+        print(f"{exc.args[0]}; try 'list'", file=sys.stderr)
         return 2
     jobs = args.jobs
     if jobs is None:
         # Suites parallelize across experiments; a single sharded
         # experiment still parallelizes across its own cells.
-        parallelizes = len(names) > 1 or names[0] in SHARDED_EXPERIMENTS
+        parallelizes = len(names) > 1 or experiment(names[0]).sharded
         jobs = default_jobs() if parallelizes else 1
     if jobs < 1:
         print(f"--jobs must be >= 1, got {jobs}", file=sys.stderr)
         return 2
 
+    progress = sys.stderr if args.json else sys.stdout
+
     def show(outcome) -> None:
         if outcome.ok:
-            print(outcome.rendered)
+            if not args.json:
+                print(outcome.rendered)
             sharded = (
                 f" across {outcome.cells} cells" if outcome.cells > 1 else ""
             )
@@ -71,7 +108,8 @@ def main(argv: list[str] | None = None) -> int:
             )
             print(
                 f"[{outcome.name} finished in {outcome.elapsed_s:.1f}s"
-                f"{sharded}{cached}]\n",
+                f"{sharded}{cached}]" + ("" if args.json else "\n"),
+                file=progress,
                 flush=True,
             )
         else:
@@ -82,7 +120,16 @@ def main(argv: list[str] | None = None) -> int:
     failures = sum(1 for outcome in outcomes if not outcome.ok)
     if len(names) > 1:
         total = time.perf_counter() - start
-        print(f"[suite: {len(names)} experiments in {total:.1f}s on {jobs} jobs]")
+        print(
+            f"[suite: {len(names)} experiments in {total:.1f}s on {jobs} jobs]",
+            file=progress,
+        )
+    if args.json:
+        document = {
+            "quick": args.quick,
+            "experiments": [outcome.to_json() for outcome in outcomes],
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
     flush_artifacts()
     return 1 if failures else 0
 

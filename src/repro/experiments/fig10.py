@@ -21,10 +21,11 @@ from .common import (
     scheme_matrix_cells,
     workload_trace,
 )
+from .registry import Experiment, ExperimentResult, register
 
 
 @dataclass
-class Fig10Result:
+class Fig10Result(ExperimentResult):
     """Relaunch latency (ms) per app per scheme column."""
 
     columns: list[str]
@@ -68,52 +69,43 @@ class Fig10Result:
         )
 
 
-def cells(quick: bool = False) -> list[str]:
-    """Independently executable (scheme x config) cell keys."""
-    return [key for key, _, _ in scheme_matrix_cells(quick)]
+@register
+class Fig10(Experiment):
+    """The headline relaunch-latency figure over the full scheme matrix."""
 
+    id = "fig10"
+    title = "Relaunch latency: ZRAM vs Ariadne configs vs DRAM"
+    anchor = "Figure 10"
+    sharded = True
 
-def run_cell(key: str, quick: bool = False) -> dict[str, float]:
-    """Measure one scheme column: relaunch latency (ms) per app.
+    def cell_keys(self, quick: bool = False) -> list[str]:
+        """Independently executable (scheme x config) cell keys."""
+        return [key for key, _, _ in scheme_matrix_cells(quick)]
 
-    Each cell builds its own systems from the shared deterministic
-    trace, so cells are order-independent and safe to run on separate
-    worker processes; the runner merges them with :func:`merge`.
-    """
-    scheme_name, config = scheme_matrix_cell(key, quick)
-    apps = FIGURE_APPS[:3] if quick else FIGURE_APPS
-    trace = workload_trace(n_apps=5)
-    scenario = scenario_for(scheme_name, config)
-    column: dict[str, float] = {}
-    for target in apps:
-        system = build(scheme_name, trace, config)
-        system.launch_all()
-        pressure = [a for a in apps if a != target][:2]
-        result = measured_relaunch(system, target, 1, scenario, pressure)
-        column[target] = result.latency_ms
-    return column
+    def run_cell(self, key: str, quick: bool = False) -> dict[str, float]:
+        """Measure one scheme column: relaunch latency (ms) per app.
 
+        Each cell builds its own systems from the shared deterministic
+        trace, so cells are order-independent and safe to run on
+        separate worker processes; the runner merges them with
+        :meth:`merge`.
+        """
+        scheme_name, config = scheme_matrix_cell(key, quick)
+        apps = FIGURE_APPS[:3] if quick else FIGURE_APPS
+        trace = workload_trace(n_apps=5)
+        scenario = scenario_for(scheme_name, config)
+        column: dict[str, float] = {}
+        for target in apps:
+            system = build(scheme_name, trace, config)
+            system.launch_all()
+            pressure = [a for a in apps if a != target][:2]
+            result = measured_relaunch(system, target, 1, scenario, pressure)
+            column[target] = result.latency_ms
+        return column
 
-def merge(
-    cell_results: dict[str, dict[str, float]], quick: bool = False
-) -> Fig10Result:
-    """Assemble cell outputs into the figure, in matrix column order."""
-    order = [key for key in cells(quick) if key in cell_results]
-    return Fig10Result(
-        columns=order,
-        latency_ms={key: cell_results[key] for key in order},
-    )
-
-
-def run(quick: bool = False) -> Fig10Result:
-    """Measure relaunch latency for the paper's scheme matrix.
-
-    Mirrors the paper's per-trace methodology: each target app gets a
-    fresh system (the paper collects one trace per target, launching the
-    other apps for pressure, then relaunching the target).  Defined as
-    the serial merge of the per-cell runs, so the sharded path is
-    equivalent by construction.
-    """
-    return merge(
-        {key: run_cell(key, quick) for key in cells(quick)}, quick
-    )
+    def merge(
+        self, cell_results: dict[str, dict[str, float]], quick: bool = False
+    ) -> Fig10Result:
+        """Assemble cell outputs into the figure, in matrix column order."""
+        ordered = self._ordered(cell_results, quick)
+        return Fig10Result(columns=list(ordered), latency_ms=ordered)

@@ -28,10 +28,11 @@ from .common import (
     scheme_matrix_cells,
     workload_trace,
 )
+from .registry import Experiment, ExperimentResult, register
 
 
 @dataclass
-class Fig11Result:
+class Fig11Result(ExperimentResult):
     """Codec CPU normalized to ZRAM, per app per scheme column."""
 
     columns: list[str]
@@ -80,60 +81,56 @@ def _codec_cpu_for_cycle(scheme_name: str, config, target: str, trace) -> int:
     return after - before
 
 
-def cells(quick: bool = False) -> list[str]:
-    """Cell keys: the scheme matrix minus DRAM (no codec CPU at all)."""
-    return [
-        key for key, name, _ in scheme_matrix_cells(quick) if name != "DRAM"
-    ]
+@register
+class Fig11(Experiment):
+    """Normalized codec CPU for the paper's scheme matrix."""
 
+    id = "fig11"
+    title = "Comp+decomp CPU normalized to ZRAM"
+    anchor = "Figure 11"
+    sharded = True
 
-def run_cell(key: str, quick: bool = False) -> dict[str, int]:
-    """Measure one scheme column: raw codec CPU (ns) per target app.
+    def cell_keys(self, quick: bool = False) -> list[str]:
+        """Cell keys: the scheme matrix minus DRAM (no codec CPU at all)."""
+        return [
+            key for key, name, _ in scheme_matrix_cells(quick) if name != "DRAM"
+        ]
 
-    Cells return *raw* nanoseconds; normalization against the ZRAM cell
-    happens at merge time, which is what makes each cell independent.
-    """
-    scheme_name, config = scheme_matrix_cell(key, quick)
-    apps = FIGURE_APPS[:2] if quick else FIGURE_APPS
-    trace = workload_trace(n_apps=5)
-    return {
-        target: _codec_cpu_for_cycle(scheme_name, config, target, trace)
-        for target in apps
-    }
+    def run_cell(self, key: str, quick: bool = False) -> dict[str, int]:
+        """Measure one scheme column: raw codec CPU (ns) per target app.
 
-
-def merge(
-    cell_results: dict[str, dict[str, int]], quick: bool = False
-) -> Fig11Result:
-    """Normalize cell outputs against the ZRAM column, in matrix order.
-
-    Columns absent from ``cell_results`` are simply omitted — except
-    ZRAM, the normalization baseline, without which no column can be
-    rendered at all.
-    """
-    if "ZRAM" not in cell_results:
-        raise KeyError(
-            "fig11.merge needs the ZRAM cell to normalize against; "
-            f"got only {sorted(cell_results)}"
-        )
-    columns = [key for key in cells(quick) if key in cell_results]
-    zram = cell_results["ZRAM"]
-    normalized = {
-        column: {
-            app: cell_results[column][app] / max(zram[app], 1)
-            for app in cell_results[column]
+        Cells return *raw* nanoseconds; normalization against the ZRAM
+        cell happens at merge time, which is what makes each cell
+        independent.
+        """
+        scheme_name, config = scheme_matrix_cell(key, quick)
+        apps = FIGURE_APPS[:2] if quick else FIGURE_APPS
+        trace = workload_trace(n_apps=5)
+        return {
+            target: _codec_cpu_for_cycle(scheme_name, config, target, trace)
+            for target in apps
         }
-        for column in columns
-    }
-    return Fig11Result(columns=columns, normalized=normalized)
 
+    def merge(
+        self, cell_results: dict[str, dict[str, int]], quick: bool = False
+    ) -> Fig11Result:
+        """Normalize cell outputs against the ZRAM column, in matrix order.
 
-def run(quick: bool = False) -> Fig11Result:
-    """Measure normalized codec CPU for the paper's scheme matrix.
-
-    Defined as the serial merge of the per-cell runs, so the sharded
-    path is equivalent by construction.
-    """
-    return merge(
-        {key: run_cell(key, quick) for key in cells(quick)}, quick
-    )
+        Columns absent from ``cell_results`` are simply omitted — except
+        ZRAM, the normalization baseline, without which no column can be
+        rendered at all.
+        """
+        if "ZRAM" not in cell_results:
+            raise KeyError(
+                "fig11.merge needs the ZRAM cell to normalize against; "
+                f"got only {sorted(cell_results)}"
+            )
+        ordered = self._ordered(cell_results, quick)
+        zram = cell_results["ZRAM"]
+        normalized = {
+            column: {
+                app: per_app[app] / max(zram[app], 1) for app in per_app
+            }
+            for column, per_app in ordered.items()
+        }
+        return Fig11Result(columns=list(ordered), normalized=normalized)

@@ -19,6 +19,7 @@ from .codec_profile import (
     sweep_cell_keys,
     sweep_merge,
 )
+from .registry import Experiment, ExperimentResult, register
 
 SCHEMES: tuple[AriadneConfig | None, ...] = (
     None,  # ZRAM
@@ -30,7 +31,7 @@ SCHEMES: tuple[AriadneConfig | None, ...] = (
 
 
 @dataclass
-class Fig12Result:
+class Fig12Result(ExperimentResult):
     """Comp/decomp latency per (scheme, app), paper scale (ms)."""
 
     profiles: list[CodecProfile]
@@ -58,9 +59,12 @@ class Fig12Result:
             rows,
         )
         ehl = SCHEMES[1].label
+        # First-appearance order (the table's own row order): a set here
+        # would make the note order vary with the process hash seed,
+        # breaking the byte-stable JSON contract.
+        apps = dict.fromkeys(p.app for p in self.profiles)
         notes = ", ".join(
-            f"{app} -{self.decomp_reduction(ehl, app):.0%}"
-            for app in {p.app for p in self.profiles}
+            f"{app} -{self.decomp_reduction(ehl, app):.0%}" for app in apps
         )
         return (
             f"{table}\ndecomp reduction vs ZRAM ({ehl}): {notes} "
@@ -68,34 +72,30 @@ class Fig12Result:
         )
 
 
-def cells(quick: bool = False) -> list[str]:
-    """Independently executable scheme cells (one codec sweep each)."""
-    return sweep_cell_keys(SCHEMES)
+@register
+class Fig12(Experiment):
+    """Trace-fed codec latency under each scheme's chunk policy."""
 
+    id = "fig12"
+    title = "Codec latency per scheme (trace-fed, LZO)"
+    anchor = "Figure 12"
+    sharded = True
 
-def run_cell(key: str, quick: bool = False) -> list[CodecProfile]:
-    """Profile every app under one scheme's chunk policy (see
-    :func:`repro.experiments.codec_profile.sweep_cell`)."""
-    apps = FIGURE_APPS[:3] if quick else FIGURE_APPS
-    trace = workload_trace(n_apps=5)
-    return sweep_cell(
-        SCHEMES, key, [trace.app(app) for app in apps], _SHARED_SIZES
-    )
+    def cell_keys(self, quick: bool = False) -> list[str]:
+        """Independently executable scheme cells (one codec sweep each)."""
+        return sweep_cell_keys(SCHEMES)
 
+    def run_cell(self, key: str, quick: bool = False) -> list[CodecProfile]:
+        """Profile every app under one scheme's chunk policy (see
+        :func:`repro.experiments.codec_profile.sweep_cell`)."""
+        apps = FIGURE_APPS[:3] if quick else FIGURE_APPS
+        trace = workload_trace(n_apps=5)
+        return sweep_cell(
+            SCHEMES, key, [trace.app(app) for app in apps], _SHARED_SIZES
+        )
 
-def merge(
-    cell_results: dict[str, list[CodecProfile]], quick: bool = False
-) -> Fig12Result:
-    """Concatenate cell outputs in scheme order (the serial row order)."""
-    return Fig12Result(profiles=sweep_merge(SCHEMES, cell_results))
-
-
-def run(quick: bool = False) -> Fig12Result:
-    """Feed trace data to the codecs under each scheme's chunk policy.
-
-    Defined as the serial merge of the per-cell runs, so the sharded
-    path is equivalent by construction.
-    """
-    return merge(
-        {key: run_cell(key, quick) for key in cells(quick)}, quick
-    )
+    def merge(
+        self, cell_results: dict[str, list[CodecProfile]], quick: bool = False
+    ) -> Fig12Result:
+        """Concatenate cell outputs in scheme order (the serial row order)."""
+        return Fig12Result(profiles=sweep_merge(SCHEMES, cell_results))

@@ -18,6 +18,7 @@ from .codec_profile import (
     sweep_cell_keys,
     sweep_merge,
 )
+from .registry import Experiment, ExperimentResult, register
 
 SCHEMES: tuple[AriadneConfig | None, ...] = (
     None,  # ZRAM
@@ -29,7 +30,7 @@ SCHEMES: tuple[AriadneConfig | None, ...] = (
 
 
 @dataclass
-class Fig13Result:
+class Fig13Result(ExperimentResult):
     """Compression ratio per (scheme, app)."""
 
     profiles: list[CodecProfile]
@@ -73,34 +74,30 @@ class Fig13Result:
         return f"{table}\n{verdict} (paper: consistently better)"
 
 
-def cells(quick: bool = False) -> list[str]:
-    """Independently executable scheme cells (one codec sweep each)."""
-    return sweep_cell_keys(SCHEMES)
+@register
+class Fig13(Experiment):
+    """Real compressed sizes under each scheme's chunk policy."""
 
+    id = "fig13"
+    title = "Compression ratio per scheme"
+    anchor = "Figure 13"
+    sharded = True
 
-def run_cell(key: str, quick: bool = False) -> list[CodecProfile]:
-    """Profile every app under one scheme's chunk policy (see
-    :func:`repro.experiments.codec_profile.sweep_cell`)."""
-    apps = FIGURE_APPS[:3] if quick else FIGURE_APPS
-    trace = workload_trace(n_apps=5)
-    return sweep_cell(
-        SCHEMES, key, [trace.app(app) for app in apps], _SHARED_SIZES
-    )
+    def cell_keys(self, quick: bool = False) -> list[str]:
+        """Independently executable scheme cells (one codec sweep each)."""
+        return sweep_cell_keys(SCHEMES)
 
+    def run_cell(self, key: str, quick: bool = False) -> list[CodecProfile]:
+        """Profile every app under one scheme's chunk policy (see
+        :func:`repro.experiments.codec_profile.sweep_cell`)."""
+        apps = FIGURE_APPS[:3] if quick else FIGURE_APPS
+        trace = workload_trace(n_apps=5)
+        return sweep_cell(
+            SCHEMES, key, [trace.app(app) for app in apps], _SHARED_SIZES
+        )
 
-def merge(
-    cell_results: dict[str, list[CodecProfile]], quick: bool = False
-) -> Fig13Result:
-    """Concatenate cell outputs in scheme order (the serial row order)."""
-    return Fig13Result(profiles=sweep_merge(SCHEMES, cell_results))
-
-
-def run(quick: bool = False) -> Fig13Result:
-    """Measure real compressed sizes under each scheme's chunk policy.
-
-    Defined as the serial merge of the per-cell runs, so the sharded
-    path is equivalent by construction.
-    """
-    return merge(
-        {key: run_cell(key, quick) for key in cells(quick)}, quick
-    )
+    def merge(
+        self, cell_results: dict[str, list[CodecProfile]], quick: bool = False
+    ) -> Fig13Result:
+        """Concatenate cell outputs in scheme order (the serial row order)."""
+        return Fig13Result(profiles=sweep_merge(SCHEMES, cell_results))

@@ -12,10 +12,11 @@ from dataclasses import dataclass
 
 from ..core import AriadneConfig, AriadneScheme, RelaunchScenario
 from .common import FIGURE_APPS, build, render_table, workload_trace
+from .registry import Experiment, ExperimentResult, register
 
 
 @dataclass
-class Fig14Result:
+class Fig14Result(ExperimentResult):
     """Mean coverage/accuracy per app across measured relaunches."""
 
     coverage: dict[str, float]
@@ -48,35 +49,43 @@ class Fig14Result:
         )
 
 
-def run(quick: bool = False) -> Fig14Result:
-    """Score Ariadne's hot list against what relaunches actually use."""
-    apps = FIGURE_APPS[:3] if quick else FIGURE_APPS
-    sessions = 3 if quick else 4
-    trace = workload_trace(n_apps=5, sessions=max(sessions, 4))
-    config = AriadneConfig(scenario=RelaunchScenario.EHL)
-    system = build("Ariadne", trace, config)
-    system.launch_all()
-    scheme = system.scheme
-    assert isinstance(scheme, AriadneScheme)
-    coverage: dict[str, list[float]] = {app: [] for app in apps}
-    accuracy: dict[str, list[float]] = {app: [] for app in apps}
-    for session_index in range(1, sessions):
-        for app_name in apps:
-            app_trace = trace.app(app_name)
-            session = app_trace.sessions[session_index]
-            predicted = scheme.hot_prediction(app_trace.uid)
-            actual_hot = set(session.hot_set)
-            used_next = actual_hot | set(session.warm_set)
-            if actual_hot:
-                coverage[app_name].append(
-                    len(predicted & actual_hot) / len(actual_hot)
-                )
-            if predicted:
-                accuracy[app_name].append(
-                    len(predicted & used_next) / len(predicted)
-                )
-            system.relaunch(app_name, session_index)
-    return Fig14Result(
-        coverage={app: statistics.mean(v) for app, v in coverage.items()},
-        accuracy={app: statistics.mean(v) for app, v in accuracy.items()},
-    )
+@register
+class Fig14(Experiment):
+    """Ariadne's hot list scored against what relaunches actually use."""
+
+    id = "fig14"
+    title = "Hot-data identification coverage and accuracy"
+    anchor = "Figure 14"
+
+    def compute(self, quick: bool = False) -> Fig14Result:
+        """Score Ariadne's hot list against what relaunches actually use."""
+        apps = FIGURE_APPS[:3] if quick else FIGURE_APPS
+        sessions = 3 if quick else 4
+        trace = workload_trace(n_apps=5, sessions=max(sessions, 4))
+        config = AriadneConfig(scenario=RelaunchScenario.EHL)
+        system = build("Ariadne", trace, config)
+        system.launch_all()
+        scheme = system.scheme
+        assert isinstance(scheme, AriadneScheme)
+        coverage: dict[str, list[float]] = {app: [] for app in apps}
+        accuracy: dict[str, list[float]] = {app: [] for app in apps}
+        for session_index in range(1, sessions):
+            for app_name in apps:
+                app_trace = trace.app(app_name)
+                session = app_trace.sessions[session_index]
+                predicted = scheme.hot_prediction(app_trace.uid)
+                actual_hot = set(session.hot_set)
+                used_next = actual_hot | set(session.warm_set)
+                if actual_hot:
+                    coverage[app_name].append(
+                        len(predicted & actual_hot) / len(actual_hot)
+                    )
+                if predicted:
+                    accuracy[app_name].append(
+                        len(predicted & used_next) / len(predicted)
+                    )
+                system.relaunch(app_name, session_index)
+        return Fig14Result(
+            coverage={app: statistics.mean(v) for app, v in coverage.items()},
+            accuracy={app: statistics.mean(v) for app, v in accuracy.items()},
+        )

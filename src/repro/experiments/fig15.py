@@ -20,6 +20,7 @@ from ..core import AriadneConfig, RelaunchScenario
 from ..units import KIB
 from .common import FIGURE_APPS, _SHARED_SIZES, render_table, workload_trace
 from .codec_profile import CodecProfile, profile_app
+from .registry import Experiment, ExperimentResult, register
 
 SCHEMES: tuple[AriadneConfig | None, ...] = (
     None,  # ZRAM
@@ -31,7 +32,7 @@ SCHEMES: tuple[AriadneConfig | None, ...] = (
 
 
 @dataclass
-class Fig15Result:
+class Fig15Result(ExperimentResult):
     """Comp/decomp latency and ratio for the sensitivity configs."""
 
     profiles: list[CodecProfile]
@@ -69,17 +70,25 @@ class Fig15Result:
         )
 
 
-def run(quick: bool = False) -> Fig15Result:
-    """Profile the two extreme configurations of Section 6.3."""
-    apps = FIGURE_APPS[:3] if quick else FIGURE_APPS
-    trace = workload_trace(n_apps=5)
-    codec = get_compressor("lzo")
-    model = LatencyModel()
-    cache = _SHARED_SIZES
-    profiles = []
-    for config in SCHEMES:
-        for app_name in apps:
-            profiles.append(
-                profile_app(trace.app(app_name), config, codec, model, cache)
-            )
-    return Fig15Result(profiles=profiles)
+@register
+class Fig15(Experiment):
+    """The two extreme chunk-size configurations of Section 6.3."""
+
+    id = "fig15"
+    title = "Sensitivity to chunk-size configuration"
+    anchor = "Figure 15"
+
+    def compute(self, quick: bool = False) -> Fig15Result:
+        """Profile the two extreme configurations of Section 6.3."""
+        apps = FIGURE_APPS[:3] if quick else FIGURE_APPS
+        trace = workload_trace(n_apps=5)
+        codec = get_compressor("lzo")
+        model = LatencyModel()
+        cache = _SHARED_SIZES
+        profiles = []
+        for config in SCHEMES:
+            for app_name in apps:
+                profiles.append(
+                    profile_app(trace.app(app_name), config, codec, model, cache)
+                )
+        return Fig15Result(profiles=profiles)

@@ -10,10 +10,11 @@ from dataclasses import dataclass
 
 from ..core import RelaunchScenario
 from .common import FIGURE_APPS, build, measured_relaunch, render_table, workload_trace
+from .registry import Experiment, ExperimentResult, register
 
 
 @dataclass
-class Fig2Result:
+class Fig2Result(ExperimentResult):
     """Relaunch latency (ms) per app per scheme."""
 
     schemes: list[str]
@@ -55,51 +56,43 @@ class Fig2Result:
         )
 
 
-def cells(quick: bool = False) -> list[str]:
-    """Independently executable scheme cells (one system per scheme)."""
-    return ["DRAM", "ZRAM", "SWAP"]
+@register
+class Fig2(Experiment):
+    """Per-app relaunch latency for the three baseline schemes."""
 
+    id = "fig2"
+    title = "Relaunch latency under DRAM / ZRAM / SWAP"
+    anchor = "Figure 2"
+    sharded = True
 
-def run_cell(key: str, quick: bool = False) -> dict[str, float]:
-    """Measure one scheme's per-app relaunch latency (ms).
+    def cell_keys(self, quick: bool = False) -> list[str]:
+        """Independently executable scheme cells (one system per scheme)."""
+        return ["DRAM", "ZRAM", "SWAP"]
 
-    A cell is one scheme: the system carries state across the target
-    apps *within* a scheme (each relaunch restores pressure on the same
-    system), but nothing crosses scheme boundaries, so cells are
-    order-independent and safe on separate worker processes.
-    """
-    if key not in cells(quick):
-        raise KeyError(f"unknown fig2 cell {key!r}")
-    apps = FIGURE_APPS[:3] if quick else FIGURE_APPS
-    trace = workload_trace(n_apps=5)
-    system = build(key, trace)
-    system.launch_all()
-    scenario = None if key == "DRAM" else RelaunchScenario.AL
-    column: dict[str, float] = {}
-    for target in apps:
-        pressure = [a for a in apps if a != target][:2]
-        result = measured_relaunch(system, target, 1, scenario, pressure)
-        column[target] = result.latency_ms
-    return column
+    def run_cell(self, key: str, quick: bool = False) -> dict[str, float]:
+        """Measure one scheme's per-app relaunch latency (ms).
 
+        A cell is one scheme: the system carries state across the target
+        apps *within* a scheme (each relaunch restores pressure on the
+        same system), but nothing crosses scheme boundaries, so cells
+        are order-independent and safe on separate worker processes.
+        """
+        self._require_cell(key, quick)
+        apps = FIGURE_APPS[:3] if quick else FIGURE_APPS
+        trace = workload_trace(n_apps=5)
+        system = build(key, trace)
+        system.launch_all()
+        scenario = None if key == "DRAM" else RelaunchScenario.AL
+        column: dict[str, float] = {}
+        for target in apps:
+            pressure = [a for a in apps if a != target][:2]
+            result = measured_relaunch(system, target, 1, scenario, pressure)
+            column[target] = result.latency_ms
+        return column
 
-def merge(
-    cell_results: dict[str, dict[str, float]], quick: bool = False
-) -> Fig2Result:
-    """Assemble cell outputs into the figure, in scheme order."""
-    order = [key for key in cells(quick) if key in cell_results]
-    return Fig2Result(
-        schemes=order,
-        latency_ms={key: cell_results[key] for key in order},
-    )
-
-
-def run(quick: bool = False) -> Fig2Result:
-    """Measure per-app relaunch latency for the three baseline schemes.
-
-    Defined as the serial merge of the per-cell runs, so the sharded
-    path is equivalent by construction.
-    """
-    return merge(
-        {key: run_cell(key, quick) for key in cells(quick)}, quick
-    )
+    def merge(
+        self, cell_results: dict[str, dict[str, float]], quick: bool = False
+    ) -> Fig2Result:
+        """Assemble cell outputs into the figure, in scheme order."""
+        ordered = self._ordered(cell_results, quick)
+        return Fig2Result(schemes=list(ordered), latency_ms=ordered)

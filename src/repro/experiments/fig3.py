@@ -10,10 +10,11 @@ from dataclasses import dataclass
 
 from ..sim import run_light_scenario
 from .common import render_table, scenario_build, workload_trace
+from .registry import Experiment, ExperimentResult, register
 
 
 @dataclass
-class Fig3Result:
+class Fig3Result(ExperimentResult):
     """kswapd CPU seconds over the 60 s light scenario."""
 
     kswapd_cpu_s: dict[str, float]
@@ -45,48 +46,36 @@ class Fig3Result:
         )
 
 
-def cells(quick: bool = False) -> list[str]:
-    """Independently executable scheme cells (one scenario per scheme)."""
-    return ["DRAM", "ZRAM", "SWAP"]
+@register
+class Fig3(Experiment):
+    """Reclaim-thread CPU under each baseline scheme."""
 
+    id = "fig3"
+    title = "kswapd CPU over the light switching scenario"
+    anchor = "Figure 3"
+    sharded = True
 
-def run_cell(key: str, quick: bool = False) -> float:
-    """Run the light switching scenario for one scheme; kswapd CPU (s).
+    def cell_keys(self, quick: bool = False) -> list[str]:
+        """Independently executable scheme cells (one scenario per scheme)."""
+        return ["DRAM", "ZRAM", "SWAP"]
 
-    Each cell builds its own system from the shared deterministic
-    trace, so cells are order-independent and safe on separate worker
-    processes.
-    """
-    if key not in cells(quick):
-        raise KeyError(f"unknown fig3 cell {key!r}")
-    n_apps = 3 if quick else 5
-    duration = 20.0 if quick else 60.0
-    trace = workload_trace(n_apps=n_apps)
-    system = scenario_build(key, trace)
-    result = run_light_scenario(system, duration_s=duration)
-    return result.kswapd_cpu_ns / 1e9
+    def run_cell(self, key: str, quick: bool = False) -> float:
+        """Run the light switching scenario for one scheme; kswapd CPU (s).
 
+        Each cell builds its own system from the shared deterministic
+        trace, so cells are order-independent and safe on separate
+        worker processes.
+        """
+        self._require_cell(key, quick)
+        n_apps = 3 if quick else 5
+        duration = 20.0 if quick else 60.0
+        trace = workload_trace(n_apps=n_apps)
+        system = scenario_build(key, trace)
+        result = run_light_scenario(system, duration_s=duration)
+        return result.kswapd_cpu_ns / 1e9
 
-def merge(
-    cell_results: dict[str, float], quick: bool = False
-) -> Fig3Result:
-    """Assemble cell outputs into the figure, in scheme order."""
-    return Fig3Result(
-        kswapd_cpu_s={
-            key: cell_results[key]
-            for key in cells(quick)
-            if key in cell_results
-        }
-    )
-
-
-def run(quick: bool = False) -> Fig3Result:
-    """Run the light switching scenario under each baseline scheme and
-    compare reclaim-thread CPU.
-
-    Defined as the serial merge of the per-cell runs, so the sharded
-    path is equivalent by construction.
-    """
-    return merge(
-        {key: run_cell(key, quick) for key in cells(quick)}, quick
-    )
+    def merge(
+        self, cell_results: dict[str, float], quick: bool = False
+    ) -> Fig3Result:
+        """Assemble cell outputs into the figure, in scheme order."""
+        return Fig3Result(kswapd_cpu_s=self._ordered(cell_results, quick))

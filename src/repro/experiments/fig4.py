@@ -13,10 +13,11 @@ from dataclasses import dataclass
 from ..mem.page import Hotness
 from ..trace.analyze import hotness_mix_by_part
 from .common import FIGURE_APPS, build, render_table, workload_trace
+from .registry import Experiment, ExperimentResult, register
 
 
 @dataclass
-class Fig4Result:
+class Fig4Result(ExperimentResult):
     """Per-app hotness mix per compression-order part (part 0 first)."""
 
     n_parts: int
@@ -52,23 +53,31 @@ class Fig4Result:
         return "\n\n".join(blocks)
 
 
-def run(quick: bool = False) -> Fig4Result:
-    """Run the ZRAM baseline under pressure and bucket its compression
-    log by ground-truth hotness."""
-    apps = FIGURE_APPS[:3] if quick else FIGURE_APPS
-    trace = workload_trace(n_apps=5)
-    system = build("ZRAM", trace)
-    system.launch_all()
-    # Cycle through a round of relaunches so recompression happens too.
-    for target in apps:
-        system.relaunch(target, 0)
-    mixes = {}
-    for app_name in apps:
-        uid = trace.app(app_name).uid
-        ordered = [
-            hotness for log_uid, hotness in system.scheme.compression_log
-            if log_uid == uid
-        ]
-        if ordered:
-            mixes[app_name] = hotness_mix_by_part(ordered, n_parts=10)
-    return Fig4Result(n_parts=10, mixes=mixes)
+@register
+class Fig4(Experiment):
+    """ZRAM's compression order bucketed by ground-truth hotness."""
+
+    id = "fig4"
+    title = "Hotness mix per compression-order part under ZRAM"
+    anchor = "Figure 4"
+
+    def compute(self, quick: bool = False) -> Fig4Result:
+        """Run the ZRAM baseline under pressure and bucket its
+        compression log by ground-truth hotness."""
+        apps = FIGURE_APPS[:3] if quick else FIGURE_APPS
+        trace = workload_trace(n_apps=5)
+        system = build("ZRAM", trace)
+        system.launch_all()
+        # Cycle through a round of relaunches so recompression happens too.
+        for target in apps:
+            system.relaunch(target, 0)
+        mixes = {}
+        for app_name in apps:
+            uid = trace.app(app_name).uid
+            ordered = [
+                hotness for log_uid, hotness in system.scheme.compression_log
+                if log_uid == uid
+            ]
+            if ordered:
+                mixes[app_name] = hotness_mix_by_part(ordered, n_parts=10)
+        return Fig4Result(n_parts=10, mixes=mixes)

@@ -11,10 +11,11 @@ from dataclasses import dataclass
 
 from ..trace.analyze import hot_similarity_series, reused_fraction_series
 from .common import FIGURE_APPS, render_table, workload_trace
+from .registry import Experiment, ExperimentResult, register
 
 
 @dataclass
-class Fig5Result:
+class Fig5Result(ExperimentResult):
     """Per-app mean similarity and reuse across consecutive relaunches."""
 
     similarity: dict[str, float]
@@ -47,14 +48,22 @@ class Fig5Result:
         )
 
 
-def run(quick: bool = False) -> Fig5Result:
-    """Score the generated traces with the paper's two metrics."""
-    apps = FIGURE_APPS[:3] if quick else FIGURE_APPS
-    trace = workload_trace(n_apps=5, sessions=5)
-    similarity = {}
-    reuse = {}
-    for name in apps:
-        app_trace = trace.app(name)
-        similarity[name] = statistics.mean(hot_similarity_series(app_trace))
-        reuse[name] = statistics.mean(reused_fraction_series(app_trace))
-    return Fig5Result(similarity=similarity, reuse=reuse)
+@register
+class Fig5(Experiment):
+    """The paper's two trace metrics over the generated workload."""
+
+    id = "fig5"
+    title = "Hot-data similarity and reuse between relaunches"
+    anchor = "Figure 5"
+
+    def compute(self, quick: bool = False) -> Fig5Result:
+        """Score the generated traces with the paper's two metrics."""
+        apps = FIGURE_APPS[:3] if quick else FIGURE_APPS
+        trace = workload_trace(n_apps=5, sessions=5)
+        similarity = {}
+        reuse = {}
+        for name in apps:
+            app_trace = trace.app(name)
+            similarity[name] = statistics.mean(hot_similarity_series(app_trace))
+            reuse[name] = statistics.mean(reused_fraction_series(app_trace))
+        return Fig5Result(similarity=similarity, reuse=reuse)

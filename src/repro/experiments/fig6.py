@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from ..compression import LatencyModel, chunk_compress, get_compressor
 from ..units import KIB, SCALE_FACTOR, fmt_chunk
 from .common import render_table, workload_trace
+from .registry import Experiment, ExperimentResult, register
 
 CHUNK_SIZES = (128, 512, 2 * KIB, 8 * KIB, 32 * KIB, 128 * KIB)
 
@@ -44,7 +45,7 @@ class Fig6Point:
 
 
 @dataclass
-class Fig6Result:
+class Fig6Result(ExperimentResult):
     """The full sweep."""
 
     points: list[Fig6Point]
@@ -105,46 +106,61 @@ class Fig6Result:
         )
 
 
-def run(quick: bool = False) -> Fig6Result:
-    """Sweep chunk sizes over sampled anonymous-page payloads."""
-    trace = workload_trace(n_apps=5)
-    pages_per_app = 24 if quick else 96
-    sample = bytearray()
-    for app_trace in trace.apps:
-        step = max(1, len(app_trace.pages) // pages_per_app)
-        for record in app_trace.pages[::step][:pages_per_app]:
-            sample += record.payload
-    data = bytes(sample)
-    model = LatencyModel()
-    scale_to_paper = PAPER_VOLUME_BYTES / len(data)
-    points = []
-    for codec_name in ("lz4", "lzo"):
-        codec = get_compressor(codec_name)
-        for chunk_size in CHUNK_SIZES:
-            start = time.perf_counter()
-            blob = chunk_compress(codec, data, chunk_size)
-            wall_comp = time.perf_counter() - start
-            start = time.perf_counter()
-            for chunk in blob.chunks:
-                codec.decompress(chunk.payload, chunk.original_len)
-            wall_decomp = time.perf_counter() - start
-            points.append(
-                Fig6Point(
-                    codec=codec_name,
-                    chunk_size=chunk_size,
-                    ratio=blob.ratio,
-                    modeled_comp_s=model.compress_ns(
-                        codec_name, len(data), chunk_size
+@register
+class Fig6(Experiment):
+    """The chunk-size sweep over sampled anonymous-page payloads.
+
+    Not cacheable: the wall-clock columns time the real codecs with
+    ``perf_counter``, so the result is hardware-truthful only at
+    measurement time — a replayed wall second would misreport the
+    machine it claims to describe.
+    """
+
+    id = "fig6"
+    title = "Codec latency and ratio vs compression chunk size"
+    anchor = "Figure 6"
+    cacheable = False
+
+    def compute(self, quick: bool = False) -> Fig6Result:
+        """Sweep chunk sizes over sampled anonymous-page payloads."""
+        trace = workload_trace(n_apps=5)
+        pages_per_app = 24 if quick else 96
+        sample = bytearray()
+        for app_trace in trace.apps:
+            step = max(1, len(app_trace.pages) // pages_per_app)
+            for record in app_trace.pages[::step][:pages_per_app]:
+                sample += record.payload
+        data = bytes(sample)
+        model = LatencyModel()
+        scale_to_paper = PAPER_VOLUME_BYTES / len(data)
+        points = []
+        for codec_name in ("lz4", "lzo"):
+            codec = get_compressor(codec_name)
+            for chunk_size in CHUNK_SIZES:
+                start = time.perf_counter()
+                blob = chunk_compress(codec, data, chunk_size)
+                wall_comp = time.perf_counter() - start
+                start = time.perf_counter()
+                for chunk in blob.chunks:
+                    codec.decompress(chunk.payload, chunk.original_len)
+                wall_decomp = time.perf_counter() - start
+                points.append(
+                    Fig6Point(
+                        codec=codec_name,
+                        chunk_size=chunk_size,
+                        ratio=blob.ratio,
+                        modeled_comp_s=model.compress_ns(
+                            codec_name, len(data), chunk_size
+                        )
+                        * scale_to_paper
+                        / 1e9,
+                        modeled_decomp_s=model.decompress_ns(
+                            codec_name, len(data), chunk_size
+                        )
+                        * scale_to_paper
+                        / 1e9,
+                        wall_comp_s=wall_comp,
+                        wall_decomp_s=wall_decomp,
                     )
-                    * scale_to_paper
-                    / 1e9,
-                    modeled_decomp_s=model.decompress_ns(
-                        codec_name, len(data), chunk_size
-                    )
-                    * scale_to_paper
-                    / 1e9,
-                    wall_comp_s=wall_comp,
-                    wall_decomp_s=wall_decomp,
                 )
-            )
-    return Fig6Result(points=points, sample_bytes=len(data))
+        return Fig6Result(points=points, sample_bytes=len(data))

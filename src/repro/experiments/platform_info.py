@@ -6,10 +6,11 @@ from dataclasses import dataclass
 
 from ..units import fmt_bytes
 from .common import experiment_platform, render_table
+from .registry import Experiment, ExperimentResult, register
 
 
 @dataclass
-class PlatformResult:
+class PlatformResult(ExperimentResult):
     """Rendered platform constants."""
 
     rows: list[list[str]]
@@ -22,19 +23,27 @@ class PlatformResult:
         )
 
 
-def run(quick: bool = False) -> PlatformResult:
-    """Dump the simulated platform constants (paper Table 4 analogue)."""
-    platform = experiment_platform(n_apps=10)
-    rows = [
-        ["Device (modeled)", "Google Pixel 7, Android 14"],
-        ["DRAM budget for background anon data",
-         f"{fmt_bytes(platform.dram_bytes)} (sim) x{platform.scale} scale"],
-        ["zpool capacity (S)", f"{fmt_bytes(platform.zpool_bytes)} (sim)"],
-        ["Flash swap area", f"{fmt_bytes(platform.swap_bytes)} (sim)"],
-        ["Critical-path parallelism", str(platform.parallelism)],
-        ["Flash queue depth", str(platform.flash_queue_depth)],
-        ["Fault path cost / real page", f"{platform.fault_overhead_ns} ns"],
-        ["Low / high watermarks",
-         f"{platform.low_watermark:.1%} / {platform.high_watermark:.1%}"],
-    ]
-    return PlatformResult(rows=rows)
+@register
+class PlatformInfo(Experiment):
+    """The simulated platform constants (paper Table 4 analogue)."""
+
+    id = "platform"
+    title = "Simulated platform configuration"
+    anchor = "Table 4"
+
+    def compute(self, quick: bool = False) -> PlatformResult:
+        """Dump the simulated platform constants (paper Table 4 analogue)."""
+        platform = experiment_platform(n_apps=10)
+        rows = [
+            ["Device (modeled)", "Google Pixel 7, Android 14"],
+            ["DRAM budget for background anon data",
+             f"{fmt_bytes(platform.dram_bytes)} (sim) x{platform.scale} scale"],
+            ["zpool capacity (S)", f"{fmt_bytes(platform.zpool_bytes)} (sim)"],
+            ["Flash swap area", f"{fmt_bytes(platform.swap_bytes)} (sim)"],
+            ["Critical-path parallelism", str(platform.parallelism)],
+            ["Flash queue depth", str(platform.flash_queue_depth)],
+            ["Fault path cost / real page", f"{platform.fault_overhead_ns} ns"],
+            ["Low / high watermarks",
+             f"{platform.low_watermark:.1%} / {platform.high_watermark:.1%}"],
+        ]
+        return PlatformResult(rows=rows)

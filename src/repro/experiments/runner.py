@@ -2,20 +2,20 @@
 
 Every experiment regenerates one independent figure/table — no state is
 shared between them beyond the deterministic artifact cache — so the
-full suite parallelizes embarrassingly.  Experiments that implement the
-sharded-cell protocol (``cells`` / ``run_cell`` / ``merge``, see
-:data:`repro.experiments.SHARDED_EXPERIMENTS`) are scheduled at
-(scheme x config) **cell** granularity: every scheme-matrix experiment
-(fig2/fig3/table2/fig10/fig11/fig12/fig13) splits into independently
-executable, cache-keyed units that run concurrently, so no single
-experiment dominates the suite's critical path on a multi-core host.
-Workers recompute nothing that another run already measured: they share
-the on-disk artifact cache (:mod:`repro.cache`), flushing newly
-measured compressed sizes after every task so concurrent and later
-workers reuse them — and every finished task (cell or whole experiment)
-is memoized in the :class:`repro.cache.ExperimentResultCache` keyed by
-a source-tree fingerprint, so an unchanged task on a re-run is a single
-disk read instead of a simulation.
+full suite parallelizes embarrassingly.  Scheduling is generic over the
+registry (:mod:`repro.experiments.registry`): specs flagged ``sharded``
+are expanded into their typed :class:`~repro.experiments.registry.CellSpec`
+units and scheduled at (scheme x config) **cell** granularity, so no
+single experiment dominates the suite's critical path on a multi-core
+host.  Workers recompute nothing that another run already measured:
+they share the on-disk artifact cache (:mod:`repro.cache`), flushing
+newly measured compressed sizes after every task so concurrent and
+later workers reuse them — and every finished task (cell or whole
+experiment) is memoized in the
+:class:`repro.cache.ExperimentResultCache` keyed by a source-tree
+fingerprint, so an unchanged task on a re-run is a single disk read
+instead of a simulation.  Specs flagged ``cacheable = False`` (live
+wall-clock measurements) always re-measure.
 
 Used by ``python -m repro.experiments all --jobs N`` and importable
 directly::
@@ -31,16 +31,20 @@ import os
 import time
 from dataclasses import dataclass
 
+from .registry import CellSpec, ExperimentResult, experiment, to_jsonable
+
 
 @dataclass
 class ExperimentOutcome:
-    """One experiment's rendered result and timing.
+    """One experiment's structured result, rendered text, and timing.
 
-    ``elapsed_s`` is the experiment's critical-path time: the single
-    task for unsharded experiments, the slowest cell for sharded ones
-    (cells run concurrently, so their sum is not wall time).
-    ``cached_tasks`` counts tasks served from the persistent result
-    cache instead of being re-measured.
+    ``result`` is the experiment's structured result object (``None``
+    on failure) — render it with ``rendered`` or serialize it with
+    :meth:`to_json`.  ``elapsed_s`` is the experiment's critical-path
+    time: the single task for unsharded experiments, the slowest cell
+    for sharded ones (cells run concurrently, so their sum is not wall
+    time).  ``cached_tasks`` counts tasks served from the persistent
+    result cache instead of being re-measured.
     """
 
     name: str
@@ -49,10 +53,30 @@ class ExperimentOutcome:
     error: str | None = None
     cells: int = 1
     cached_tasks: int = 0
+    result: ExperimentResult | None = None
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    def to_json(self) -> dict:
+        """Deterministic JSON-ready view of this outcome.
+
+        Carries the spec's identity and the structured result but *no*
+        timing or cache telemetry, so the serialized document is
+        byte-identical across job counts and cache states (the
+        machine-readable contract CI artifacts rely on).
+        """
+        spec = experiment(self.name)
+        return {
+            "id": spec.id,
+            "title": spec.title,
+            "anchor": spec.anchor,
+            "ok": self.ok,
+            "error": self.error,
+            "result": to_jsonable(self.result) if self.result is not None else None,
+            "rendered": self.rendered if self.ok else None,
+        }
 
 
 def default_jobs() -> int:
@@ -60,9 +84,9 @@ def default_jobs() -> int:
 
     Uses the scheduler affinity mask (the cgroup/container allowance)
     rather than the host core count, and caps at 8 — the suite has ~20
-    schedulable tasks once fig10/fig11 shard into cells, so more
-    workers than that only burns memory (each worker materializes its
-    own traces and systems).
+    schedulable tasks once the scheme-matrix experiments shard into
+    cells, so more workers than that only burns memory (each worker
+    materializes its own traces and systems).
     """
     try:
         usable = len(os.sched_getaffinity(0))
@@ -75,26 +99,26 @@ def _run_task(args: tuple[int, str, str | None, bool]):
     """Worker body: run one whole experiment or one sharded cell.
 
     Returns ``(group_id, cell_key, payload, elapsed_s, error, cached)``
-    where ``payload`` is the rendered text for a whole experiment or
-    the picklable cell result for a sharded cell, and ``cached`` is
-    whether it came from the persistent result cache instead of a
-    fresh measurement.  Results are memoized per (code fingerprint,
-    experiment, cell, args): on an unchanged tree a task is one disk
-    read, and any source edit misses wholesale.
+    where ``payload`` is the structured result object for a whole
+    experiment or the picklable cell payload for a sharded cell, and
+    ``cached`` is whether it came from the persistent result cache
+    instead of a fresh measurement.  Results are memoized per (code
+    fingerprint, experiment, cell, args): on an unchanged tree a task
+    is one disk read, and any source edit misses wholesale.
     """
     group_id, name, cell_key, quick = args
     # Imported here so "spawn" contexts work and the parent can fork
     # before the (heavier) experiment modules are loaded.
-    from . import EXPERIMENTS, SHARDED_EXPERIMENTS, UNCACHED_EXPERIMENTS
     from .common import flush_artifacts, result_cache
 
+    spec = experiment(name)
     start = time.perf_counter()
     # Live-timing experiments are hardware-truthful only when freshly
     # measured; serving them from disk would present another machine's
     # (or another day's) wall clock as a measurement.
-    results = None if name in UNCACHED_EXPERIMENTS else result_cache()
+    results = result_cache() if spec.cacheable else None
     run_args = {"quick": quick}
-    payload: object = ""
+    payload: object = None
     cached = False
     error = None
     try:
@@ -105,11 +129,9 @@ def _run_task(args: tuple[int, str, str | None, bool]):
                 cached = True
         if not cached:
             if cell_key is None:
-                payload = EXPERIMENTS[name](quick=quick).render()
+                payload = spec.run(quick=quick)
             else:
-                payload = SHARDED_EXPERIMENTS[name].run_cell(
-                    cell_key, quick=quick
-                )
+                payload = spec.run_cell(cell_key, quick=quick)
             if results is not None:
                 results.store(name, cell_key, run_args, payload)
     except Exception as exc:  # surface per-task failures without killing the run
@@ -123,14 +145,14 @@ def _run_task(args: tuple[int, str, str | None, bool]):
 class _Group:
     """Parent-side bookkeeping for one requested experiment."""
 
-    def __init__(self, name: str, cell_keys: list[str] | None) -> None:
+    def __init__(self, name: str, cells: list[CellSpec] | None) -> None:
         self.name = name
-        self.cell_keys = cell_keys
+        self.cells = cells
         self.partials: dict[str | None, object] = {}
         self.elapsed_s = 0.0
         self.error: str | None = None
         self.cached_tasks = 0
-        self.pending = 1 if cell_keys is None else len(cell_keys)
+        self.pending = 1 if cells is None else len(cells)
 
     def consume(
         self, cell_key: str | None, payload, elapsed_s, error, cached
@@ -147,34 +169,29 @@ class _Group:
 
     def outcome(self, quick: bool) -> ExperimentOutcome:
         """Render the finished group (merging cells for sharded runs)."""
-        if self.cell_keys is None:
-            rendered = self.partials.get(None, "") if self.error is None else ""
-            return ExperimentOutcome(
-                name=self.name,
-                rendered=str(rendered),
-                elapsed_s=self.elapsed_s,
-                error=self.error,
-                cached_tasks=self.cached_tasks,
-            )
-        rendered = ""
+        result: ExperimentResult | None = None
         if self.error is None:
-            from . import SHARDED_EXPERIMENTS
-
             try:
-                result = SHARDED_EXPERIMENTS[self.name].merge(
-                    {key: self.partials[key] for key in self.cell_keys},
-                    quick=quick,
-                )
-                rendered = result.render()
+                if self.cells is None:
+                    result = self.partials.get(None)  # type: ignore[assignment]
+                else:
+                    result = experiment(self.name).merge(
+                        {
+                            cell.key: self.partials[cell.key]
+                            for cell in self.cells
+                        },
+                        quick=quick,
+                    )
             except Exception as exc:  # pragma: no cover - merge is pure
                 self.error = f"{type(exc).__name__}: {exc}"
         return ExperimentOutcome(
             name=self.name,
-            rendered=rendered,
+            rendered=result.render() if result is not None else "",
             elapsed_s=self.elapsed_s,
             error=self.error,
-            cells=len(self.cell_keys),
+            cells=1 if self.cells is None else len(self.cells),
             cached_tasks=self.cached_tasks,
+            result=result,
         )
 
 
@@ -196,26 +213,23 @@ def run_experiments(
     share the on-disk artifact cache, so a size measured by one cell is
     never re-measured by another — across this run or the next.
     """
-    from . import EXPERIMENTS, SHARDED_EXPERIMENTS
-
-    unknown = [name for name in names if name not in EXPERIMENTS]
-    if unknown:
-        raise KeyError(f"unknown experiment(s): {unknown}")
+    specs = [experiment(name) for name in names]  # raises on unknown ids
     workers = jobs if jobs is not None else default_jobs()
     tasks: list[tuple[int, str, str | None, bool]] = []
     groups: list[_Group] = []
-    for group_id, name in enumerate(names):
-        module = SHARDED_EXPERIMENTS.get(name)
-        keys = module.cells(quick) if module is not None and workers > 1 else []
-        if keys:
-            groups.append(_Group(name, keys))
-            tasks.extend((group_id, name, key, quick) for key in keys)
+    for group_id, spec in enumerate(specs):
+        cells = spec.cells(quick) if spec.sharded and workers > 1 else []
+        if cells:
+            groups.append(_Group(spec.id, cells))
+            tasks.extend(
+                (group_id, spec.id, cell.key, quick) for cell in cells
+            )
         else:
             # Unsharded — including the degenerate empty-cells case,
             # which would otherwise create a group no task ever
             # completes.
-            groups.append(_Group(name, None))
-            tasks.append((group_id, name, None, quick))
+            groups.append(_Group(spec.id, None))
+            tasks.append((group_id, spec.id, None, quick))
     workers = max(1, min(workers, len(tasks)))
 
     outcomes: dict[int, ExperimentOutcome] = {}

@@ -7,6 +7,7 @@ from dataclasses import dataclass
 from ..units import PAGE_SIZE, SCALE_FACTOR
 from ..workload import profile_by_name
 from .common import FIGURE_APPS, render_table, workload_trace
+from .registry import Experiment, ExperimentResult, register
 
 
 @dataclass
@@ -21,7 +22,7 @@ class Table1Row:
 
 
 @dataclass
-class Table1Result:
+class Table1Result(ExperimentResult):
     """Anonymous-data volumes (paper-scale MB)."""
 
     rows: list[Table1Row]
@@ -43,24 +44,32 @@ class Table1Result:
         )
 
 
-def run(quick: bool = False) -> Table1Result:
-    """Measure generated anonymous-data volume at the paper's two
-    sampling points and compare with Table 1."""
-    trace = workload_trace(n_apps=5)
-    rows = []
-    for name in FIGURE_APPS:
-        app_trace = trace.app(name)
-        profile = profile_by_name(name)
-        pages_10s = app_trace.pages_created_by(10.0)
-        pages_5min = app_trace.pages_created_by(300.0)
-        to_mb = PAGE_SIZE * SCALE_FACTOR / (1024 * 1024)
-        rows.append(
-            Table1Row(
-                app=name,
-                measured_10s_mb=pages_10s * to_mb,
-                measured_5min_mb=pages_5min * to_mb,
-                paper_10s_mb=profile.anon_mb_10s,
-                paper_5min_mb=profile.anon_mb_5min,
+@register
+class Table1(Experiment):
+    """Generated anonymous-data volumes versus the paper's Table 1."""
+
+    id = "table1"
+    title = "Anonymous data volume at 10 s / 5 min"
+    anchor = "Table 1"
+
+    def compute(self, quick: bool = False) -> Table1Result:
+        """Measure generated anonymous-data volume at the paper's two
+        sampling points and compare with Table 1."""
+        trace = workload_trace(n_apps=5)
+        rows = []
+        for name in FIGURE_APPS:
+            app_trace = trace.app(name)
+            profile = profile_by_name(name)
+            pages_10s = app_trace.pages_created_by(10.0)
+            pages_5min = app_trace.pages_created_by(300.0)
+            to_mb = PAGE_SIZE * SCALE_FACTOR / (1024 * 1024)
+            rows.append(
+                Table1Row(
+                    app=name,
+                    measured_10s_mb=pages_10s * to_mb,
+                    measured_5min_mb=pages_5min * to_mb,
+                    paper_10s_mb=profile.anon_mb_10s,
+                    paper_5min_mb=profile.anon_mb_5min,
+                )
             )
-        )
-    return Table1Result(rows=rows)
+        return Table1Result(rows=rows)

@@ -11,10 +11,11 @@ from dataclasses import dataclass
 
 from ..sim import run_heavy_scenario, run_light_scenario
 from .common import render_table, scenario_build, workload_trace
+from .registry import Experiment, ExperimentResult, register
 
 
 @dataclass
-class Table2Result:
+class Table2Result(ExperimentResult):
     """Energy (J) per workload class per scheme."""
 
     light_j: dict[str, float]
@@ -49,46 +50,41 @@ class Table2Result:
         )
 
 
-def cells(quick: bool = False) -> list[str]:
-    """Independently executable scheme cells (two scenarios per scheme)."""
-    return ["DRAM", "ZRAM", "SWAP"]
+@register
+class Table2(Experiment):
+    """Scenario energy for the three baseline schemes."""
 
+    id = "table2"
+    title = "Energy under DRAM / ZRAM / SWAP (60 s scenarios)"
+    anchor = "Table 2"
+    sharded = True
 
-def run_cell(key: str, quick: bool = False) -> dict[str, float]:
-    """Measure one scheme's light and heavy scenario energy (J).
+    def cell_keys(self, quick: bool = False) -> list[str]:
+        """Independently executable scheme cells (two scenarios per scheme)."""
+        return ["DRAM", "ZRAM", "SWAP"]
 
-    Each workload class gets its own fresh system (exactly as the
-    serial loop built them), so cells are order-independent and safe
-    on separate worker processes.
-    """
-    if key not in cells(quick):
-        raise KeyError(f"unknown table2 cell {key!r}")
-    n_apps = 3 if quick else 5
-    duration = 20.0 if quick else 60.0
-    system = scenario_build(key, workload_trace(n_apps=n_apps))
-    light = run_light_scenario(system, duration_s=duration).energy.total_j
-    system = scenario_build(key, workload_trace(n_apps=n_apps))
-    heavy = run_heavy_scenario(system, duration_s=duration).energy.total_j
-    return {"light": light, "heavy": heavy}
+    def run_cell(self, key: str, quick: bool = False) -> dict[str, float]:
+        """Measure one scheme's light and heavy scenario energy (J).
 
+        Each workload class gets its own fresh system (exactly as the
+        serial loop built them), so cells are order-independent and safe
+        on separate worker processes.
+        """
+        self._require_cell(key, quick)
+        n_apps = 3 if quick else 5
+        duration = 20.0 if quick else 60.0
+        system = scenario_build(key, workload_trace(n_apps=n_apps))
+        light = run_light_scenario(system, duration_s=duration).energy.total_j
+        system = scenario_build(key, workload_trace(n_apps=n_apps))
+        heavy = run_heavy_scenario(system, duration_s=duration).energy.total_j
+        return {"light": light, "heavy": heavy}
 
-def merge(
-    cell_results: dict[str, dict[str, float]], quick: bool = False
-) -> Table2Result:
-    """Assemble cell outputs into the table, in scheme order."""
-    order = [key for key in cells(quick) if key in cell_results]
-    return Table2Result(
-        light_j={key: cell_results[key]["light"] for key in order},
-        heavy_j={key: cell_results[key]["heavy"] for key in order},
-    )
-
-
-def run(quick: bool = False) -> Table2Result:
-    """Measure scenario energy for the three baseline schemes.
-
-    Defined as the serial merge of the per-cell runs, so the sharded
-    path is equivalent by construction.
-    """
-    return merge(
-        {key: run_cell(key, quick) for key in cells(quick)}, quick
-    )
+    def merge(
+        self, cell_results: dict[str, dict[str, float]], quick: bool = False
+    ) -> Table2Result:
+        """Assemble cell outputs into the table, in scheme order."""
+        ordered = self._ordered(cell_results, quick)
+        return Table2Result(
+            light_j={key: ordered[key]["light"] for key in ordered},
+            heavy_j={key: ordered[key]["heavy"] for key in ordered},
+        )

@@ -15,10 +15,11 @@ from ..core import RelaunchScenario
 from ..trace.analyze import consecutive_probability
 from ..workload import profile_by_name
 from .common import FIGURE_APPS, build, render_table, workload_trace
+from .registry import Experiment, ExperimentResult, register
 
 
 @dataclass
-class Table3Result:
+class Table3Result(ExperimentResult):
     """Measured vs paper consecutive-access probabilities."""
 
     p2: dict[str, float]
@@ -44,26 +45,35 @@ class Table3Result:
         )
 
 
-def run(quick: bool = False) -> Table3Result:
-    """Measure sector-access locality during ZRAM relaunch swap-ins."""
-    apps = FIGURE_APPS[:3] if quick else FIGURE_APPS
-    trace = workload_trace(n_apps=5)
-    system = build("ZRAM", trace)
-    system.launch_all()
-    p2: dict[str, float] = {}
-    p4: dict[str, float] = {}
-    for target in apps:
-        uid = trace.app(target).uid
-        system.prepare_relaunch(target, RelaunchScenario.AL)
-        mark = len(system.scheme.sector_access_log)
-        # Table 3 characterizes the relaunch swap-in stream specifically,
-        # so post-relaunch execution accesses are excluded.
-        system.relaunch(target, run_execution=False)
-        sectors = [
-            sector
-            for log_uid, sector in system.scheme.sector_access_log[mark:]
-            if log_uid == uid
-        ]
-        p2[target] = consecutive_probability(sectors, 2)
-        p4[target] = consecutive_probability(sectors, 4)
-    return Table3Result(p2=p2, p4=p4)
+@register
+class Table3(Experiment):
+    """Sector-access locality during ZRAM relaunch swap-ins."""
+
+    id = "table3"
+    title = "P(consecutive zpool accesses) during relaunch"
+    anchor = "Table 3"
+
+    def compute(self, quick: bool = False) -> Table3Result:
+        """Measure sector-access locality during ZRAM relaunch swap-ins."""
+        apps = FIGURE_APPS[:3] if quick else FIGURE_APPS
+        trace = workload_trace(n_apps=5)
+        system = build("ZRAM", trace)
+        system.launch_all()
+        p2: dict[str, float] = {}
+        p4: dict[str, float] = {}
+        for target in apps:
+            uid = trace.app(target).uid
+            system.prepare_relaunch(target, RelaunchScenario.AL)
+            mark = len(system.scheme.sector_access_log)
+            # Table 3 characterizes the relaunch swap-in stream
+            # specifically, so post-relaunch execution accesses are
+            # excluded.
+            system.relaunch(target, run_execution=False)
+            sectors = [
+                sector
+                for log_uid, sector in system.scheme.sector_access_log[mark:]
+                if log_uid == uid
+            ]
+            p2[target] = consecutive_probability(sectors, 2)
+            p4[target] = consecutive_probability(sectors, 4)
+        return Table3Result(p2=p2, p4=p4)

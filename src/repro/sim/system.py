@@ -15,7 +15,6 @@ how the schemes differentiate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from itertools import groupby
 
 from ..core import (
     AriadneConfig,
@@ -96,14 +95,18 @@ class MobileSystem:
             live.uid, hot_seed_limit=live.trace.launch_page_count
         )
         self.scheme.note_app_switch(live.uid)
-        ordered = sorted(live.trace.pages, key=lambda r: (r.created_at_s, r.pfn))
-        # Pages allocated at the same instant arrive as one batch (the
-        # kernel admits allocation bursts under a single watermark walk);
-        # (created_at_s, pfn) order is preserved across and within batches.
-        for _, batch in groupby(ordered, key=lambda r: r.created_at_s):
-            self.scheme.on_pages_created(
-                live.uid, [live.pages[record.pfn] for record in batch]
-            )
+        # The whole launch stream arrives as one coalesced (uid,
+        # timestamp-ordered) run: batched admission is number-invariant
+        # by construction (one watermark check admits the run when it
+        # fits; under pressure the scheme runs the exact per-page
+        # reference walk), so finer per-timestamp batching could only
+        # add redundant checks, never change a victim.  The order —
+        # (created_at_s, pfn) — is precomputed on the trace.
+        pages = live.pages
+        self.scheme.on_pages_created(
+            live.uid,
+            [pages[record.pfn] for record in live.trace.creation_order()],
+        )
         self.scheme.end_launch(live.uid)
         # Touch the first session's execution set: the app ran for a while
         # before being backgrounded, so its warm data has been accessed.

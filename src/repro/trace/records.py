@@ -115,6 +115,28 @@ class AppTrace:
         """Fresh mutable pages for one simulation run, keyed by pfn."""
         return {record.pfn: record.materialize() for record in self.pages}
 
+    def creation_order(self) -> tuple[PageRecord, ...]:
+        """Pages in allocation-replay order: ``(created_at_s, pfn)``.
+
+        This is the coalesced per-(uid, timestamp) run the launch replay
+        feeds to ``SwapScheme.on_pages_created`` in one call: batched
+        admission is number-invariant by construction (the scheme falls
+        back to the exact per-page walk under pressure), so the whole
+        launch stream is one maximal run.  Memoized on the trace —
+        sessions replay the same launch many times per experiment, and
+        the order is a pure function of the immutable records.
+        """
+        cached = getattr(self, "_creation_order", None)
+        if cached is None:
+            cached = tuple(
+                sorted(self.pages, key=lambda r: (r.created_at_s, r.pfn))
+            )
+            # Frozen dataclass: the memo slot is set through object
+            # directly; it is not a field, so eq/hash/repr semantics
+            # of the trace are untouched.
+            object.__setattr__(self, "_creation_order", cached)
+        return cached
+
     def pages_created_by(self, seconds: float) -> int:
         """How many pages exist ``seconds`` after launch."""
         return sum(1 for record in self.pages if record.created_at_s <= seconds)

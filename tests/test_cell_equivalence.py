@@ -1,12 +1,12 @@
 """Cells-vs-serial equivalence for every sharded experiment.
 
-Each sharded module defines ``run()`` as the serial merge of its cells,
-so the contract under test is the part that construction alone cannot
-give: cells must be *independent* (executable in any order, in any
-process) and their payloads must survive the worker boundary (pickle)
-— i.e. ``merge(run_cell(c) for c in cells)`` equals ``run()`` exactly
-even when the cells ran reversed and round-tripped through pickle.
-The absolute values themselves are pinned separately by
+Each sharded spec's ``run()`` is the serial merge of its cells (base
+class), so the contract under test is the part that construction alone
+cannot give: cells must be *independent* (executable in any order, in
+any process) and their payloads must survive the worker boundary
+(pickle) — i.e. ``merge(run_cell(c) for c in cells)`` equals ``run()``
+exactly even when the cells ran reversed and round-tripped through
+pickle.  The absolute values themselves are pinned separately by
 ``tests/test_golden_numbers.py``.
 """
 
@@ -16,57 +16,74 @@ import pickle
 
 import pytest
 
-from repro.experiments import (
-    SHARDED_EXPERIMENTS,
-    fig2,
-    fig3,
-    fig12,
-    fig13,
-    table2,
-)
+from repro.experiments import CellSpec, all_experiments, experiment
 
 
-def merged_from_reversed_cells(module):
+def sharded_specs():
+    return [spec for spec in all_experiments() if spec.sharded]
+
+
+def merged_from_reversed_cells(spec):
     """Run every cell in reverse order, through a pickle round-trip."""
     results = {}
-    for key in reversed(module.cells(quick=True)):
-        payload = module.run_cell(key, quick=True)
+    for key in reversed(spec.cell_keys(quick=True)):
+        payload = spec.run_cell(key, quick=True)
         results[key] = pickle.loads(pickle.dumps(payload))
-    return module.merge(results, quick=True)
+    return spec.merge(results, quick=True)
 
 
-def test_every_sharded_module_exposes_the_protocol():
-    for name, module in SHARDED_EXPERIMENTS.items():
-        keys = module.cells(quick=True)
-        assert keys, f"{name} advertises no cells"
-        assert len(keys) == len(set(keys)), f"{name} cell keys collide"
-        assert callable(module.run_cell) and callable(module.merge)
+def test_sharded_flags_cover_the_scheme_matrix():
+    assert {spec.id for spec in sharded_specs()} == {
+        "fig2", "fig3", "table2", "fig10", "fig11", "fig12", "fig13",
+    }
 
 
-@pytest.mark.parametrize("module", [fig2, fig3, table2, fig12, fig13])
-def test_unknown_cell_key_rejected(module):
+def test_every_sharded_spec_exposes_the_protocol():
+    for spec in sharded_specs():
+        keys = spec.cell_keys(quick=True)
+        assert keys, f"{spec.id} advertises no cells"
+        assert len(keys) == len(set(keys)), f"{spec.id} cell keys collide"
+        assert spec.cells(quick=True) == [
+            CellSpec(spec.id, key) for key in keys
+        ]
+
+
+@pytest.mark.parametrize("name", ["fig2", "fig3", "table2", "fig12", "fig13"])
+def test_unknown_cell_key_rejected(name):
     with pytest.raises(KeyError):
-        module.run_cell("not-a-cell", quick=True)
+        experiment(name).run_cell("not-a-cell", quick=True)
+
+
+def test_unsharded_spec_rejects_cell_protocol():
+    spec = experiment("platform")
+    assert spec.cells(quick=True) == []
+    with pytest.raises(NotImplementedError):
+        spec.run_cell("anything", quick=True)
 
 
 def test_fig12_cells_equal_serial():
-    assert merged_from_reversed_cells(fig12) == fig12.run(quick=True)
+    spec = experiment("fig12")
+    assert merged_from_reversed_cells(spec) == spec.run(quick=True)
 
 
 def test_fig13_cells_equal_serial():
-    assert merged_from_reversed_cells(fig13) == fig13.run(quick=True)
+    spec = experiment("fig13")
+    assert merged_from_reversed_cells(spec) == spec.run(quick=True)
 
 
 @pytest.mark.slow
 def test_fig2_cells_equal_serial():
-    assert merged_from_reversed_cells(fig2) == fig2.run(quick=True)
+    spec = experiment("fig2")
+    assert merged_from_reversed_cells(spec) == spec.run(quick=True)
 
 
 @pytest.mark.slow
 def test_fig3_cells_equal_serial():
-    assert merged_from_reversed_cells(fig3) == fig3.run(quick=True)
+    spec = experiment("fig3")
+    assert merged_from_reversed_cells(spec) == spec.run(quick=True)
 
 
 @pytest.mark.slow
 def test_table2_cells_equal_serial():
-    assert merged_from_reversed_cells(table2) == table2.run(quick=True)
+    spec = experiment("table2")
+    assert merged_from_reversed_cells(spec) == spec.run(quick=True)

@@ -5,17 +5,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import (
-    EXPERIMENTS,
-    fig2,
-    fig5,
-    fig6,
-    fig13,
-    fig14,
-    platform_info,
-    table1,
-    table3,
-)
+from repro.experiments import experiment, experiment_ids
 from repro.workload import profile_by_name
 
 
@@ -25,11 +15,11 @@ def test_registry_covers_every_table_and_figure():
         "table3", "platform", "fig10", "fig11", "fig12", "fig13",
         "fig14", "fig15",
     }
-    assert set(EXPERIMENTS) == expected
+    assert set(experiment_ids()) == expected
 
 
 def test_table1_matches_paper_within_one_page():
-    result = table1.run()
+    result = experiment("table1").run()
     for row in result.rows:
         assert row.measured_10s_mb == pytest.approx(row.paper_10s_mb, abs=2.0)
         assert row.measured_5min_mb == pytest.approx(row.paper_5min_mb, abs=2.0)
@@ -37,13 +27,13 @@ def test_table1_matches_paper_within_one_page():
 
 
 def test_fig5_similarity_and_reuse_near_paper_means():
-    result = fig5.run()
+    result = experiment("fig5").run()
     assert result.mean_similarity == pytest.approx(0.70, abs=0.06)
     assert result.mean_reuse == pytest.approx(0.98, abs=0.03)
 
 
 def test_fig6_shapes_match_paper():
-    result = fig6.run(quick=True)
+    result = experiment("fig6").run(quick=True)
     # Paper: 59.2x / 41.8x total-compression-time spans.
     assert result.speedup_small_vs_large("lz4") == pytest.approx(59.2, rel=0.1)
     assert result.speedup_small_vs_large("lzo") == pytest.approx(41.8, rel=0.1)
@@ -57,14 +47,14 @@ def test_fig6_shapes_match_paper():
 
 @pytest.mark.slow
 def test_fig2_zram_inflation_near_paper():
-    result = fig2.run(quick=True)
+    result = experiment("fig2").run(quick=True)
     assert 1.5 <= result.zram_over_dram <= 3.0  # paper: 2.1x
     assert result.swap_over_dram > result.zram_over_dram
 
 
 @pytest.mark.slow
 def test_table3_locality_matches_profiles():
-    result = table3.run(quick=True)
+    result = experiment("table3").run(quick=True)
     for app, measured in result.p2.items():
         profile = profile_by_name(app)
         assert measured == pytest.approx(profile.locality_p2, abs=0.10)
@@ -73,25 +63,25 @@ def test_table3_locality_matches_profiles():
 
 @pytest.mark.slow
 def test_fig13_ehl_large_cold_beats_zram():
-    result = fig13.run(quick=True)
+    result = experiment("fig13").run(quick=True)
     assert result.ehl_beats_zram_everywhere()
 
 
 @pytest.mark.slow
 def test_fig14_identification_quality():
-    result = fig14.run(quick=True)
+    result = experiment("fig14").run(quick=True)
     assert result.mean_coverage == pytest.approx(0.70, abs=0.12)
     assert result.mean_accuracy > 0.85
 
 
 def test_platform_info_renders():
-    text = platform_info.run().render()
+    text = experiment("platform").run().render()
     assert "zpool" in text
     assert "Pixel 7" in text
 
 
 def test_render_output_is_nonempty_text():
     for name in ("table1", "fig5"):
-        rendered = EXPERIMENTS[name](quick=True).render()
+        rendered = experiment(name).run(quick=True).render()
         assert isinstance(rendered, str)
         assert len(rendered.splitlines()) >= 3

@@ -25,7 +25,7 @@ import hashlib
 
 import pytest
 
-from repro.experiments import fig2, fig13
+from repro.experiments import experiment
 from repro.experiments.common import scenario_build, workload_trace
 from repro.sim.scenario import run_heavy_scenario
 
@@ -101,12 +101,12 @@ GOLDEN_HEAVY_FINGERPRINT = {
 
 @pytest.fixture(scope="module")
 def fig2_result():
-    return fig2.run(quick=True)
+    return experiment("fig2").run(quick=True)
 
 
 @pytest.fixture(scope="module")
 def fig13_result():
-    return fig13.run(quick=True)
+    return experiment("fig13").run(quick=True)
 
 
 class TestFig2Golden:

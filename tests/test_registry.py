@@ -1,0 +1,210 @@
+"""Registry contract tests: declarative specs, typed cells, selection,
+and the machine-readable (``--json``) result contract.
+
+The JSON determinism tests drive the real CLI (``main()``): the
+serialized document must parse and be byte-identical across ``--jobs 1``
+vs ``--jobs 4`` and across cold vs warm result cache — that is what
+makes per-commit outcome artifacts diffable.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.experiments import (
+    CellSpec,
+    Experiment,
+    all_experiments,
+    common,
+    experiment,
+    experiment_ids,
+    registry,
+    select,
+)
+from repro.experiments.__main__ import main
+from repro.experiments.registry import to_jsonable
+
+
+class TestRegistration:
+    def test_every_experiment_registered_exactly_once(self):
+        ids = experiment_ids()
+        assert len(ids) == len(set(ids)) == 15
+        # Registry order is the paper's presentation order.
+        assert ids[0] == "table1"
+        assert ids[-1] == "fig15"
+
+    def test_specs_declare_identity(self):
+        for spec in all_experiments():
+            assert spec.id and spec.title and spec.anchor
+            assert isinstance(spec, Experiment)
+            assert spec.describe() == {
+                "id": spec.id,
+                "title": spec.title,
+                "anchor": spec.anchor,
+                "sharded": spec.sharded,
+                "cacheable": spec.cacheable,
+            }
+
+    def test_duplicate_registration_rejected(self):
+        class Dup(Experiment):
+            id = "fig10"
+            title = "duplicate"
+            anchor = "Figure 10"
+
+            def compute(self, quick=False):  # pragma: no cover
+                raise AssertionError
+
+        with pytest.raises(ValueError, match="registered twice"):
+            registry.register(Dup)
+
+    def test_incomplete_spec_rejected(self):
+        class NoTitle(Experiment):
+            id = "unnamed"
+            anchor = "Nowhere"
+
+        with pytest.raises(ValueError, match="non-empty"):
+            registry.register(NoTitle)
+
+    def test_sharded_spec_without_cells_rejected(self):
+        class Hollow(Experiment):
+            id = "hollow"
+            title = "sharded but cell-less"
+            anchor = "Nowhere"
+            sharded = True
+
+        with pytest.raises(ValueError, match="cell_keys"):
+            registry.register(Hollow)
+
+    def test_unknown_lookup_names_known_ids(self):
+        with pytest.raises(KeyError, match="fig10"):
+            experiment("not-a-figure")
+
+
+class TestCellSpecs:
+    def test_cell_keys_stable_across_calls(self):
+        for spec in all_experiments():
+            if spec.sharded:
+                assert spec.cell_keys(quick=True) == spec.cell_keys(quick=True)
+                assert spec.cell_keys(quick=False) == spec.cell_keys(quick=False)
+
+    def test_cells_are_typed_hashable_and_picklable(self):
+        for spec in all_experiments():
+            for cell in spec.cells(quick=True):
+                assert isinstance(cell, CellSpec)
+                assert cell.experiment == spec.id
+                clone = pickle.loads(pickle.dumps(cell))
+                assert clone == cell
+                assert hash(clone) == hash(cell)
+
+
+class TestSelection:
+    def test_exact_ids_pass_through_in_request_order(self):
+        assert select(["fig13", "table1"]) == ["fig13", "table1"]
+
+    def test_all_expands_to_registry_order(self):
+        assert select(["all"]) == experiment_ids()
+
+    def test_glob_expands_in_registry_order(self):
+        assert select(["fig1*"]) == [
+            "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+        ]
+        assert select(["table?"]) == ["table1", "table2", "table3"]
+
+    def test_unmatched_pattern_rejected(self):
+        with pytest.raises(KeyError):
+            select(["fig9*"])
+        with pytest.raises(KeyError):
+            select(["not-a-figure"])
+
+
+class TestToJsonable:
+    def test_structural_conversion(self):
+        from repro.mem.page import Hotness
+
+        assert to_jsonable({Hotness.HOT: (1, 2.5)}) == {"HOT": [1, 2.5]}
+        assert to_jsonable([None, True, "x"]) == [None, True, "x"]
+
+    def test_unserializable_type_rejected(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+
+    def test_every_cheap_result_round_trips_through_json(self):
+        for name in ("platform", "table1", "fig5"):
+            payload = experiment(name).run(quick=True).to_json()
+            assert payload == json.loads(json.dumps(payload))
+
+
+@pytest.fixture()
+def persistent_caches(monkeypatch, tmp_path):
+    """Point the (normally disabled-in-tests) disk caches at a tmp dir."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    common.artifact_cache.cache_clear()
+    common.result_cache.cache_clear()
+    yield tmp_path / "cache"
+    common.artifact_cache.cache_clear()
+    common.result_cache.cache_clear()
+
+
+def _json_run(capsys, argv: list[str]) -> tuple[str, dict]:
+    exit_code = main(argv)
+    assert exit_code == 0
+    raw = capsys.readouterr().out
+    return raw, json.loads(raw)
+
+
+class TestJsonDeterminism:
+    #: Deterministic, cheap experiments: platform is trivially pure and
+    #: fig13 exercises the sharded + persistent-size-cache paths.
+    NAMES = ["platform", "fig13"]
+
+    def test_json_identical_across_job_counts_and_cache_states(
+        self, capsys, persistent_caches
+    ):
+        runs = {}
+        for label, argv in {
+            "cold-jobs1": [*self.NAMES, "--quick", "--json", "--jobs", "1"],
+            "warm-jobs1": [*self.NAMES, "--quick", "--json", "--jobs", "1"],
+            "warm-jobs4": [*self.NAMES, "--quick", "--json", "--jobs", "4"],
+        }.items():
+            raw, parsed = _json_run(capsys, argv)
+            runs[label] = raw
+            assert [entry["id"] for entry in parsed["experiments"]] == self.NAMES
+            assert all(entry["ok"] for entry in parsed["experiments"])
+        assert runs["cold-jobs1"] == runs["warm-jobs1"] == runs["warm-jobs4"]
+
+    def test_json_identical_with_cache_disabled(self, capsys):
+        # conftest keeps REPRO_CACHE_DIR=off: same bytes, no cache at all.
+        first, _ = _json_run(
+            capsys, ["platform", "--json", "--jobs", "1"]
+        )
+        second, _ = _json_run(
+            capsys, ["platform", "--json", "--jobs", "2"]
+        )
+        assert first == second
+
+    def test_list_json_parses_and_covers_registry(self, capsys):
+        raw, parsed = _json_run(capsys, ["list", "--json"])
+        assert {entry["id"] for entry in parsed} == set(experiment_ids())
+
+    def test_list_accepts_filter_patterns(self, capsys):
+        _, parsed = _json_run(capsys, ["list", "fig1*", "--json"])
+        assert [entry["id"] for entry in parsed] == [
+            "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+        ]
+        assert main(["list", "no-such*"]) == 2
+        capsys.readouterr()
+
+    def test_list_not_first_is_an_error_not_a_silent_drop(self, capsys):
+        assert main(["fig10", "list"]) == 2
+        assert "list" in capsys.readouterr().err
+
+    def test_glob_selection_through_cli(self, capsys):
+        _, parsed = _json_run(capsys, ["platfor*", "--json", "--jobs", "1"])
+        assert [entry["id"] for entry in parsed["experiments"]] == ["platform"]
+
+    def test_unknown_name_exits_2(self, capsys):
+        assert main(["no-such-figure"]) == 2
+        assert "list" in capsys.readouterr().err

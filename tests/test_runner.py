@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 import pytest
 
-from repro.experiments import EXPERIMENTS, SHARDED_EXPERIMENTS, fig10, fig11
-from repro.experiments import common
+from repro.experiments import Experiment, common, experiment, registry
 from repro.experiments.runner import (
     ExperimentOutcome,
     default_jobs,
@@ -13,11 +14,11 @@ from repro.experiments.runner import (
 )
 
 
-class _FakeResult:
+@dataclass
+class _FakeResult(registry.ExperimentResult):
     """Mergeable result for the fake sharded experiment below."""
 
-    def __init__(self, partials: dict) -> None:
-        self.partials = partials
+    partials: dict = field(default_factory=dict)
 
     def render(self) -> str:
         cells = ",".join(
@@ -26,50 +27,50 @@ class _FakeResult:
         return f"cells[{cells}]"
 
 
-class _FakeSharded:
-    """Minimal sharded-protocol experiment (module-level: fork-visible)."""
+class _FakeSharded(Experiment):
+    """Minimal sharded spec (module-level: fork-visible)."""
 
-    @staticmethod
-    def cells(quick: bool = False) -> list[str]:
+    id = "fake"
+    title = "fake sharded experiment"
+    anchor = "Test"
+    sharded = True
+
+    def cell_keys(self, quick: bool = False) -> list[str]:
         return ["alpha", "beta", "gamma"]
 
-    @staticmethod
-    def run_cell(key: str, quick: bool = False) -> dict:
+    def run_cell(self, key: str, quick: bool = False) -> dict:
         if key == "boom":
             raise ValueError("cell exploded")
         return {key: key.upper()}
 
-    @staticmethod
-    def merge(partials: dict, quick: bool = False) -> _FakeResult:
+    def merge(self, partials: dict, quick: bool = False) -> _FakeResult:
         return _FakeResult(partials)
 
 
-def _fake_run(quick: bool = False) -> _FakeResult:
-    return _FakeSharded.merge(
-        {key: _FakeSharded.run_cell(key, quick) for key in _FakeSharded.cells(quick)}
-    )
-
-
 class _FakeShardedFailing(_FakeSharded):
-    @staticmethod
-    def cells(quick: bool = False) -> list[str]:
+    def cell_keys(self, quick: bool = False) -> list[str]:
         return ["alpha", "boom"]
 
 
 @pytest.fixture()
 def fake_sharded(monkeypatch):
-    monkeypatch.setitem(EXPERIMENTS, "fake", _fake_run)
-    monkeypatch.setitem(SHARDED_EXPERIMENTS, "fake", _FakeSharded)
+    monkeypatch.setitem(registry._REGISTRY, "fake", _FakeSharded())
+
+
+@pytest.fixture()
+def fake_failing(monkeypatch):
+    monkeypatch.setitem(registry._REGISTRY, "fake", _FakeShardedFailing())
 
 
 class TestShardedScheduling:
     def test_fig10_and_fig11_expose_matrix_cells(self):
-        assert fig10.cells(quick=True)[:2] == ["DRAM", "ZRAM"]
-        assert len(fig10.cells(quick=True)) == 4
+        fig10, fig11 = experiment("fig10"), experiment("fig11")
+        assert fig10.cell_keys(quick=True)[:2] == ["DRAM", "ZRAM"]
+        assert len(fig10.cell_keys(quick=True)) == 4
         # fig11 normalizes to ZRAM, so DRAM (no codec CPU) is not a cell.
-        assert "DRAM" not in fig11.cells(quick=True)
-        assert "ZRAM" in fig11.cells(quick=True)
-        assert len(fig11.cells(quick=False)) > len(fig11.cells(quick=True))
+        assert "DRAM" not in fig11.cell_keys(quick=True)
+        assert "ZRAM" in fig11.cell_keys(quick=True)
+        assert len(fig11.cell_keys(quick=False)) > len(fig11.cell_keys(quick=True))
 
     def test_serial_and_sharded_render_identically(self, fake_sharded):
         serial = run_experiments(["fake"], jobs=1)
@@ -78,13 +79,14 @@ class TestShardedScheduling:
         assert serial[0].rendered == sharded[0].rendered
         assert serial[0].cells == 1  # one worker: runs whole, unsharded
         assert sharded[0].cells == 3
+        # Both paths surface the structured result object.
+        assert serial[0].result == sharded[0].result
 
-    def test_cell_failure_surfaces_as_experiment_error(self, monkeypatch):
-        monkeypatch.setitem(EXPERIMENTS, "fake", _fake_run)
-        monkeypatch.setitem(SHARDED_EXPERIMENTS, "fake", _FakeShardedFailing)
+    def test_cell_failure_surfaces_as_experiment_error(self, fake_failing):
         (outcome,) = run_experiments(["fake"], jobs=2)
         assert not outcome.ok
         assert "cell exploded" in outcome.error
+        assert outcome.result is None
 
     def test_mixed_suite_keeps_request_order(self, fake_sharded):
         outcomes = run_experiments(["platform", "fake"], jobs=2, quick=True)
@@ -93,15 +95,13 @@ class TestShardedScheduling:
 
     def test_empty_cell_list_falls_back_to_whole_run(self, monkeypatch):
         class _NoCells(_FakeSharded):
-            @staticmethod
-            def cells(quick: bool = False) -> list[str]:
+            def cell_keys(self, quick: bool = False) -> list[str]:
                 return []
 
-        monkeypatch.setitem(EXPERIMENTS, "fake", _fake_run)
-        monkeypatch.setitem(SHARDED_EXPERIMENTS, "fake", _NoCells)
+        monkeypatch.setitem(registry._REGISTRY, "fake", _NoCells())
         (outcome,) = run_experiments(["fake"], jobs=2)
         assert outcome.ok and outcome.cells == 1
-        assert outcome.rendered == _fake_run().render()
+        assert outcome.rendered == _NoCells().run().render()
 
 
 @pytest.fixture()
@@ -138,10 +138,9 @@ class TestResultCacheIntegration:
         (warm,) = run_experiments(["platform"], jobs=1, quick=True)
         assert warm.ok and warm.cached_tasks == 1
         assert warm.rendered == cold.rendered
+        assert warm.result == cold.result
 
-    def test_failed_task_is_not_cached(self, monkeypatch, persistent_caches):
-        monkeypatch.setitem(EXPERIMENTS, "fake", _fake_run)
-        monkeypatch.setitem(SHARDED_EXPERIMENTS, "fake", _FakeShardedFailing)
+    def test_failed_task_is_not_cached(self, fake_failing, persistent_caches):
         (first,) = run_experiments(["fake"], jobs=2)
         assert not first.ok
         (second,) = run_experiments(["fake"], jobs=2)
@@ -150,20 +149,45 @@ class TestResultCacheIntegration:
         # one must re-run (and fail again), never be memoized.
         assert second.cached_tasks <= 1
 
+    def test_run_cached_assembles_from_cells_the_runner_warmed(
+        self, fake_sharded, persistent_caches, monkeypatch
+    ):
+        # A parallel suite run stores per-cell entries only ...
+        (cold,) = run_experiments(["fake"], jobs=2)
+        assert cold.ok and cold.cached_tasks == 0
+        # ... which a serial run_cached consumer (benchmarks) must
+        # reuse instead of re-simulating: poison run_cell to prove no
+        # cell is recomputed.
+        def explode(self, key, quick=False):  # pragma: no cover
+            raise AssertionError("cell re-simulated despite warm cache")
+
+        monkeypatch.setattr(_FakeSharded, "run_cell", explode)
+        assert registry.run_cached("fake").render() == cold.rendered
+
+    def test_run_cached_measures_and_stores_missing_cells(
+        self, fake_sharded, persistent_caches
+    ):
+        first = registry.run_cached("fake")
+        (warm,) = run_experiments(["fake"], jobs=2)
+        # The cells run_cached stored serve the parallel runner too.
+        assert warm.ok and warm.cached_tasks == 3
+        assert warm.rendered == first.render()
+
     def test_disabled_cache_never_reports_cached_tasks(self, fake_sharded):
         # conftest keeps REPRO_CACHE_DIR=off for hermetic tests.
         for _ in range(2):
             (outcome,) = run_experiments(["fake"], jobs=2)
             assert outcome.ok and outcome.cached_tasks == 0
 
-    def test_live_timing_experiments_are_never_served_from_cache(
-        self, monkeypatch, fake_sharded, persistent_caches
+    def test_uncacheable_specs_are_never_served_from_cache(
+        self, monkeypatch, persistent_caches
     ):
-        # Experiments in UNCACHED_EXPERIMENTS embed real wall-clock
-        # measurements; a warm run must re-measure, not replay.
-        import repro.experiments as experiments
+        # Specs with cacheable=False embed real wall-clock measurements;
+        # a warm run must re-measure, not replay.
+        class _Uncacheable(_FakeSharded):
+            cacheable = False
 
-        monkeypatch.setattr(experiments, "UNCACHED_EXPERIMENTS", {"fake"})
+        monkeypatch.setitem(registry._REGISTRY, "fake", _Uncacheable())
         for _ in range(2):
             (outcome,) = run_experiments(["fake"], jobs=2)
             assert outcome.ok and outcome.cached_tasks == 0
@@ -171,9 +195,12 @@ class TestResultCacheIntegration:
     def test_fig6_is_marked_uncacheable(self):
         # fig6 times the real codecs with perf_counter; serving its
         # rendered wall seconds from disk would misreport hardware.
-        from repro.experiments import UNCACHED_EXPERIMENTS
-
-        assert "fig6" in UNCACHED_EXPERIMENTS
+        assert experiment("fig6").cacheable is False
+        assert all(
+            spec.cacheable
+            for spec in registry.all_experiments()
+            if spec.id != "fig6"
+        )
 
 
 class TestRunExperiments:
@@ -215,3 +242,17 @@ class TestOutcome:
             name="y", rendered="", elapsed_s=0.1, error="ValueError: nope"
         )
         assert good.ok and not bad.ok
+
+    def test_to_json_excludes_timing(self, fake_sharded):
+        (outcome,) = run_experiments(["fake"], jobs=2)
+        payload = outcome.to_json()
+        assert payload["id"] == "fake"
+        assert payload["ok"] is True
+        assert payload["result"] == {
+            "partials": {
+                "alpha": {"alpha": "ALPHA"},
+                "beta": {"beta": "BETA"},
+                "gamma": {"gamma": "GAMMA"},
+            }
+        }
+        assert "elapsed_s" not in payload and "cached_tasks" not in payload
