@@ -8,13 +8,18 @@ Two independent checks, with independent failure messages:
   ``kswapd_cpu_ns``) must be *bit-identical* to the baseline.  Any
   drift means an optimization changed measured behavior, which the
   number-invariance contract forbids; no tolerance applies.
-- **Wall time** — the measured wall time may not regress more than
-  ``--max-regression`` (default 25%) over the baseline.  Improvements
-  always pass; CI runners are noisy, which is what the generous margin
-  absorbs while still catching real slowdowns.  The check arms itself
-  only when the artifact's machine/python match the baseline's —
-  absolute seconds from a different machine class gate hardware, not
-  code.  This starts the wall-time trend line across commits: update
+- **Wall time** — the measured wall times may not regress more than
+  ``--max-regression`` (default 25%) over the baseline.  Two walls are
+  gated independently: the cold-size-cache ``wall_time_s`` (codec +
+  simulator) and the simulator-only ``warm_wall_time_s`` (PR 5), so a
+  simulator-side slowdown cannot hide under codec noise and vice
+  versa.  Improvements always pass; CI runners are noisy, which is
+  what the generous margin absorbs while still catching real
+  slowdowns.  The checks arm themselves only when the artifact's
+  machine/python match the baseline's — absolute seconds from a
+  different machine class gate hardware, not code — and a wall absent
+  from the baseline is skipped (pre-PR 5 baselines carry no warm
+  wall).  This starts the wall-time trend line across commits: update
   the committed baseline whenever a PR makes the benchmark
   meaningfully faster (or when CI hardware changes).
 
@@ -56,6 +61,52 @@ def _environment(artifact: dict) -> tuple:
     )
 
 
+#: Gated wall-time fields: (json key, human label, required-in-baseline).
+#: The warm wall isolates the pure simulator (PR 5); a baseline that
+#: predates it is simply not gated on it — but the cold wall has been
+#: in every baseline since PR 2, so its absence is a broken baseline,
+#: never a skip.
+WALL_KEYS = (
+    ("wall_time_s", "wall time", True),
+    ("warm_wall_time_s", "warm (simulator-only) wall time", False),
+)
+
+
+def _check_wall(
+    fresh: dict,
+    baseline: dict,
+    key: str,
+    label: str,
+    required: bool,
+    max_regression: float,
+) -> list[str]:
+    """Gate one wall-time field; returns failure messages."""
+    base_wall = baseline.get(key)
+    fresh_wall = fresh.get(key)
+    if base_wall is None and not required:
+        print(
+            f"{label} check skipped: baseline has no {key!r} "
+            "(re-record benchmarks/BENCH_baseline.json to arm it)"
+        )
+        return []
+    if not isinstance(base_wall, (int, float)) or base_wall <= 0:
+        return [f"baseline {key} is unusable: {base_wall!r}"]
+    if not isinstance(fresh_wall, (int, float)) or fresh_wall <= 0:
+        return [f"fresh {key} is unusable: {fresh_wall!r}"]
+    ratio = fresh_wall / base_wall
+    limit = 1.0 + max_regression
+    if ratio > limit:
+        return [
+            f"{label} regressed {ratio:.2f}x over baseline "
+            f"({fresh_wall:.3f}s vs {base_wall:.3f}s; limit {limit:.2f}x)"
+        ]
+    print(
+        f"{label} {fresh_wall:.3f}s vs baseline {base_wall:.3f}s "
+        f"({ratio:.2f}x, limit {limit:.2f}x) — ok"
+    )
+    return []
+
+
 def check(fresh: dict, baseline: dict, max_regression: float) -> list[str]:
     """Returns a list of failure messages (empty = pass)."""
     failures = []
@@ -66,35 +117,22 @@ def check(fresh: dict, baseline: dict, max_regression: float) -> list[str]:
                 f"baseline {baseline.get(key)!r} != fresh {fresh.get(key)!r} "
                 "(number-invariance violation, not a perf issue)"
             )
-    base_wall = baseline.get("wall_time_s")
-    fresh_wall = fresh.get("wall_time_s")
     if _environment(fresh) != _environment(baseline):
         # Absolute seconds only gate *code* when the hardware and
         # interpreter match the baseline's; across machine classes the
         # 25% margin would gate the hardware instead.  Correctness
-        # echoes above still apply — only the timing check is skipped.
+        # echoes above still apply — only the timing checks are skipped.
         print(
-            "wall time check skipped: environment differs from baseline "
+            "wall time checks skipped: environment differs from baseline "
             f"({_environment(fresh)} vs {_environment(baseline)}); "
             "re-record benchmarks/BENCH_baseline.json on this environment "
             "to re-arm the gate"
         )
-    elif not isinstance(base_wall, (int, float)) or base_wall <= 0:
-        failures.append(f"baseline wall_time_s is unusable: {base_wall!r}")
-    elif not isinstance(fresh_wall, (int, float)) or fresh_wall <= 0:
-        failures.append(f"fresh wall_time_s is unusable: {fresh_wall!r}")
     else:
-        ratio = fresh_wall / base_wall
-        limit = 1.0 + max_regression
-        if ratio > limit:
-            failures.append(
-                f"wall time regressed {ratio:.2f}x over baseline "
-                f"({fresh_wall:.3f}s vs {base_wall:.3f}s; limit {limit:.2f}x)"
-            )
-        else:
-            print(
-                f"wall time {fresh_wall:.3f}s vs baseline {base_wall:.3f}s "
-                f"({ratio:.2f}x, limit {limit:.2f}x) — ok"
+        for key, label, required in WALL_KEYS:
+            failures.extend(
+                _check_wall(fresh, baseline, key, label, required,
+                            max_regression)
             )
     return failures
 

@@ -93,6 +93,13 @@ class SizeCache:
             raise CompressionError(f"max_entries must be positive, got {max_entries}")
         self._max_entries = max_entries
         self._cache: OrderedDict[tuple[bytes, str, int], int] = OrderedDict()
+        #: In-memory-only front door keyed by concatenated *page* content
+        #: digests (see :meth:`compressed_size_of_pages`).  Kept apart
+        #: from :attr:`_cache` so persistent subclasses never write
+        #: these composite keys into the on-disk payload-digest logs.
+        self._page_run_cache: OrderedDict[tuple[bytes, str, int], int] = (
+            OrderedDict()
+        )
         self.hits = 0
         self.misses = 0
 
@@ -111,6 +118,39 @@ class SizeCache:
         self.misses += 1
         size = self._measure(codec, data, chunk_size)
         self._store(key, size)
+        return size
+
+    def compressed_size_of_pages(
+        self, codec: Compressor, pages, chunk_size: int
+    ) -> int:
+        """Stored size of the concatenation of ``pages``' payloads.
+
+        The hot path of warm system runs: chunk groups are keyed by
+        their pages' cached content digests (16 bytes each), so a
+        repeat group skips both the payload concatenation and the
+        full-payload hash — the digest-of-digests key is exactly as
+        collision-safe as :func:`payload_digest`.  Misses build the
+        payload once and fall through to :meth:`compressed_size`
+        (persistent lookups included), so every size is still measured
+        under the standard payload-digest key and numbers are
+        unchanged.
+        """
+        key = (
+            b"".join([page.content_digest() for page in pages]),
+            codec.name,
+            chunk_size,
+        )
+        run_cache = self._page_run_cache
+        cached = run_cache.get(key)
+        if cached is not None:
+            run_cache.move_to_end(key)
+            self.hits += 1
+            return cached
+        data = b"".join([page.payload for page in pages])
+        size = self.compressed_size(codec, data, chunk_size)
+        run_cache[key] = size
+        if len(run_cache) > self._max_entries:
+            run_cache.popitem(last=False)
         return size
 
     def _measure(self, codec: Compressor, data: bytes, chunk_size: int) -> int:
@@ -139,6 +179,7 @@ class SizeCache:
     def clear(self) -> None:
         """Drop all cached sizes and reset hit/miss counters."""
         self._cache.clear()
+        self._page_run_cache.clear()
         self.hits = 0
         self.misses = 0
 

@@ -14,10 +14,14 @@ separation HotnessOrg provides:
 
 from __future__ import annotations
 
-from ..mem.dram import MainMemory
+from typing import TYPE_CHECKING
+
 from ..mem.organizer import HotWarmColdOrganizer
 from ..mem.page import Hotness, Page
 from .config import AriadneConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .scheme import SwapScheme
 
 
 def chunk_size_for(level: Hotness, config: AriadneConfig) -> int:
@@ -31,7 +35,7 @@ def chunk_size_for(level: Hotness, config: AriadneConfig) -> int:
 
 def gather_cold_group(
     organizer: HotWarmColdOrganizer,
-    dram: MainMemory,
+    scheme: "SwapScheme",
     first: Page,
     group_pages: int,
 ) -> list[Page]:
@@ -40,12 +44,14 @@ def gather_cold_group(
     ``first`` has already been detached; the rest are pulled from the
     same app's cold list in LRU order (allocation order for untouched
     pages), which keeps a chunk's pages adjacent — the layout PreDecomp's
-    next-sector prediction and the paper's Insight 3 rely on.
+    next-sector prediction and the paper's Insight 3 rely on.  Detaching
+    goes through the scheme so the eviction-epoch layer sees every page
+    that leaves DRAM.
     """
     group = [first]
     while len(group) < group_pages and len(organizer.cold) > 0:
         page = organizer.cold.pop_lru()
         organizer.list_operations += 1
-        dram.remove_page(page)
+        scheme._detach_page(page)
         group.append(page)
     return group

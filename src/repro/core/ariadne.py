@@ -114,7 +114,7 @@ class AriadneScheme(SwapScheme):
                 if organizer.level_population(level) == 0:
                     continue
                 page = organizer.pop_victim_from_level(level)
-                self.ctx.dram.remove_page(page)
+                self._detach_page(page)
                 self._victim_levels[page.pfn] = level
                 return page
         # Ablation fallback (hotness_org_enabled=False): stock behavior.
@@ -132,7 +132,7 @@ class AriadneScheme(SwapScheme):
         else:
             level = Hotness.COLD
         page = organizer.pop_victim()
-        self.ctx.dram.remove_page(page)
+        self._detach_page(page)
         self._victim_levels[page.pfn] = level
         return page
 
@@ -167,7 +167,7 @@ class AriadneScheme(SwapScheme):
             and isinstance(organizer, HotWarmColdOrganizer)
         ):
             pages = gather_cold_group(
-                organizer, self.ctx.dram, page, self.config.cold_group_pages
+                organizer, self, page, self.config.cold_group_pages
             )
         _, stall = self._compress_and_store(
             pages, chunk_size=chunk_size, hotness=level, thread=thread
@@ -238,6 +238,10 @@ class AriadneScheme(SwapScheme):
             page.location = PageLocation.FLASH
         submit_ns = self.ctx.platform.swap_submit_ns * self.ctx.platform.scale
         self._charge(thread, "writeback", submit_ns)
+        # Writeback moves a chunk zpool -> flash without touching DRAM
+        # residency; the owner's epoch still advances (conservative,
+        # per the epoch contract) — it only costs a re-verification.
+        self._bump_app_epoch(target.uid)
         self.ctx.counters.incr("chunks_written_back")
         self.ctx.counters.incr("pages_written_back", target.page_count)
         return True
@@ -278,6 +282,7 @@ class AriadneScheme(SwapScheme):
             for page in chunk.pages:
                 self._make_room(1, direct=False, thread=KSWAPD)
                 self.ctx.dram.add_page(page)
+                self._note_pages_resident(page.uid, 1)
                 organizer.add_page_as(page, Hotness.HOT)
         # Hot pages parked in the staging buffer also come home.
         for pfn, (level, _hint) in list(self._staged_levels.items()):
@@ -291,6 +296,7 @@ class AriadneScheme(SwapScheme):
             self._staged_levels.pop(pfn, None)
             self._make_room(1, direct=False, thread=KSWAPD)
             self.ctx.dram.add_page(staged)
+            self._note_pages_resident(staged.uid, 1)
             organizer.add_page_as(staged, Hotness.HOT)
 
     # ------------------------------------------------------------------ faults
@@ -303,7 +309,10 @@ class AriadneScheme(SwapScheme):
         in the reserved buffer until claimed — so a staging hit always
         takes the fall-back :meth:`access` path, and any pages it stages
         or materializes are seen by the re-probe of the rest of the
-        batch."""
+        batch.  The same fact keeps the epoch layer exact: an app with
+        staged pages has a non-zero non-resident count and can never be
+        verified fully resident, so the probe-free path cannot swallow a
+        staging hit."""
         return self._access_batch_runs(pages, thread)
 
     def _staging_hit(self, page: Page) -> AccessResult | None:
@@ -317,6 +326,7 @@ class AriadneScheme(SwapScheme):
         # but not a decompression, which already happened off-path.
         stall = self._make_room(1, direct=True, thread=KSWAPD)
         self.ctx.dram.add_page(staged)
+        self._note_pages_resident(page.uid, 1)
         organizer = self.organizer(page.uid)
         organizer.add_page(staged)
         organizer.on_access(staged, self.ctx.clock.now_ns)

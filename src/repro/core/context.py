@@ -15,6 +15,7 @@ from ..compression.chunking import SizeCache
 from ..flash import FlashDevice, FlashSwapArea
 from ..mem import MainMemory
 from ..metrics import Counters, CpuAccount
+from ..units import PAGE_SIZE
 from ..zpool import Zpool
 from .config import PlatformConfig, pixel7_platform
 
@@ -44,6 +45,20 @@ class SchemeContext:
         """
         measured = self.sizes.compressed_size(self.codec, payload, chunk_size)
         raw_limit = len(payload) + 16
+        return min(measured, raw_limit)
+
+    def compressed_size_of_pages(self, pages, chunk_size: int) -> int:
+        """:meth:`compressed_size` of the pages' concatenated payloads.
+
+        Identical value by construction — page payloads are always
+        ``PAGE_SIZE`` bytes, so the raw-store clamp is computable
+        without building the concatenation, and the size cache's
+        page-run front door skips the build entirely on repeat groups.
+        """
+        measured = self.sizes.compressed_size_of_pages(
+            self.codec, pages, chunk_size
+        )
+        raw_limit = PAGE_SIZE * len(pages) + 16
         return min(measured, raw_limit)
 
 

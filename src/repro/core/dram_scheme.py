@@ -72,12 +72,15 @@ class DramScheme(SwapScheme):
     ) -> AccessBatchSummary:
         """Batched replay without residency probes: this scheme never
         evicts or loses anonymous pages, so every page of a valid replay
-        is resident and the whole batch is one hit run.  (A page that
-        somehow is not resident still raises :class:`PageStateError`,
-        from the organizer instead of the access dispatcher.)"""
+        is resident and the whole batch is one hit run — the degenerate
+        case of the eviction-epoch fast path, where every app stays
+        verified forever (the epoch never moves).  (A page that somehow
+        is not resident still raises :class:`PageStateError`, from the
+        organizer instead of the access dispatcher.)"""
         self._touch_resident_run(pages, thread)
         summary = AccessBatchSummary()
         summary.add_hits(len(pages))
+        self.epoch_skips += 1
         return summary
 
     def background_reclaim(self) -> None:

@@ -36,6 +36,7 @@ from ..metrics import (
     EMPTY_BREAKDOWN,
     KSWAPD,
     AccessBatchSummary,
+    AccessRun,
     LatencyBreakdown,
 )
 from ..units import PAGE_SIZE
@@ -89,6 +90,34 @@ class SwapScheme(ABC):
         #: occupancy hooks fired.
         self.watermark_probes = 0
         self.accounting_updates = 0
+        #: Eviction epoch: a monotone counter bumped whenever residency
+        #: can shrink (a page leaves DRAM) and, conservatively, on
+        #: writeback and purge.  Verification stamps (per app and per
+        #: memoized replay run) are compared against the *owning app's*
+        #: last bump, so one app's reclaim traffic does not invalidate
+        #: another app's verified-resident state — see
+        #: :meth:`_access_batch_runs`.
+        self.eviction_epoch = 0
+        #: Per app: the epoch stamped at its last residency-affecting
+        #: event (a page of this app left DRAM; a chunk of this app was
+        #: purged or written back).  A verification stamp at least this
+        #: new is still valid: epochs only advance at those events, so
+        #: nothing of this app's left DRAM since the verification.
+        self._app_eviction_epoch: dict[int, int] = {}
+        #: Per app: the epoch at which the app was last *verified* fully
+        #: resident (every one of its pages in DRAM).
+        self._resident_verified_epoch: dict[int, int] = {}
+        #: Per app: how many of its pages are currently *not* resident
+        #: (stored + staged + lost).  Maintained exactly at every
+        #: residency transition; reaching zero re-verifies the app at
+        #: the current epoch.  ``tests/test_invariants.py`` holds it
+        #: against a ground-truth recompute under randomized sequences.
+        self._nonresident_pages: dict[int, int] = {}
+        #: Batch-replay observability (profiling, not simulation state):
+        #: batches served entirely by the epoch fast path, and per-page
+        #: residency probes the run-splitting fallback performed.
+        self.epoch_skips = 0
+        self.residency_probes = 0
         self._organizers: dict[int, DataOrganizer] = {}
         #: Recency order over apps: first key is least recently used.
         self._app_lru: OrderedDict[int, None] = OrderedDict()
@@ -117,6 +146,13 @@ class SwapScheme(ABC):
             raise PageStateError(f"app {uid} already registered")
         self._organizers[uid] = self._make_organizer(uid, hot_seed_limit)
         self._app_lru[uid] = None
+        # A freshly registered app owns no pages, so it is (vacuously)
+        # fully resident at the current epoch; new allocations are born
+        # resident and keep the verification valid until one of *its*
+        # pages leaves DRAM and stamps a newer per-app epoch.
+        self._nonresident_pages[uid] = 0
+        self._app_eviction_epoch[uid] = 0
+        self._resident_verified_epoch[uid] = self.eviction_epoch
 
     def organizer(self, uid: int) -> DataOrganizer:
         """The per-app organizer (raises for unknown apps)."""
@@ -153,6 +189,39 @@ class SwapScheme(ABC):
         if self.uses_zpool:
             used += self.ctx.zpool.audit_used_bytes()
         return self.ctx.platform.dram_bytes - used
+
+    # ------------------------------------------------------- residency epochs
+
+    def _detach_page(self, page: Page) -> None:
+        """Take ``page`` out of DRAM and advance the eviction epoch.
+
+        Every path on which a resident page leaves DRAM funnels through
+        here so the epoch layer can never miss a residency loss: the
+        owner's per-app stamp moves past every verification made so
+        far, and its non-resident count grows so the app can only
+        re-verify once every page is back.
+        """
+        self.ctx.dram.remove_page(page)
+        self._nonresident_pages[page.uid] += 1
+        self.eviction_epoch += 1
+        self._app_eviction_epoch[page.uid] = self.eviction_epoch
+
+    def _bump_app_epoch(self, uid: int) -> None:
+        """Conservatively invalidate ``uid``'s verifications (writeback,
+        purge: no residency changed, but the epoch contract treats every
+        residency-adjacent event as an invalidation — it only costs one
+        cheap re-verification)."""
+        self.eviction_epoch += 1
+        self._app_eviction_epoch[uid] = self.eviction_epoch
+
+    def _note_pages_resident(self, uid: int, count: int) -> None:
+        """Record that ``count`` previously non-resident pages of ``uid``
+        became resident again; at zero outstanding the app is fully
+        resident and re-verifies at the current epoch."""
+        remaining = self._nonresident_pages[uid] - count
+        self._nonresident_pages[uid] = remaining
+        if remaining == 0:
+            self._resident_verified_epoch[uid] = self.eviction_epoch
 
     def _charge(self, thread: str, activity: str, ns: int) -> None:
         self.ctx.cpu.charge(thread, activity, ns)
@@ -271,36 +340,106 @@ class SwapScheme(ABC):
     def _access_batch_runs(
         self, pages: list[Page], thread: str = APP
     ) -> AccessBatchSummary:
-        """Shared fast batch path: coalesce resident-hit runs, fault singly.
+        """Shared fast batch path: epoch-verified apps skip residency
+        probes entirely; otherwise coalesce resident runs, fault singly.
 
-        A run of currently-resident pages is serviced with one shared
-        zero-stall outcome (count bumps on the summary), one bulk
-        organizer touch, and one CPU charge — exactly the sums the
-        per-page loop produces, since hits never change residency, the
-        clock is frozen across a replay, and CPU/list accounting is
-        additive.  Every non-resident page falls back to the exact
-        per-page :meth:`access`, because a fault may change the
-        residency of *later* batch pages (chunk siblings materialize,
-        staging fills, reclaim can evict) — so residency is re-probed
-        from the faulted page onward.
+        The epoch layer comes first: an app verified fully resident at
+        the current :attr:`eviction_epoch` cannot fault — every one of
+        its pages is in DRAM, and epochs advance whenever any page
+        leaves DRAM — so its whole uid-segment (in practice the whole
+        batch: replays are single-app) is serviced as one resident run
+        with zero per-page membership probes.  Equivalence is by
+        construction: the probes the fallback would have made were all
+        guaranteed hits, and hits never change residency.  The moment
+        anything is evicted mid-batch (a fault's direct reclaim), the
+        epoch moves and the verification check fails for the rest of
+        the batch, forcing re-probe.
+
+        Unverified segments take the exact probing path: a run of
+        currently-resident pages is serviced with one shared zero-stall
+        outcome (count bumps on the summary), one bulk organizer touch,
+        and one CPU charge — exactly the sums the per-page loop
+        produces, since hits never change residency, the clock is
+        frozen across a replay, and CPU/list accounting is additive.
+        Every non-resident page falls back to the exact per-page
+        :meth:`access`, because a fault may change the residency of
+        *later* batch pages (chunk siblings materialize, staging fills,
+        reclaim can evict) — so residency is re-probed from the faulted
+        page onward.
         """
         summary = AccessBatchSummary()
-        resident = self.ctx.dram._resident
         n = len(pages)
+        if n == 0:
+            return summary
+        ctx = self.ctx
+        app_epochs = self._app_eviction_epoch
+        run_uid = pages.uid if type(pages) is AccessRun else None
+        if run_uid is not None:
+            app_stamp = app_epochs[run_uid]
+            if pages.verified_epoch >= app_stamp:
+                # Run-level fast path: the previous replay of this very
+                # run ended with every page resident, and no page of
+                # this app has left DRAM since — so every page is still
+                # resident and the whole batch is one hit run.
+                self._organizers[run_uid].on_access_run(
+                    pages, ctx.clock.now_ns
+                )
+                ctx.cpu.charge(
+                    thread, "list_ops", ctx.platform.list_op_ns * n
+                )
+                summary.add_hits(n)
+                self.epoch_skips += 1
+                return summary
+        resident = ctx.dram._resident
+        verified = self._resident_verified_epoch
+        organizers = self._organizers
         i = 0
         while i < n:
             page = pages[i]
-            if page.pfn in resident:
+            uid = page.uid
+            # ``.get`` with an always-stale default keeps unregistered
+            # apps on the exact path (where the reference error surfaces).
+            if verified.get(uid, -1) >= app_epochs.get(uid, 0):
+                # App-level fast path: the app was verified fully
+                # resident (non-resident count zero) and none of *its*
+                # pages left DRAM since, so this uid-segment (in
+                # practice the whole batch) cannot miss.
+                j = i + 1
+                while j < n and pages[j].uid == uid:
+                    j += 1
+                organizers[uid].on_access_run(
+                    pages[i:j] if i or j < n else pages, ctx.clock.now_ns
+                )
+                ctx.cpu.charge(
+                    thread, "list_ops", ctx.platform.list_op_ns * (j - i)
+                )
+                summary.add_hits(j - i)
+                self.epoch_skips += 1
+                i = j
+            elif page.pfn in resident:
                 j = i + 1
                 while j < n and pages[j].pfn in resident:
                     j += 1
+                # Probes: one per page of the run, plus the failing
+                # probe that terminated it (re-probed by the dispatch
+                # above when the loop resumes there).
+                self.residency_probes += (j - i) + (1 if j < n else 0)
                 self._touch_resident_run(pages[i:j] if i or j < n else pages,
                                          thread)
                 summary.add_hits(j - i)
                 i = j
             else:
+                self.residency_probes += 1
                 summary.add_result(self.access(page, thread))
                 i += 1
+        if run_uid is not None and app_epochs[run_uid] == app_stamp:
+            # Every page of the run was (made) resident when touched,
+            # and no page of this app left DRAM at any point during the
+            # batch — so all of them are resident *now*: stamp the run
+            # verified for its next replay.  A mid-batch same-app
+            # eviction (a fault's direct reclaim reaching into this
+            # app) moved the app stamp and leaves the run unverified.
+            pages.verified_epoch = self.eviction_epoch
         return summary
 
     def _touch_resident_run(self, run: list[Page], thread: str) -> None:
@@ -349,6 +488,7 @@ class SwapScheme(ABC):
         stall += self._stall(fault_ns)
         self._lost_pfns.discard(page.pfn)
         self.ctx.dram.add_page(page)
+        self._note_pages_resident(page.uid, 1)
         organizer = self.organizer(page.uid)
         organizer.add_page(page)
         organizer.on_access(page, self.ctx.clock.now_ns)
@@ -426,7 +566,7 @@ class SwapScheme(ABC):
     def _pop_victim_from(self, organizer: DataOrganizer) -> Page:
         """Detach the next victim from one organizer (and from DRAM)."""
         page = organizer.pop_victim()
-        self.ctx.dram.remove_page(page)
+        self._detach_page(page)
         return page
 
     def force_compress_app(self, uid: int, exclude_hot: bool = False) -> None:
@@ -469,7 +609,7 @@ class SwapScheme(ABC):
         for page in chunk.pages:
             self._stored_by_pfn[page.pfn] = chunk
         self.compression_log.extend(
-            (page.uid, page.true_hotness) for page in chunk.pages
+            [(page.uid, page.true_hotness) for page in chunk.pages]
         )
 
     def _unregister_chunk(self, chunk: StoredChunk) -> None:
@@ -524,20 +664,22 @@ class SwapScheme(ABC):
         """
         ctx = self.ctx
         platform = ctx.platform
-        payload = b"".join(page.payload for page in pages)
-        stored = ctx.compressed_size(payload, chunk_size)
+        # Page payloads are always PAGE_SIZE bytes, so every payload-
+        # length figure is computable without concatenating; the size
+        # cache's page-run front door only builds the payload on a
+        # first-seen chunk group (see SizeCache.compressed_size_of_pages).
+        span = PAGE_SIZE * len(pages)
+        stored = ctx.compressed_size_of_pages(pages, chunk_size)
         while not ctx.zpool.has_room_for(stored):
             if not self._relieve_zpool():
                 break
         comp_ns = platform.scale * ctx.latency.compress_ns(
-            ctx.codec.name, len(payload), chunk_size
+            ctx.codec.name, span, chunk_size
         )
         self._charge(thread, "compress", comp_ns)
         ctx.counters.incr("pages_compressed", len(pages))
         ctx.counters.incr("compress_ops")
-        ctx.counters.incr(
-            "dram_bytes_moved", 2 * len(payload) * platform.scale
-        )
+        ctx.counters.incr("dram_bytes_moved", 2 * span * platform.scale)
         entry = ctx.zpool.store(stored, lane=self._zpool_lane(pages[0].uid, hotness))
         chunk = StoredChunk(
             chunk_id=self._next_chunk_id(),
@@ -555,7 +697,7 @@ class SwapScheme(ABC):
             page.location = PageLocation.ZPOOL
         self._register_chunk(chunk)
         self._by_zpool_handle[entry.handle] = chunk
-        ctx.counters.incr("bytes_original", len(payload))
+        ctx.counters.incr("bytes_original", span)
         ctx.counters.incr("bytes_stored", stored)
         return chunk, self._stall(comp_ns)
 
@@ -575,6 +717,10 @@ class SwapScheme(ABC):
                 self._unregister_chunk(chunk)
                 for page in chunk.pages:
                     self._lost_pfns.add(page.pfn)
+                # Purge conservatively advances the owner's epoch (the
+                # pages were already non-resident, but a dropped chunk
+                # is a residency-adjacent event the fast path respects).
+                self._bump_app_epoch(chunk.uid)
                 self.ctx.counters.incr("chunks_dropped")
                 self.ctx.counters.incr("pages_lost", chunk.page_count)
                 return True
@@ -640,6 +786,7 @@ class SwapScheme(ABC):
         for page in chunk.pages:
             self.ctx.dram.add_page(page)
             organizer.add_page(page)
+        self._note_pages_resident(chunk.uid, chunk.page_count)
         organizer.on_access(faulted, self.ctx.clock.now_ns)
         self.ctx.counters.incr("pages_swapped_in", chunk.page_count)
         return room_stall + fault_stall, breakdown

@@ -35,8 +35,9 @@ class FlashSwapScheme(SwapScheme):
     ) -> AccessBatchSummary:
         """Batched replay: every flash fault goes through the exact
         per-page path (a swap-in admits only the faulted page, but its
-        direct reclaim can evict later batch pages), so the generic
-        split applies unchanged."""
+        direct reclaim can evict later batch pages — which bumps the
+        eviction epoch, keeping the probe-free path honest), so the
+        generic epoch-gated split applies unchanged."""
         return self._access_batch_runs(pages, thread)
 
     def _evict(self, page: Page, thread: str) -> int:

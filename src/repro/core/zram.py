@@ -37,7 +37,7 @@ class ZramScheme(SwapScheme):
         self, pages: list[Page], thread: str = APP
     ) -> AccessBatchSummary:
         """Batched replay: zram has no staging buffer, so the generic
-        resident-run/fault split is exact as-is."""
+        epoch-gated resident-run/fault split is exact as-is."""
         return self._access_batch_runs(pages, thread)
 
     def _evict(self, page: Page, thread: str) -> int:

@@ -91,6 +91,33 @@ class LruList:
             ) from None
         return len(pfns)
 
+    def touch_all(self, pages, now_ns: int) -> int:
+        """Touch a run of pages known to live on *this* list; returns count.
+
+        The single-populated-list fast path of the organizers' bulk
+        access replay: when an app's every resident page sits on one
+        list (EHL/AL relaunches empty the other lists; the DRAM
+        baseline's inactive list drains), per-page membership
+        classification is pure overhead — each page's access stamps and
+        recency move happen in one fused loop with no per-pfn dict
+        probes beyond the move itself.  Exactly equivalent to the
+        classified path: every page would have classified onto this
+        list, a touch is one list operation, and stamps are
+        per-page either way.  An absent page is a caller bug and
+        surfaces as :class:`PageStateError`.
+        """
+        move = self._pages.move_to_end
+        try:
+            for page in pages:
+                page.last_access_ns = now_ns
+                page.access_count += 1
+                move(page.pfn)
+        except KeyError:
+            raise PageStateError(
+                f"page {page.pfn} not on list {self.name!r}"
+            ) from None
+        return len(pages)
+
     def remove(self, page: Page) -> None:
         """Remove ``page``; error if absent."""
         if self._pages.pop(page.pfn, None) is None:

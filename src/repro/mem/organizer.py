@@ -133,6 +133,14 @@ class ActiveInactiveOrganizer(DataOrganizer):
             )
 
     def on_access_run(self, pages: list[Page], now_ns: int) -> None:
+        if not self.inactive._pages:
+            # Single-populated-list fast path: with the inactive list
+            # empty every resident page is active and stays there (a
+            # touch never demotes), so classification is settled for
+            # the whole run — one fused bulk touch, zero per-pfn
+            # membership probes.
+            self.list_operations += self.active.touch_all(pages, now_ns)
+            return
         # Touches and inactive->active promotions land on the *same*
         # list, so their relative order matters and no touch can be
         # deferred past a promotion (unlike the tri-list organizer,
@@ -320,6 +328,21 @@ class HotWarmColdOrganizer(DataOrganizer):
         )
 
     def on_access_run(self, pages: list[Page], now_ns: int) -> None:
+        if not self.warm._pages and not self.cold._pages:
+            # Single-populated-list fast path: warm and cold empty means
+            # every resident page is hot and stays hot (touches never
+            # leave the hot list), so the whole run is one fused bulk
+            # touch with zero per-pfn classification probes.  This is
+            # exactly the EHL/AL relaunch shape: force-compression
+            # empties warm and cold, and relaunch faults admit straight
+            # to hot.  Relaunch-accessed tracking is a set; order-free.
+            ops = self.hot.touch_all(pages, now_ns)
+            if self._relaunch_active:
+                self._relaunch_accessed.update(
+                    [page.pfn for page in pages]
+                )
+            self.list_operations += ops
+            return
         # Hot-list touches can be deferred to one bulk touch_run at the
         # end: accesses never move a page *into or out of* the hot list
         # (cold promotes to warm), so the final hot order depends only

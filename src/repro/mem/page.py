@@ -79,6 +79,10 @@ class Page:
     location: PageLocation = PageLocation.DRAM
     last_access_ns: int = 0
     access_count: int = field(default=0, repr=False)
+    #: Cached 16-byte blake2b of the payload (see :meth:`content_digest`).
+    _content_digest: bytes | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.payload:
@@ -98,6 +102,23 @@ class Page:
         """Update recency bookkeeping after an access at ``now_ns``."""
         self.last_access_ns = now_ns
         self.access_count += 1
+
+    def content_digest(self) -> bytes:
+        """Collision-safe content key of the payload, computed once.
+
+        A page's payload never changes after materialization, so the
+        digest is cached — trace records pre-share theirs (one hash per
+        page per *process*, not per run), and pages built directly in
+        tests compute it lazily here.  Size-cache lookups key chunk
+        groups by these digests instead of re-hashing the concatenated
+        payload on every compression.
+        """
+        digest = self._content_digest
+        if digest is None:
+            from ..compression.chunking import payload_digest
+
+            digest = self._content_digest = payload_digest(self.payload)
+        return digest
 
     def __hash__(self) -> int:
         return hash((self.pfn, self.uid))

@@ -155,6 +155,32 @@ class LatencyBreakdown:
 EMPTY_BREAKDOWN = LatencyBreakdown()
 
 
+class AccessRun(list):
+    """A memoized single-app replay run with residency-verification state.
+
+    Replay streams (relaunch/execution/warm-up page sequences) are
+    immutable and replayed many times per scenario, so
+    ``MobileSystem`` materializes each one once and hands the *same*
+    list object to every replay.  That stability is what makes
+    run-level epoch verification sound: ``verified_epoch`` records the
+    scheme's :attr:`~repro.core.scheme.SwapScheme.eviction_epoch` at the
+    end of a replay that left every page of this run resident.  As long
+    as no page of ``uid`` has left DRAM since (the scheme's per-app
+    eviction stamp has not passed ``verified_epoch``), every page is
+    still resident and the next replay needs zero per-page residency
+    probes.  The stamp lives on the run object itself — there is no
+    key-reuse hazard a side table would have.
+    """
+
+    __slots__ = ("uid", "verified_epoch")
+
+    def __init__(self, pages, uid: int) -> None:
+        super().__init__(pages)
+        self.uid = uid
+        #: Scheme epoch at the last fully-resident replay (-1 = never).
+        self.verified_epoch = -1
+
+
 @dataclass
 class AccessBatchSummary:
     """Aggregate outcome of a batched access replay.

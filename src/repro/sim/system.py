@@ -30,7 +30,7 @@ from ..core import (
 )
 from ..errors import ConfigError, PageStateError
 from ..mem.page import Page
-from ..metrics import APP, RelaunchResult
+from ..metrics import APP, AccessRun, RelaunchResult
 from ..trace.records import AppTrace, WorkloadTrace
 from ..units import MS, SECOND
 
@@ -46,6 +46,10 @@ class LiveApp:
     launched: bool = False
     next_session: int = 0
     relaunch_results: list[RelaunchResult] = field(default_factory=list)
+    #: Memoized replay runs (see :meth:`access_run`).
+    _access_runs: dict[tuple, AccessRun] = field(
+        default_factory=dict, repr=False
+    )
 
     @property
     def uid(self) -> int:
@@ -54,6 +58,33 @@ class LiveApp:
     @property
     def name(self) -> str:
         return self.trace.name
+
+    def access_run(
+        self, stream: str, index: int, pfns: tuple[int, ...]
+    ) -> AccessRun:
+        """The materialized page run for one replay stream, memoized.
+
+        A scenario replays the same immutable pfn streams many times
+        (once the trace runs out of sessions, the last one repeats for
+        every further relaunch), and this app's :class:`Page` objects
+        are fixed for the system's lifetime — so the per-page dict
+        lookups are paid once per (stream, session), not per replay.
+        The memoized object is an :class:`repro.metrics.AccessRun`: the
+        scheme stamps its residency verification directly on it, which
+        is what lets a repeat replay skip every per-page residency
+        probe.  Callers treat the returned run as read-only.  The pfn
+        sequence is part of the key, so a caller replaying a different
+        sequence under a reused (stream, index) can never be served a
+        stale run (hashing the tuple is microseconds against the build
+        it saves).
+        """
+        key = (stream, index, pfns)
+        run = self._access_runs.get(key)
+        if run is None:
+            pages = self.pages
+            run = AccessRun([pages[pfn] for pfn in pfns], self.uid)
+            self._access_runs[key] = run
+        return run
 
 
 class MobileSystem:
@@ -113,9 +144,10 @@ class MobileSystem:
         # Address order decorrelates this initial pass from the session's
         # own access order — the two are different executions.
         if live.trace.sessions:
-            pages = live.pages
             self.scheme.access_batch(
-                [pages[pfn] for pfn in sorted(live.trace.sessions[0].execution_pfns)]
+                live.access_run(
+                    "warmup", 0, live.trace.sessions[0].execution_order()
+                )
             )
         live.launched = True
         self.ctx.clock.advance(int(settle_seconds * SECOND))
@@ -191,9 +223,10 @@ class MobileSystem:
         # Batched replay: the summary's totals are exactly what the
         # per-access loop accumulated (per-page DRAM time is uniform, so
         # it distributes over the count), with no per-hit object churn.
-        pages = live.pages
+        # The page run itself is memoized on the app — replays repeat.
         summary = self.scheme.access_batch(
-            [pages[pfn] for pfn in session.relaunch_pfns], thread=APP
+            live.access_run("relaunch", session.index, session.relaunch_pfns),
+            thread=APP,
         )
         result.latency_ns += per_page_ns * summary.pages + summary.stall_ns
         result.breakdown.dram_ns += per_page_ns * summary.pages
@@ -218,9 +251,9 @@ class MobileSystem:
         Execution faults stall the app but are not part of relaunch
         latency; they still cost CPU and move the clock.
         """
-        pages = live.pages
         summary = self.scheme.access_batch(
-            [pages[pfn] for pfn in session.execution_pfns], thread=APP
+            live.access_run("execution", session.index, session.execution_pfns),
+            thread=APP,
         )
         self.ctx.clock.advance(summary.stall_ns)
 

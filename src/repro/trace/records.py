@@ -39,15 +39,33 @@ class PageRecord:
                 f"expected {PAGE_SIZE}"
             )
 
+    def digest(self) -> bytes:
+        """Cached content digest of this page's payload.
+
+        Computed once per process (records are immutable and live for
+        the process in the cached trace) and copied into every
+        materialized :class:`Page`, so no simulation run ever re-hashes
+        a payload the trace already knows.
+        """
+        cached = getattr(self, "_digest", None)
+        if cached is None:
+            from ..compression.chunking import payload_digest
+
+            cached = payload_digest(self.payload)
+            object.__setattr__(self, "_digest", cached)
+        return cached
+
     def materialize(self) -> Page:
         """Create a fresh mutable :class:`Page` for a simulation run."""
-        return Page(
+        page = Page(
             pfn=self.pfn,
             uid=self.uid,
             kind=self.kind,
             payload=self.payload,
             true_hotness=self.true_hotness,
         )
+        page._content_digest = self.digest()
+        return page
 
 
 @dataclass(frozen=True)
@@ -65,6 +83,22 @@ class SessionRecord:
     index: int
     relaunch_pfns: tuple[int, ...]
     execution_pfns: tuple[int, ...]
+
+    def execution_order(self) -> tuple[int, ...]:
+        """Execution pfns in address order (the launch warm-up pass).
+
+        ``MobileSystem.launch_app`` touches the first session's
+        execution set in address order to decorrelate the initial pass
+        from the session's own access order.  Memoized like
+        :meth:`AppTrace.creation_order` — the order is a pure function
+        of the immutable record, and every system built over this trace
+        replays it.
+        """
+        cached = getattr(self, "_execution_order", None)
+        if cached is None:
+            cached = tuple(sorted(self.execution_pfns))
+            object.__setattr__(self, "_execution_order", cached)
+        return cached
 
     @property
     def hot_set(self) -> frozenset[int]:

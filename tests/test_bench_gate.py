@@ -20,6 +20,7 @@ _SPEC.loader.exec_module(gate)
 def artifact(**overrides) -> dict:
     base = {
         "wall_time_s": 0.5,
+        "warm_wall_time_s": 0.07,
         "simulated_wall_ns": 60789924846,
         "relaunches": 56,
         "compress_ops": 525,
@@ -71,3 +72,35 @@ class TestBenchGate:
         fresh = artifact(wall_time_s=0.7, python="3.11.9")
         failures = gate.check(fresh, artifact(), 0.25)
         assert any("regressed" in failure for failure in failures)
+
+    def test_warm_wall_regression_fails_independently(self):
+        # The simulator-only wall is gated on its own: a slowdown there
+        # must fail even when the codec-dominated cold wall improved.
+        fresh = artifact(wall_time_s=0.3, warm_wall_time_s=0.2)
+        failures = gate.check(fresh, artifact(), 0.25)
+        assert len(failures) == 1
+        assert "simulator-only" in failures[0]
+
+    def test_warm_wall_improvement_passes(self):
+        fresh = artifact(warm_wall_time_s=0.01)
+        assert gate.check(fresh, artifact(), 0.25) == []
+
+    def test_baseline_without_cold_wall_fails(self):
+        # Only the (newer) warm wall may be absent from a baseline; a
+        # baseline missing wall_time_s is broken, not pre-PR 5.
+        baseline = artifact()
+        del baseline["wall_time_s"]
+        failures = gate.check(artifact(), baseline, 0.25)
+        assert any("wall_time_s is unusable" in failure for failure in failures)
+
+    def test_baseline_without_warm_wall_skips_that_check(self):
+        baseline = artifact()
+        del baseline["warm_wall_time_s"]
+        fresh = artifact(warm_wall_time_s=99.0)
+        assert gate.check(fresh, baseline, 0.25) == []
+
+    def test_missing_fresh_warm_wall_fails_when_baseline_has_it(self):
+        fresh = artifact()
+        del fresh["warm_wall_time_s"]
+        failures = gate.check(fresh, artifact(), 0.25)
+        assert any("warm_wall_time_s" in failure for failure in failures)

@@ -250,6 +250,50 @@ class TestLzoEquivalence:
         for data in CORPUS:
             assert codec.decompress(codec.compress(data), len(data)) == data
 
+    @pytest.mark.parametrize("max_distance", [300, 32 * 1024])
+    def test_bucketed_index_byte_identical(self, monkeypatch, max_distance):
+        """The cache-conscious bucketed previous-occurrence fill must be
+        byte-identical to the direct fill (and hence to the reference
+        parse) on every corpus input, for blob and size-only parses."""
+        codec = LzoCompressor(max_distance=max_distance)
+        monkeypatch.setattr(lzo_mod, "_INDEX_MODE", "direct")
+        direct = [
+            (codec.compress(data), codec.compressed_size(data))
+            for data in CORPUS
+        ]
+        monkeypatch.setattr(lzo_mod, "_INDEX_MODE", "bucketed")
+        for data, (blob, size) in zip(CORPUS, direct):
+            assert codec.compress(data) == blob
+            assert codec.compressed_size(data) == size == len(blob)
+
+    def test_bucketed_index_large_input_exceeds_workspace(self, monkeypatch):
+        """Oversized inputs take the dedicated-workspace path; the
+        bucketed fill must stay exact there too."""
+        rng = random.Random(5)
+        big = b"".join(
+            rng.choice(CORPUS[-6:]) for _ in range(40)
+        )[: 80 * 1024]
+        codec = LzoCompressor()
+        monkeypatch.setattr(lzo_mod, "_INDEX_MODE", "direct")
+        expected = codec.compress(big)
+        monkeypatch.setattr(lzo_mod, "_INDEX_MODE", "bucketed")
+        assert codec.compress(big) == expected
+        assert codec.compressed_size(big) == len(expected)
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (None, "direct"),
+            ("", "direct"),
+            ("direct", "direct"),
+            ("BUCKETED", "bucketed"),
+            ("  bucketed  ", "bucketed"),
+            ("warp-drive", "direct"),
+        ],
+    )
+    def test_index_mode_resolution(self, value, expected):
+        assert lzo_mod._resolve_index_mode(value) == expected
+
 
 class TestLz4Equivalence:
     @pytest.mark.parametrize("acceleration", [1, 4, 32])

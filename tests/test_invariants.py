@@ -77,6 +77,29 @@ def assert_invariants(system) -> None:
             assert ctx.zpool.contains(chunk.zpool_handle)
         else:
             assert chunk.flash_slot is not None
+    # Eviction-epoch layer: the per-app non-resident counters that gate
+    # the probe-free replay path must equal a ground-truth recompute,
+    # per-app eviction stamps may never pass the global epoch, and a
+    # currently-valid full-residency verification must mean exactly
+    # that — zero pages away from DRAM.
+    staging = getattr(scheme, "staging", None)
+    for live in system.apps:
+        uid = live.uid
+        ground_truth = sum(
+            1
+            for record in live.trace.pages
+            if record.pfn in scheme._stored_by_pfn
+            or record.pfn in scheme._lost_pfns
+            or (staging is not None and record.pfn in staging)
+        )
+        assert scheme._nonresident_pages.get(uid, 0) == ground_truth
+        app_stamp = scheme._app_eviction_epoch.get(uid, 0)
+        assert 0 <= app_stamp <= scheme.eviction_epoch
+        if scheme._resident_verified_epoch.get(uid, -1) >= app_stamp:
+            assert ground_truth == 0, (
+                f"app {uid} verified fully resident while {ground_truth} "
+                "pages are away from DRAM"
+            )
 
 
 @pytest.mark.parametrize("scheme_name", ["ZRAM", "SWAP", "Ariadne"])
@@ -98,6 +121,7 @@ def test_invariants_after_launch(scheme_name):
 )
 def test_invariants_under_random_operations(scheme_name, operations):
     system = fresh_system(scheme_name)
+    last_epoch = system.scheme.eviction_epoch
     for op, app_index in operations:
         name = APPS[app_index]
         if op == "relaunch":
@@ -109,6 +133,10 @@ def test_invariants_under_random_operations(scheme_name, operations):
         else:
             system.prepare_relaunch(name, RelaunchScenario.EHL)
         assert_invariants(system)
+        # The eviction epoch is a monotone counter: whatever the
+        # operation mix, it may only grow.
+        assert system.scheme.eviction_epoch >= last_epoch
+        last_epoch = system.scheme.eviction_epoch
 
 
 @settings(max_examples=10, deadline=None)
