@@ -32,6 +32,8 @@ import time
 
 from repro.compression.chunking import SizeCache
 from repro.experiments.common import scenario_build, workload_trace
+from repro.faults import FaultPlan, install_fault_plan
+from repro.metrics import recovery_summary
 from repro.sim.scenario import run_heavy_scenario, run_light_scenario
 from repro.sim.system import SCHEME_NAMES
 
@@ -57,6 +59,8 @@ def profile(
     sort: str,
     top: int,
     warm: bool,
+    fault_rate: float = 0.0,
+    fault_seed: int = 2025,
 ) -> None:
     trace = workload_trace(n_apps=5)  # warm-up: excluded from the profile
     runner = run_light_scenario if scenario == "light" else run_heavy_scenario
@@ -69,6 +73,15 @@ def profile(
 
     system = scenario_build(scheme, trace)
     system.ctx.sizes = sizes
+    plan = None
+    if fault_rate > 0.0:
+        plan = FaultPlan(
+            seed=fault_seed,
+            read_error_rate=fault_rate,
+            write_error_rate=fault_rate,
+            bitflip_rate=fault_rate / 10.0,
+        )
+        install_fault_plan(system.ctx, plan)
     profiler = cProfile.Profile()
     wall_start = time.perf_counter()
     profiler.enable()
@@ -103,6 +116,21 @@ def profile(
         f"{probed.residency_probes} residency probes, "
         f"eviction_epoch {probed.eviction_epoch}"
     )
+    if plan is not None:
+        # The recovery story at a glance: injections vs how the schemes
+        # absorbed them (retries, drops, cold refaults) and whether the
+        # ledger balances — fault_rate 0 prints nothing, keeping the
+        # default profile output unchanged.
+        recovery = recovery_summary(system.ctx.counters)
+        ledger = plan.ledger(system.ctx.counters)
+        print(
+            f"# faults: {plan.injected_total} injected at rate "
+            f"{fault_rate:g} (seed {fault_seed}); "
+            f"{recovery['fault_transient_recovered']} retried to success, "
+            f"{recovery['fault_chunks_dropped']} chunks dropped, "
+            f"{recovery['fault_cold_refaults']} cold refaults; ledger "
+            f"{'consistent' if ledger['consistent'] else 'INCONSISTENT'}"
+        )
     print("# (profiled wall time includes cProfile overhead)")
     pstats.Stats(profiler).sort_stats(sort).print_stats(top)
 
@@ -124,6 +152,21 @@ def main() -> int:
         action="store_true",
         help="pre-run once so the profile shows the codec-free simulator",
     )
+    parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="inject flash I/O errors at this per-command rate (and "
+        "bit-flips at a tenth of it); 0 disables injection (default)",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=2025,
+        metavar="SEED",
+        help="seed for the deterministic fault streams (default: 2025)",
+    )
     args = parser.parse_args()
     profile(
         scheme=args.scheme,
@@ -132,6 +175,8 @@ def main() -> int:
         sort=args.sort,
         top=args.top,
         warm=args.warm,
+        fault_rate=args.fault_rate,
+        fault_seed=args.fault_seed,
     )
     return 0
 

@@ -63,8 +63,15 @@ _SIZES_FORMAT = 1
 #: Bump when the trace container or generator semantics change.
 _TRACE_FORMAT = 1
 #: Bump when the result-cache envelope changes (content invalidation is
-#: automatic via the code fingerprint).
-_RESULTS_FORMAT = 1
+#: automatic via the code fingerprint).  v2 added the checksummed
+#: envelope (magic + payload digest) so torn or bit-rotted entries are
+#: detected before unpickling.
+_RESULTS_FORMAT = 2
+
+#: Result-envelope framing: magic, then a blake2b-16 digest of the
+#: pickled payload, then the payload itself.
+_RESULT_MAGIC = b"ARES2\n"
+_RESULT_DIGEST_SIZE = 16
 
 _RECORD = struct.Struct(f"<{_DIGEST_SIZE}sI")
 
@@ -105,6 +112,15 @@ class ArtifactCache:
             return {}
         sizes: dict[bytes, int] = {}
         whole = len(raw) - len(raw) % _RECORD.size
+        if whole != len(raw):
+            # A writer died mid-append: the torn tail record is garbage.
+            # Truncate it away (best-effort) so the next O_APPEND flush
+            # starts on a record boundary instead of extending the tear.
+            try:
+                with open(path, "r+b") as fh:
+                    fh.truncate(whole)
+            except OSError:
+                pass
         for offset in range(0, whole, _RECORD.size):
             digest, size = _RECORD.unpack_from(raw, offset)
             sizes[digest] = size
@@ -216,6 +232,8 @@ class ExperimentResultCache:
         )
         self.hits = 0
         self.misses = 0
+        #: Entries rejected by the envelope check and quarantined.
+        self.corrupt_entries = 0
 
     def _path(self, experiment: str, cell: str | None, args: object) -> Path:
         blob = json.dumps(
@@ -230,19 +248,51 @@ class ExperimentResultCache:
         key = blake2b(blob, digest_size=16).hexdigest()
         return self.root / f"result-v{_RESULTS_FORMAT}-{experiment}-{key}.pkl"
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry out of the loadable namespace.
+
+        The ``.corrupt`` suffix never matches a result path, so the
+        entry becomes a permanent miss while the evidence survives for
+        inspection; if even the rename fails, delete it outright.
+        """
+        self.corrupt_entries += 1
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            path.unlink(missing_ok=True)
+
     def load(self, experiment: str, cell: str | None, args: object) -> object | None:
         """Cached payload for this exact (code, experiment, cell, args),
-        or ``None`` on miss.  A corrupt file is a miss and is removed."""
+        or ``None`` on miss.
+
+        Robust against every observed on-disk failure mode — a torn
+        write (truncated envelope), a wrong-format file, a payload whose
+        digest no longer matches, or a pickle that raises
+        ``UnpicklingError``/``EOFError`` — all are treated as a miss:
+        the entry is quarantined and the caller recomputes the cell.
+        """
         path = self._path(experiment, cell, args)
         try:
             raw = path.read_bytes()
         except OSError:
             self.misses += 1
             return None
+        header = len(_RESULT_MAGIC) + _RESULT_DIGEST_SIZE
+        if (
+            len(raw) < header
+            or not raw.startswith(_RESULT_MAGIC)
+            or blake2b(raw[header:], digest_size=_RESULT_DIGEST_SIZE).digest()
+            != raw[len(_RESULT_MAGIC):header]
+        ):
+            self._quarantine(path)
+            self.misses += 1
+            return None
         try:
-            payload = pickle.loads(raw)
+            payload = pickle.loads(raw[header:])
         except Exception:
-            path.unlink(missing_ok=True)
+            # Digest-valid but unloadable (e.g. pickled against classes
+            # that no longer import): same remedy, recompute.
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
@@ -255,7 +305,9 @@ class ExperimentResultCache:
         path = self._path(experiment, cell, args)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         try:
-            tmp.write_bytes(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            digest = blake2b(blob, digest_size=_RESULT_DIGEST_SIZE).digest()
+            tmp.write_bytes(_RESULT_MAGIC + digest + blob)
             os.replace(tmp, path)
         except (OSError, pickle.PicklingError):
             tmp.unlink(missing_ok=True)

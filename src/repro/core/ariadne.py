@@ -19,7 +19,7 @@ Assembles the three techniques on top of the shared scheme machinery:
 
 from __future__ import annotations
 
-from ..errors import FlashFullError
+from ..errors import ChunkLostError, FlashFullError
 from ..mem.organizer import ActiveInactiveOrganizer, DataOrganizer, HotWarmColdOrganizer
 from ..mem.page import Hotness, Page, PageLocation
 from ..metrics import APP, KSWAPD, PREDECOMP, AccessBatchSummary, LatencyBreakdown
@@ -222,12 +222,19 @@ class AriadneScheme(SwapScheme):
         if target is None:
             return False
         try:
-            slot, _write_ns = self.ctx.flash_swap.store(
-                target.stored_bytes, sequential=True
+            stored = self._flash_store_with_retry(
+                target.stored_bytes, sequential=True, thread=thread
             )
         except FlashFullError:
             self.ctx.counters.incr("swap_area_full")
             return False
+        if stored is None:
+            # Unrecoverable injected write fault: the chunk stays safely
+            # in the zpool (nothing moved yet) and writeback simply
+            # reports no progress this round.
+            self.ctx.counters.incr("fault_writeback_deferred")
+            return False
+        slot, _write_ns, _backoff_ns = stored
         self.ctx.zpool.free(target.zpool_handle)
         self._by_zpool_handle.pop(target.zpool_handle, None)
         target.zpool_handle = None
@@ -263,8 +270,21 @@ class AriadneScheme(SwapScheme):
             if chunk.uid == uid and chunk.hotness_at_compress is Hotness.HOT
         ]
         for chunk in targets:
+            if chunk.corrupted:
+                # Digest check fails on restore just as it would on a
+                # fault: drop the chunk (pages lost, cold refault later)
+                # rather than deliver corrupt hot data.
+                self._drop_unreadable_chunk(chunk, "corrupt")
+                continue
             if chunk.in_flash:
-                _slot, _read_ns = self.ctx.flash_swap.load(chunk.flash_slot)
+                try:
+                    _slot, _read_ns, _backoff = self._flash_load_with_retry(
+                        chunk, KSWAPD
+                    )
+                except ChunkLostError:
+                    # Unrecoverable flash fault: the chunk was dropped
+                    # (pages marked lost); restoration moves on.
+                    continue
                 self.ctx.flash_swap.free(chunk.flash_slot)
                 self.ctx.counters.incr("flash_reads")
             else:
@@ -392,6 +412,12 @@ class AriadneScheme(SwapScheme):
         platform = self.ctx.platform
         if chunk.chunk_size > self.config.medium_size:
             self.ctx.counters.incr("predecomp_skipped_cold")
+            return False
+        if chunk.corrupted:
+            # The prefetch decompression is a read: the digest check
+            # catches the injected bit-flip here, before the corrupt
+            # payload can enter the staging buffer.
+            self._drop_unreadable_chunk(chunk, "corrupt")
             return False
         span = PAGE_SIZE * chunk.page_count
         decomp_ns = platform.scale * self.ctx.latency.decompress_ns(

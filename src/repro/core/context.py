@@ -35,6 +35,11 @@ class SchemeContext:
     sizes: SizeCache
     cpu: CpuAccount = field(default_factory=CpuAccount)
     counters: Counters = field(default_factory=Counters)
+    #: Optional :class:`repro.faults.FaultPlan` — install through
+    #: :func:`repro.faults.install_fault_plan` so the flash device sees
+    #: the same plan.  ``None`` (the default) keeps every path exactly
+    #: fault-free.
+    fault_plan: object | None = None
 
     def compressed_size(self, payload: bytes, chunk_size: int) -> int:
         """Measured compressed size of ``payload`` at ``chunk_size``.

@@ -28,7 +28,15 @@ from abc import ABC, abstractmethod
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
-from ..errors import MemoryPressureError, PageStateError
+from ..audit import auditor_from_env
+from ..errors import (
+    ChunkLostError,
+    CorruptDataError,
+    MemoryPressureError,
+    PageStateError,
+    PermanentFlashError,
+    TransientFlashError,
+)
 from ..mem.organizer import DataOrganizer
 from ..mem.page import Hotness, Page, PageLocation
 from ..metrics import (
@@ -126,7 +134,14 @@ class SwapScheme(ABC):
         self._by_zpool_handle: dict[int, StoredChunk] = {}
         self._chunk_seq = 0
         self._foreground_uid: int | None = None
-        self._lost_pfns: set[int] = set()
+        #: Lost (dropped) pages: pfn -> owning uid.  The uid lets the
+        #: runtime auditor recompute per-app non-resident ground truth
+        #: without a trace; membership tests read like the old set.
+        self._lost_pfns: dict[int, int] = {}
+        #: Opt-in runtime invariant auditor (``REPRO_AUDIT=1``); ``None``
+        #: in normal runs, so the only steady-state cost is one ``is
+        #: None`` test per kswapd wakeup.
+        self._auditor = auditor_from_env()
         #: (uid, ground-truth hotness) per page in compression order
         #: (the Figure 4 measurement).
         self.compression_log: list[tuple[int, Hotness]] = []
@@ -316,7 +331,16 @@ class SwapScheme(ABC):
             raise PageStateError(
                 f"page {page.pfn} is neither resident, staged, stored, nor lost"
             )
-        return self._fault_in(page, chunk, thread)
+        try:
+            return self._fault_in(page, chunk, thread)
+        except (ChunkLostError, CorruptDataError):
+            # Graceful degradation: the chunk became unreadable (injected
+            # permanent flash error, exhausted retries, or a bit-flip the
+            # digest check caught).  Its pages were marked lost when it
+            # was dropped, so the access degrades to a counted cold
+            # refault instead of crashing the run.
+            self.ctx.counters.incr("fault_cold_refaults")
+            return self._access_lost(page, thread)
 
     def access_batch(
         self, pages: list[Page], thread: str = APP
@@ -486,7 +510,7 @@ class SwapScheme(ABC):
         fault_ns = platform.fault_overhead_ns * platform.scale
         self._charge(thread, "fault", fault_ns // 4)
         stall += self._stall(fault_ns)
-        self._lost_pfns.discard(page.pfn)
+        self._lost_pfns.pop(page.pfn, None)
         self.ctx.dram.add_page(page)
         self._note_pages_resident(page.uid, 1)
         organizer = self.organizer(page.uid)
@@ -519,6 +543,8 @@ class SwapScheme(ABC):
         self._charge(KSWAPD, "file_writeback", file_ns)
         self.ctx.counters.incr("file_pages_written", platform.kswapd_batch_pages)
         self._make_room(0, direct=False, thread=KSWAPD)
+        if self._auditor is not None:
+            self._auditor.checkpoint(self)
 
     def _make_room(self, incoming_pages: int, direct: bool, thread: str) -> int:
         """Ensure room for ``incoming_pages`` plus the watermark; returns stall.
@@ -695,6 +721,9 @@ class SwapScheme(ABC):
         )
         for page in pages:
             page.location = PageLocation.ZPOOL
+        plan = ctx.fault_plan
+        if plan is not None and plan.corrupt_on_store():
+            chunk.corrupted = True
         self._register_chunk(chunk)
         self._by_zpool_handle[entry.handle] = chunk
         ctx.counters.incr("bytes_original", span)
@@ -716,7 +745,7 @@ class SwapScheme(ABC):
                 self.ctx.zpool.free(chunk.zpool_handle)
                 self._unregister_chunk(chunk)
                 for page in chunk.pages:
-                    self._lost_pfns.add(page.pfn)
+                    self._lost_pfns[page.pfn] = page.uid
                 # Purge conservatively advances the owner's epoch (the
                 # pages were already non-resident, but a dropped chunk
                 # is a residency-adjacent event the fast path respects).
@@ -725,6 +754,132 @@ class SwapScheme(ABC):
                 self.ctx.counters.incr("pages_lost", chunk.page_count)
                 return True
         return False
+
+    # ---------------------------------------------------------- fault recovery
+
+    def _flash_load_with_retry(
+        self, chunk: StoredChunk, thread: str
+    ) -> tuple[object, int, int]:
+        """Read ``chunk``'s swap slot, absorbing injected flash faults.
+
+        Returns ``(slot, read_ns, backoff_ns)`` — ``backoff_ns`` is the
+        retry wait the caller adds to the stall.  Transient errors are
+        retried up to the plan's budget with doubling backoff (charged
+        as CPU too); a permanent error or an exhausted budget drops the
+        chunk (pages lost, epoch bumped) and raises
+        :class:`ChunkLostError`, which the access dispatcher turns into
+        a counted cold refault.  Without a fault plan this is exactly
+        one ``flash_swap.load``.
+        """
+        ctx = self.ctx
+        plan = ctx.fault_plan
+        if plan is None:
+            slot, read_ns = ctx.flash_swap.load(chunk.flash_slot)
+            return slot, read_ns, 0
+        counters = ctx.counters
+        failed = 0
+        backoff_total = 0
+        while True:
+            try:
+                slot, read_ns = ctx.flash_swap.load(chunk.flash_slot)
+            except TransientFlashError:
+                counters.incr("fault_flash_read_transient")
+                failed += 1
+                if failed > plan.max_retries:
+                    counters.incr("fault_transient_abandoned", failed)
+                    self._drop_unreadable_chunk(chunk, "flash_io")
+                    raise ChunkLostError(
+                        f"chunk {chunk.chunk_id} (uid {chunk.uid}): flash "
+                        f"read still failing after {plan.max_retries} retries"
+                    ) from None
+                wait_ns = plan.backoff_ns(failed)
+                self._charge(thread, "fault_retry", wait_ns)
+                backoff_total += wait_ns
+                counters.incr("fault_io_retries")
+            except PermanentFlashError:
+                counters.incr("fault_flash_read_permanent")
+                if failed:
+                    counters.incr("fault_transient_abandoned", failed)
+                self._drop_unreadable_chunk(chunk, "flash_io")
+                raise ChunkLostError(
+                    f"chunk {chunk.chunk_id} (uid {chunk.uid}): permanent "
+                    "flash read error"
+                ) from None
+            else:
+                if failed:
+                    counters.incr("fault_transient_recovered", failed)
+                return slot, read_ns, backoff_total
+
+    def _flash_store_with_retry(
+        self, nbytes: int, sequential: bool, thread: str
+    ) -> tuple[object, int, int] | None:
+        """Store ``nbytes`` to swap, absorbing injected flash faults.
+
+        Returns ``(slot, write_ns, backoff_ns)``, or ``None`` when the
+        write unrecoverably failed (permanent error or retry budget
+        exhausted) — the caller degrades scheme-specifically (SWAP marks
+        the page lost; Ariadne's writeback just reports no progress).
+        :class:`~repro.errors.FlashFullError` propagates unchanged:
+        capacity exhaustion is policy, not a fault.  Without a fault
+        plan this is exactly one ``flash_swap.store``.
+        """
+        ctx = self.ctx
+        plan = ctx.fault_plan
+        if plan is None:
+            slot, write_ns = ctx.flash_swap.store(nbytes, sequential=sequential)
+            return slot, write_ns, 0
+        counters = ctx.counters
+        failed = 0
+        backoff_total = 0
+        while True:
+            try:
+                slot, write_ns = ctx.flash_swap.store(
+                    nbytes, sequential=sequential
+                )
+            except TransientFlashError:
+                counters.incr("fault_flash_write_transient")
+                failed += 1
+                if failed > plan.max_retries:
+                    counters.incr("fault_transient_abandoned", failed)
+                    counters.incr("fault_write_gave_up")
+                    return None
+                wait_ns = plan.backoff_ns(failed)
+                self._charge(thread, "fault_retry", wait_ns)
+                backoff_total += wait_ns
+                counters.incr("fault_io_retries")
+            except PermanentFlashError:
+                counters.incr("fault_flash_write_permanent")
+                if failed:
+                    counters.incr("fault_transient_abandoned", failed)
+                return None
+            else:
+                if failed:
+                    counters.incr("fault_transient_recovered", failed)
+                return slot, write_ns, backoff_total
+
+    def _drop_unreadable_chunk(self, chunk: StoredChunk, reason: str) -> None:
+        """Degrade: release an unreadable chunk and mark its pages lost.
+
+        The backing storage is freed (the data is gone either way; the
+        accounting must not leak), the pages join :attr:`_lost_pfns` so
+        the next access cold-refaults them, and the owner's eviction
+        epoch advances — exactly the bookkeeping contract of
+        :meth:`_drop_oldest_chunk`, plus the ``fault_*`` recovery
+        counters (``reason`` is ``"flash_io"`` or ``"corrupt"``).
+        """
+        ctx = self.ctx
+        if chunk.in_flash and chunk.flash_slot is not None:
+            ctx.flash_swap.free(chunk.flash_slot)
+        elif chunk.in_zpool and chunk.zpool_handle is not None:
+            ctx.zpool.free(chunk.zpool_handle)
+        self._unregister_chunk(chunk)
+        for page in chunk.pages:
+            self._lost_pfns[page.pfn] = page.uid
+        self._bump_app_epoch(chunk.uid)
+        counters = ctx.counters
+        counters.incr("fault_chunks_dropped")
+        counters.incr(f"fault_dropped_{reason}")
+        counters.incr("pages_lost", chunk.page_count)
 
     def _decompress_chunk(
         self, chunk: StoredChunk, faulted: Page, thread: str
@@ -736,15 +891,25 @@ class SwapScheme(ABC):
         """
         ctx = self.ctx
         platform = ctx.platform
+        if chunk.corrupted:
+            # The stored payload fails its content-digest check: drop it
+            # rather than deliver corrupt data.  The access dispatcher
+            # turns this into a counted cold refault.
+            self._drop_unreadable_chunk(chunk, "corrupt")
+            raise CorruptDataError(
+                f"chunk {chunk.chunk_id} (uid {chunk.uid}, "
+                f"{chunk.page_count} pages) failed its digest check"
+            )
         breakdown = LatencyBreakdown()
         stall = 0
         if chunk.in_flash:
-            slot, read_ns = ctx.flash_swap.load(chunk.flash_slot)
+            slot, read_ns, backoff_ns = self._flash_load_with_retry(chunk, thread)
             ctx.flash_swap.free(chunk.flash_slot)
             ctx.counters.incr("flash_reads")
             read_stall = read_ns // platform.flash_queue_depth
-            stall += read_stall
+            stall += read_stall + backoff_ns
             breakdown.flash_read_ns += read_stall
+            breakdown.other_ns += backoff_ns
             self._charge(thread, "flash_read", platform.swap_submit_ns * platform.scale)
         else:
             self.sector_access_log.append((faulted.uid, chunk.sector))

@@ -44,6 +44,11 @@ class StoredChunk:
     flash_slot: int | None = None
     #: Ground-truth hotness per page at compression time (Figure 4 data).
     true_hotness_log: tuple[Hotness, ...] = field(default_factory=tuple)
+    #: Set by an injected bit-flip (:mod:`repro.faults`): the stored
+    #: payload no longer matches its content digest.  Detected when the
+    #: chunk is next read — the digest check fails and the scheme drops
+    #: the chunk instead of delivering corrupt data.
+    corrupted: bool = False
 
     def __post_init__(self) -> None:
         if not self.pages:

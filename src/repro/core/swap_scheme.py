@@ -50,12 +50,22 @@ class FlashSwapScheme(SwapScheme):
         ctx = self.ctx
         platform = ctx.platform
         try:
-            slot, _write_ns = ctx.flash_swap.store(PAGE_SIZE)
+            stored = self._flash_store_with_retry(
+                PAGE_SIZE, sequential=False, thread=thread
+            )
         except FlashFullError:
             ctx.counters.incr("swap_area_full")
-            self._lost_pfns.add(page.pfn)
+            self._lost_pfns[page.pfn] = page.uid
             ctx.counters.incr("pages_lost")
             return 0
+        if stored is None:
+            # Unrecoverable injected write fault: the page cannot reach
+            # swap, so it degrades to lost (the next access pays a cold
+            # refault) instead of aborting reclaim.
+            self._lost_pfns[page.pfn] = page.uid
+            ctx.counters.incr("pages_lost")
+            return 0
+        slot, _write_ns, backoff_ns = stored
         submit_ns = platform.swap_submit_ns * platform.scale
         self._charge(thread, "swap_out", submit_ns)
         chunk = StoredChunk(
@@ -72,7 +82,9 @@ class FlashSwapScheme(SwapScheme):
         page.location = PageLocation.FLASH
         self._register_chunk(chunk)
         ctx.counters.incr("pages_swapped_out")
-        return self._stall(submit_ns)
+        # Retry backoff is a real wait (not parallelizable work), so it
+        # lands undivided on the synchronous cost; zero without faults.
+        return self._stall(submit_ns) + backoff_ns
 
     def organizer_hotness_or_cold(self, page: Page) -> Hotness:
         """Victims leave their lists before eviction; best effort label."""
@@ -85,12 +97,15 @@ class FlashSwapScheme(SwapScheme):
         stall = 0
         # Read the page back from flash: one simulated page is `scale`
         # random 4 KB reads, overlapped only as far as the queue allows.
-        slot, read_ns = ctx.flash_swap.load(chunk.flash_slot)
+        # An unrecoverable injected fault raises ChunkLostError, which
+        # the access dispatcher turns into a counted cold refault.
+        slot, read_ns, backoff_ns = self._flash_load_with_retry(chunk, thread)
         ctx.flash_swap.free(chunk.flash_slot)
         ctx.counters.incr("flash_reads")
         read_stall = read_ns // platform.flash_queue_depth
-        stall += read_stall
+        stall += read_stall + backoff_ns
         breakdown.flash_read_ns += read_stall
+        breakdown.other_ns += backoff_ns
         self._charge(thread, "flash_read", platform.swap_submit_ns * platform.scale)
         self._unregister_chunk(chunk)
         admit_stall, admit_bd = self._admit_pages(chunk, page, thread)

@@ -37,6 +37,36 @@ class FlashFullError(MemoryPressureError):
     """The flash swap area ran out of slots."""
 
 
+class FlashIOError(ReproError):
+    """A flash device command failed (injected by a fault plan)."""
+
+
+class TransientFlashError(FlashIOError):
+    """A flash command failed but a retry may succeed."""
+
+
+class PermanentFlashError(FlashIOError):
+    """A flash command failed unrecoverably (media error, bad block)."""
+
+
+class ChunkLostError(ReproError):
+    """A stored chunk became unreadable and was dropped.
+
+    Internal control flow for the graceful-degradation path: the scheme
+    already marked the chunk's pages lost when this is raised, so the
+    access that hit it falls back to a cold refault instead of crashing.
+    """
+
+
+class InvariantViolationError(ReproError):
+    """A runtime audit found simulator bookkeeping out of sync.
+
+    Raised only under ``REPRO_AUDIT=1`` (see :mod:`repro.audit`); the
+    message carries the counter, the expected ground-truth value, and
+    the drifted running value.
+    """
+
+
 class PageStateError(ReproError):
     """A page was found in a state inconsistent with the requested move."""
 

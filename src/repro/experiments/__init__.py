@@ -54,6 +54,7 @@ from . import (  # noqa: E402  (registration side effects)
     fig13,
     fig14,
     fig15,
+    chaos,
 )
 
 __all__ = [

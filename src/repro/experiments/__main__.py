@@ -50,8 +50,25 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="run independent experiment cells on N worker processes "
         f"(default: 1 for a single experiment, up to {default_jobs()} "
-        "for suites); sharded experiments split into per-scheme cells; "
-        "workers share the on-disk artifact and result caches",
+        "for suites, overridable via REPRO_JOBS); sharded experiments "
+        "split into per-scheme cells; workers share the on-disk "
+        "artifact and result caches",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill and retry any single cell exceeding this budget "
+        "(multi-worker runs only; default: no timeout)",
+    )
+    parser.add_argument(
+        "--task-retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="resubmissions for a crashed or timed-out cell before it "
+        "becomes a structured failure (default: 1)",
     )
     args = parser.parse_args(argv)
 
@@ -116,7 +133,14 @@ def main(argv: list[str] | None = None) -> int:
             print(f"[{outcome.name} FAILED: {outcome.error}]\n", file=sys.stderr)
 
     start = time.perf_counter()
-    outcomes = run_experiments(names, jobs=jobs, quick=args.quick, on_result=show)
+    outcomes = run_experiments(
+        names,
+        jobs=jobs,
+        quick=args.quick,
+        on_result=show,
+        task_timeout_s=args.task_timeout,
+        task_retries=args.task_retries,
+    )
     failures = sum(1 for outcome in outcomes if not outcome.ok)
     if len(names) > 1:
         total = time.perf_counter() - start
@@ -125,8 +149,18 @@ def main(argv: list[str] | None = None) -> int:
             file=progress,
         )
     if args.json:
+        # The top-level errors section aggregates every structured task
+        # failure so CI can grep one place; per-experiment detail stays
+        # in each experiment's own "errors" list.  Sorted, so the
+        # document stays deterministic across job counts.
+        errors = sorted(
+            (failure.to_json() for outcome in outcomes
+             for failure in outcome.failures),
+            key=lambda f: (f["experiment"], f["cell"] or "", f["kind"]),
+        )
         document = {
             "quick": args.quick,
+            "errors": errors,
             "experiments": [outcome.to_json() for outcome in outcomes],
         }
         print(json.dumps(document, indent=2, sort_keys=True))

@@ -17,6 +17,19 @@ fingerprint, so an unchanged task on a re-run is a single disk read
 instead of a simulation.  Specs flagged ``cacheable = False`` (live
 wall-clock measurements) always re-measure.
 
+Crash safety: the runner never loses a suite to one bad cell.  A cell
+that *raises* is a structured :class:`TaskFailure` (kind
+``"exception"``); a worker that *dies* mid-cell (segfault, OOM kill,
+``os._exit``) is detected by pid liveness, the cell is resubmitted up
+to ``task_retries`` times and finally re-run serially in the parent
+(``serial_fallback``) before becoming a ``"crash"`` failure; a cell
+exceeding ``task_timeout_s`` has its worker SIGKILLed and is retried
+the same way, ending in a ``"timeout"`` failure (no serial fallback —
+a hang cannot be interrupted in-process).  SIGTERM and
+KeyboardInterrupt shut the pool down cleanly: finished experiments
+keep their results, unfinished ones get ``"interrupted"`` failures,
+and the structured outcome list is still returned.
+
 Used by ``python -m repro.experiments all --jobs N`` and importable
 directly::
 
@@ -28,10 +41,47 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import signal
+import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from .registry import CellSpec, ExperimentResult, experiment, to_jsonable
+
+#: Environment variable overriding :func:`default_jobs` (CI pins it so
+#: runner parallelism never depends on the runner host's core count).
+JOBS_ENV = "REPRO_JOBS"
+
+#: Parent-side poll cadence for task completion/liveness (seconds).
+_POLL_S = 0.02
+
+
+@dataclass
+class TaskFailure:
+    """One task's structured failure record (the ``--json`` errors row).
+
+    ``kind`` is one of ``"exception"`` (the cell raised), ``"timeout"``
+    (the cell exceeded the per-task budget and its worker was killed),
+    ``"crash"`` (the worker process died mid-cell), or
+    ``"interrupted"`` (the run was shut down before the cell finished).
+    ``attempts`` counts every execution attempt, including the serial
+    fallback.
+    """
+
+    experiment: str
+    cell: str | None
+    kind: str
+    error: str
+    attempts: int = 1
+
+    def to_json(self) -> dict:
+        return {
+            "experiment": self.experiment,
+            "cell": self.cell,
+            "kind": self.kind,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
 
 
 @dataclass
@@ -44,7 +94,9 @@ class ExperimentOutcome:
     time: the single task for unsharded experiments, the slowest cell
     for sharded ones (cells run concurrently, so their sum is not wall
     time).  ``cached_tasks`` counts tasks served from the persistent
-    result cache instead of being re-measured.
+    result cache instead of being re-measured.  ``failures`` carries
+    one :class:`TaskFailure` per failed task; ``error`` stays the first
+    failure's message (the human-readable summary line).
     """
 
     name: str
@@ -54,6 +106,7 @@ class ExperimentOutcome:
     cells: int = 1
     cached_tasks: int = 0
     result: ExperimentResult | None = None
+    failures: list[TaskFailure] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -62,18 +115,24 @@ class ExperimentOutcome:
     def to_json(self) -> dict:
         """Deterministic JSON-ready view of this outcome.
 
-        Carries the spec's identity and the structured result but *no*
-        timing or cache telemetry, so the serialized document is
-        byte-identical across job counts and cache states (the
-        machine-readable contract CI artifacts rely on).
+        Carries the spec's identity, the structured result, and the
+        structured failures, but *no* timing or cache telemetry, so the
+        serialized document is byte-identical across job counts and
+        cache states (the machine-readable contract CI artifacts rely
+        on).  Failures are sorted by (cell, kind) because completion
+        order depends on scheduling.
         """
         spec = experiment(self.name)
+        ordered = sorted(
+            self.failures, key=lambda f: (f.cell or "", f.kind, f.error)
+        )
         return {
             "id": spec.id,
             "title": spec.title,
             "anchor": spec.anchor,
             "ok": self.ok,
             "error": self.error,
+            "errors": [failure.to_json() for failure in ordered],
             "result": to_jsonable(self.result) if self.result is not None else None,
             "rendered": self.rendered if self.ok else None,
         }
@@ -82,12 +141,22 @@ class ExperimentOutcome:
 def default_jobs() -> int:
     """Worker count when ``--jobs`` is not given: one per usable core.
 
-    Uses the scheduler affinity mask (the cgroup/container allowance)
-    rather than the host core count, and caps at 8 — the suite has ~20
-    schedulable tasks once the scheme-matrix experiments shard into
-    cells, so more workers than that only burns memory (each worker
-    materializes its own traces and systems).
+    ``REPRO_JOBS`` overrides everything (CI and benchmark harnesses pin
+    it for reproducible parallelism).  Otherwise uses the scheduler
+    affinity mask (the cgroup/container allowance) rather than the host
+    core count, and caps at 8 — the suite has ~20 schedulable tasks
+    once the scheme-matrix experiments shard into cells, so more
+    workers than that only burns memory (each worker materializes its
+    own traces and systems).
     """
+    raw = os.environ.get(JOBS_ENV)
+    if raw:
+        try:
+            pinned = int(raw)
+        except ValueError:
+            pinned = 0
+        if pinned >= 1:
+            return pinned
     try:
         usable = len(os.sched_getaffinity(0))
     except AttributeError:  # platforms without sched_getaffinity
@@ -142,6 +211,39 @@ def _run_task(args: tuple[int, str, str | None, bool]):
     )
 
 
+#: Worker-side start-event channel, installed by :func:`_worker_init`.
+_events = None
+
+
+def _worker_init(event_queue) -> None:
+    """Pool initializer: register the event channel, ignore SIGINT.
+
+    Workers ignore SIGINT so a Ctrl-C lands only in the parent, which
+    shuts the pool down deliberately (terminate + structured partial
+    results) instead of every process racing its own traceback.
+    """
+    global _events
+    _events = event_queue
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # non-main thread / exotic platforms
+        pass
+
+
+def _run_task_tagged(tagged: tuple[int, int, tuple]):
+    """Worker body for supervised runs: announce start, then run.
+
+    The start event ``(task_index, attempt, pid)`` is what lets the
+    parent attribute a worker death or a timeout to the exact task the
+    worker was holding; the ``attempt`` tag lets it discard stale
+    results from attempts it already gave up on.
+    """
+    task_index, attempt, task = tagged
+    if _events is not None:
+        _events.put((task_index, attempt, os.getpid()))
+    return task_index, attempt, _run_task(task)
+
+
 class _Group:
     """Parent-side bookkeeping for one requested experiment."""
 
@@ -152,15 +254,24 @@ class _Group:
         self.elapsed_s = 0.0
         self.error: str | None = None
         self.cached_tasks = 0
+        self.failures: list[TaskFailure] = []
         self.pending = 1 if cells is None else len(cells)
 
     def consume(
-        self, cell_key: str | None, payload, elapsed_s, error, cached
+        self,
+        cell_key: str | None,
+        payload,
+        elapsed_s,
+        error,
+        cached,
+        failure: TaskFailure | None = None,
     ) -> bool:
         """Fold in one finished task; True when the group is complete."""
         self.elapsed_s = max(self.elapsed_s, elapsed_s)
         if error is not None and self.error is None:
             self.error = error
+        if failure is not None:
+            self.failures.append(failure)
         if cached:
             self.cached_tasks += 1
         self.partials[cell_key] = payload
@@ -192,7 +303,198 @@ class _Group:
             cells=1 if self.cells is None else len(self.cells),
             cached_tasks=self.cached_tasks,
             result=result,
+            failures=list(self.failures),
         )
+
+
+class _Supervisor:
+    """Tracks every submitted task's attempt, worker pid, and deadline."""
+
+    @dataclass
+    class _Inflight:
+        attempt: int
+        handle: object  # multiprocessing AsyncResult
+        pid: int | None = None
+        deadline: float | None = None
+
+    def __init__(
+        self,
+        pool,
+        events,
+        tasks: list[tuple[int, str, str | None, bool]],
+        task_timeout_s: float | None,
+        task_retries: int,
+        serial_fallback: bool,
+    ) -> None:
+        self.pool = pool
+        self.events = events
+        self.tasks = tasks
+        self.task_timeout_s = task_timeout_s
+        self.task_retries = task_retries
+        self.serial_fallback = serial_fallback
+        self.attempts: dict[int, int] = {}
+        self.inflight: dict[int, _Supervisor._Inflight] = {}
+        #: True once any attempt was abandoned with its worker killed or
+        #: dead.  Such attempts never resolve their AsyncResult, which
+        #: stays in ``Pool._cache`` forever — and ``Pool.join()`` only
+        #: returns once that cache drains, so the caller must
+        #: ``terminate()`` the (idle) pool instead of ``close()`` it.
+        self.abandoned_attempts = False
+
+    def submit(self, task_index: int) -> None:
+        attempt = self.attempts.get(task_index, 0) + 1
+        self.attempts[task_index] = attempt
+        handle = self.pool.apply_async(
+            _run_task_tagged, ((task_index, attempt, self.tasks[task_index]),)
+        )
+        self.inflight[task_index] = self._Inflight(attempt=attempt, handle=handle)
+
+    def _drain_events(self) -> None:
+        """Match start announcements to inflight attempts."""
+        while True:
+            try:
+                if self.events.empty():
+                    return
+                task_index, attempt, pid = self.events.get()
+            except (OSError, EOFError):  # queue torn down mid-shutdown
+                return
+            record = self.inflight.get(task_index)
+            if record is not None and record.attempt == attempt:
+                record.pid = pid
+                if self.task_timeout_s is not None:
+                    record.deadline = time.monotonic() + self.task_timeout_s
+
+    @staticmethod
+    def _pid_alive(pid: int) -> bool:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except PermissionError:  # pragma: no cover - alive, not ours
+            return True
+        return True
+
+    def _describe(self, task_index: int) -> tuple[str, str | None]:
+        _group_id, name, cell_key, _quick = self.tasks[task_index]
+        return name, cell_key
+
+    def _retry_or_fail(self, task_index: int, kind: str, detail: str):
+        """Resubmit a crashed/hung task, or produce its final failure.
+
+        Returns ``None`` when the task was resubmitted (or handed to
+        the serial fallback and succeeded), else the resolved result
+        tuple ``(task_index, result, failure)``.
+        """
+        self.inflight.pop(task_index, None)
+        attempts = self.attempts[task_index]
+        name, cell_key = self._describe(task_index)
+        if attempts <= self.task_retries:
+            self.submit(task_index)
+            return None
+        if kind == "crash" and self.serial_fallback:
+            # Last resort for a repeatedly crashing cell: run it in the
+            # parent, where a plain exception is catchable.  (A cell
+            # that kills *any* process it runs in would take the parent
+            # down too — callers that inject such cells on purpose pass
+            # serial_fallback=False.)
+            attempts += 1
+            self.attempts[task_index] = attempts
+            result = _run_task(self.tasks[task_index])
+            if result[4] is None:
+                return task_index, result, None
+            failure = TaskFailure(
+                experiment=name,
+                cell=cell_key,
+                kind=kind,
+                error=(
+                    f"{detail}; serial fallback raised {result[4]} "
+                    f"(after {attempts} attempts)"
+                ),
+                attempts=attempts,
+            )
+            return task_index, result, failure
+        failure = TaskFailure(
+            experiment=name,
+            cell=cell_key,
+            kind=kind,
+            error=f"{detail} (after {attempts} attempts)",
+            attempts=attempts,
+        )
+        group_id = self.tasks[task_index][0]
+        result = (group_id, cell_key, None, 0.0, failure.error, False)
+        return task_index, result, failure
+
+    def poll(self):
+        """One supervision pass; yields resolved ``(index, result, failure)``."""
+        self._drain_events()
+        now = time.monotonic()
+        for task_index in list(self.inflight):
+            record = self.inflight[task_index]
+            handle = record.handle
+            if handle.ready():
+                self.inflight.pop(task_index)
+                try:
+                    got_index, got_attempt, result = handle.get()
+                except Exception as exc:  # transport failure, not cell failure
+                    resolved = self._retry_or_fail(
+                        task_index,
+                        "crash",
+                        f"task transport failed: {type(exc).__name__}: {exc}",
+                    )
+                    if resolved is not None:
+                        yield resolved
+                    continue
+                if got_index != task_index or got_attempt != record.attempt:
+                    continue  # stale attempt we already re-ran
+                error = result[4]
+                failure = None
+                if error is not None:
+                    name, cell_key = self._describe(task_index)
+                    failure = TaskFailure(
+                        experiment=name,
+                        cell=cell_key,
+                        kind="exception",
+                        error=error,
+                        attempts=record.attempt,
+                    )
+                yield task_index, result, failure
+                continue
+            if record.pid is None:
+                continue  # still queued behind other tasks
+            if record.deadline is not None and now > record.deadline:
+                try:
+                    os.kill(record.pid, signal.SIGKILL)
+                except (ProcessLookupError, PermissionError):
+                    pass
+                self.abandoned_attempts = True
+                resolved = self._retry_or_fail(
+                    task_index,
+                    "timeout",
+                    f"cell exceeded the {self.task_timeout_s:g}s task "
+                    f"timeout in worker pid {record.pid}",
+                )
+                if resolved is not None:
+                    yield resolved
+                continue
+            if not self._pid_alive(record.pid):
+                self.abandoned_attempts = True
+                resolved = self._retry_or_fail(
+                    task_index,
+                    "crash",
+                    f"worker pid {record.pid} died mid-task",
+                )
+                if resolved is not None:
+                    yield resolved
+
+
+def _interrupt_failure(task: tuple[int, str, str | None, bool]) -> TaskFailure:
+    _group_id, name, cell_key, _quick = task
+    return TaskFailure(
+        experiment=name,
+        cell=cell_key,
+        kind="interrupted",
+        error="run interrupted before this task finished",
+    )
 
 
 def run_experiments(
@@ -200,6 +502,9 @@ def run_experiments(
     jobs: int | None = None,
     quick: bool = False,
     on_result=None,
+    task_timeout_s: float | None = None,
+    task_retries: int = 1,
+    serial_fallback: bool = True,
 ) -> list[ExperimentOutcome]:
     """Run ``names`` on up to ``jobs`` worker processes; ordered results.
 
@@ -209,11 +514,24 @@ def run_experiments(
     internally.  ``on_result(outcome)`` fires per finished experiment
     the moment its last task (cell) completes; the returned list is in
     request order regardless of completion order.  With one worker
-    everything runs in-process, unsharded (no pool overhead).  Workers
-    share the on-disk artifact cache, so a size measured by one cell is
-    never re-measured by another — across this run or the next.
+    everything runs in-process, unsharded (no pool overhead — and no
+    crash/timeout supervision, since there is no worker boundary to
+    supervise across).  Workers share the on-disk artifact cache, so a
+    size measured by one cell is never re-measured by another — across
+    this run or the next.
+
+    Failure policy (multi-worker runs): a raising cell yields an
+    ``"exception"`` :class:`TaskFailure`; a worker death or a cell
+    overrunning ``task_timeout_s`` is retried up to ``task_retries``
+    times (crashes additionally fall back to one serial in-parent run
+    unless ``serial_fallback`` is off) before yielding a ``"crash"`` /
+    ``"timeout"`` failure.  SIGTERM/KeyboardInterrupt terminates the
+    pool and returns structured partial results, with unfinished tasks
+    marked ``"interrupted"``.
     """
     specs = [experiment(name) for name in names]  # raises on unknown ids
+    if task_retries < 0:
+        raise ValueError(f"task_retries cannot be negative: {task_retries}")
     workers = jobs if jobs is not None else default_jobs()
     tasks: list[tuple[int, str, str | None, bool]] = []
     groups: list[_Group] = []
@@ -234,25 +552,103 @@ def run_experiments(
 
     outcomes: dict[int, ExperimentOutcome] = {}
 
-    def consume(result) -> None:
+    def consume(result, failure: TaskFailure | None = None) -> None:
         group_id, cell_key, payload, elapsed_s, error, cached = result
         group = groups[group_id]
-        if group.consume(cell_key, payload, elapsed_s, error, cached):
+        if group.consume(cell_key, payload, elapsed_s, error, cached, failure):
             outcome = group.outcome(quick)
             outcomes[group_id] = outcome
             if on_result is not None:
                 on_result(outcome)
 
-    if workers == 1:
-        for task in tasks:
-            consume(_run_task(task))
-    else:
-        # fork keeps warm parent state (imported modules); experiments
-        # re-derive everything else from their own contexts.
-        ctx = mp.get_context(
-            "fork" if "fork" in mp.get_all_start_methods() else "spawn"
-        )
-        with ctx.Pool(processes=workers) as pool:
-            for result in pool.imap_unordered(_run_task, tasks):
-                consume(result)
+    def finalize_interrupted(unresolved: list[int]) -> None:
+        """Resolve every outstanding task as interrupted."""
+        for task_index in unresolved:
+            task = tasks[task_index]
+            failure = _interrupt_failure(task)
+            consume(
+                (task[0], task[2], None, 0.0, failure.error, False), failure
+            )
+
+    # SIGTERM gets the same clean shutdown as Ctrl-C.  Only the main
+    # thread may install handlers; nested/threaded callers run without.
+    previous_sigterm = None
+    in_main_thread = threading.current_thread() is threading.main_thread()
+    if in_main_thread:
+        def _on_sigterm(_signum, _frame):
+            raise KeyboardInterrupt
+        try:
+            previous_sigterm = signal.signal(signal.SIGTERM, _on_sigterm)
+        except (ValueError, OSError):  # pragma: no cover
+            previous_sigterm = None
+
+    try:
+        if workers == 1:
+            done = 0
+            try:
+                for task in tasks:
+                    result = _run_task(task)
+                    error = result[4]
+                    failure = None
+                    if error is not None:
+                        failure = TaskFailure(
+                            experiment=task[1],
+                            cell=task[2],
+                            kind="exception",
+                            error=error,
+                        )
+                    consume(result, failure)
+                    done += 1
+            except KeyboardInterrupt:
+                finalize_interrupted(list(range(done, len(tasks))))
+        else:
+            # fork keeps warm parent state (imported modules);
+            # experiments re-derive everything else from their own
+            # contexts.
+            ctx = mp.get_context(
+                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            )
+            events = ctx.SimpleQueue()
+            pool = ctx.Pool(
+                processes=workers,
+                initializer=_worker_init,
+                initargs=(events,),
+            )
+            supervisor = _Supervisor(
+                pool, events, tasks, task_timeout_s, task_retries,
+                serial_fallback,
+            )
+            resolved: set[int] = set()
+            try:
+                for task_index in range(len(tasks)):
+                    supervisor.submit(task_index)
+                while len(resolved) < len(tasks):
+                    progressed = False
+                    for task_index, result, failure in supervisor.poll():
+                        resolved.add(task_index)
+                        consume(result, failure)
+                        progressed = True
+                    if len(resolved) < len(tasks) and not progressed:
+                        time.sleep(_POLL_S)
+                if supervisor.abandoned_attempts:
+                    # All tasks are resolved and the workers idle, but
+                    # every abandoned attempt left an AsyncResult in
+                    # the pool's cache that can never resolve —
+                    # close()+join() would wait on it forever.
+                    pool.terminate()
+                else:
+                    pool.close()
+                pool.join()
+            except KeyboardInterrupt:
+                pool.terminate()
+                pool.join()
+                finalize_interrupted(
+                    [i for i in range(len(tasks)) if i not in resolved]
+                )
+    finally:
+        if in_main_thread and previous_sigterm is not None:
+            try:
+                signal.signal(signal.SIGTERM, previous_sigterm)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
     return [outcomes[group_id] for group_id in range(len(names))]

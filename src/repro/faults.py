@@ -1,0 +1,199 @@
+"""Deterministic fault injection: seeded flash-I/O and corruption chaos.
+
+Production compressed swap must survive what the simulator's perfect
+substrate never shows: transient flash command failures, unrecoverable
+media errors, and bit-flips in stored compressed payloads.  A
+:class:`FaultPlan` injects all three deterministically — every decision
+comes from per-category ``random.Random`` streams derived from one seed,
+so a chaotic run replays bit-identically across processes and job
+counts.
+
+Wiring: :func:`install_fault_plan` attaches the plan to a scheme context
+and its flash device.  The device consults the plan *before* mutating
+any counter, so a failed command charges nothing and retries are exact
+re-executions.  The schemes own the recovery policy (bounded
+retry-with-backoff on transient errors; drop-and-cold-refault on
+permanent errors and corruption) and expose it through the
+``fault_*`` counters listed in :data:`repro.metrics.FAULT_COUNTERS`.
+
+With no plan installed (or any plan at rate 0) the hot paths see one
+``is None`` test (or a never-firing RNG draw that touches no simulator
+state), so fault injection is free when off: golden numbers stay
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import random
+from hashlib import blake2b
+
+from .errors import PermanentFlashError, TransientFlashError
+from .units import US
+
+#: Injection-ledger categories (see :meth:`FaultPlan.injected`).
+_CATEGORIES = (
+    "read_transient",
+    "read_permanent",
+    "write_transient",
+    "write_permanent",
+    "bitflips",
+)
+
+
+def _stream(seed: int, name: str) -> random.Random:
+    """An independent deterministic RNG stream for one fault category.
+
+    The seed is derived by hashing, not offsetting, so streams stay
+    independent for any user seed (and independent of
+    ``PYTHONHASHSEED`` — blake2b, not ``hash``).
+    """
+    digest = blake2b(f"{seed}:{name}".encode("utf-8"), digest_size=8).digest()
+    return random.Random(int.from_bytes(digest, "big"))
+
+
+class FaultPlan:
+    """Seeded fault-injection schedule for one simulated system.
+
+    One plan serves one system: the decision streams are stateful, so
+    sharing a plan across systems couples their fault schedules.
+
+    Args:
+        seed: Root seed for all decision streams.
+        read_error_rate: Probability a flash read command errors.
+        write_error_rate: Probability a flash write command errors.
+        permanent_fraction: Given an error, probability it is permanent
+            (unrecoverable) rather than transient (retryable).
+        bitflip_rate: Probability a freshly stored compressed chunk is
+            silently corrupted (detected at decompress time by the
+            per-page content-digest check).
+        max_retries: Bounded retry budget per transient-error sequence.
+        retry_backoff_ns: Backoff charged before the first retry;
+            doubles per attempt (capped at 64x).
+    """
+
+    def __init__(
+        self,
+        seed: int = 2025,
+        read_error_rate: float = 0.0,
+        write_error_rate: float = 0.0,
+        permanent_fraction: float = 0.1,
+        bitflip_rate: float = 0.0,
+        max_retries: int = 3,
+        retry_backoff_ns: int = 100 * US,
+    ) -> None:
+        for name, rate in (
+            ("read_error_rate", read_error_rate),
+            ("write_error_rate", write_error_rate),
+            ("permanent_fraction", permanent_fraction),
+            ("bitflip_rate", bitflip_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries cannot be negative: {max_retries}")
+        if retry_backoff_ns < 0:
+            raise ValueError(
+                f"retry_backoff_ns cannot be negative: {retry_backoff_ns}"
+            )
+        self.seed = seed
+        self.read_error_rate = read_error_rate
+        self.write_error_rate = write_error_rate
+        self.permanent_fraction = permanent_fraction
+        self.bitflip_rate = bitflip_rate
+        self.max_retries = max_retries
+        self.retry_backoff_ns = retry_backoff_ns
+        self._read_rng = _stream(seed, "flash-read")
+        self._write_rng = _stream(seed, "flash-write")
+        self._flip_rng = _stream(seed, "bitflip")
+        self._injected: dict[str, int] = {name: 0 for name in _CATEGORIES}
+
+    # ------------------------------------------------------------- decisions
+
+    def before_read(self) -> None:
+        """Decide one flash read command's fate; raises on injection."""
+        if self.read_error_rate <= 0.0:
+            return
+        if self._read_rng.random() >= self.read_error_rate:
+            return
+        if self._read_rng.random() < self.permanent_fraction:
+            self._injected["read_permanent"] += 1
+            raise PermanentFlashError("injected permanent flash read error")
+        self._injected["read_transient"] += 1
+        raise TransientFlashError("injected transient flash read error")
+
+    def before_write(self) -> None:
+        """Decide one flash write command's fate; raises on injection."""
+        if self.write_error_rate <= 0.0:
+            return
+        if self._write_rng.random() >= self.write_error_rate:
+            return
+        if self._write_rng.random() < self.permanent_fraction:
+            self._injected["write_permanent"] += 1
+            raise PermanentFlashError("injected permanent flash write error")
+        self._injected["write_transient"] += 1
+        raise TransientFlashError("injected transient flash write error")
+
+    def corrupt_on_store(self) -> bool:
+        """Whether the chunk being stored right now gets a bit-flip."""
+        if self.bitflip_rate <= 0.0:
+            return False
+        if self._flip_rng.random() >= self.bitflip_rate:
+            return False
+        self._injected["bitflips"] += 1
+        return True
+
+    def backoff_ns(self, attempt: int) -> int:
+        """Backoff before retry number ``attempt`` (1-based, doubling)."""
+        return self.retry_backoff_ns << min(attempt - 1, 6)
+
+    # --------------------------------------------------------------- ledger
+
+    def injected(self) -> dict[str, int]:
+        """Copy of the per-category injection counts so far."""
+        return dict(self._injected)
+
+    @property
+    def injected_total(self) -> int:
+        """Total faults injected so far (all categories)."""
+        return sum(self._injected.values())
+
+    def ledger(self, counters) -> dict[str, object]:
+        """Cross-check injections against the schemes' recovery counters.
+
+        Returns a dict with the injected counts, the recovery counts,
+        and ``consistent`` — True iff every injected fault is accounted
+        for: transient errors were each either retried to success or
+        abandoned after the retry budget, and every drop the schemes
+        recorded traces back to a permanent error, an abandoned retry
+        sequence, or an injected bit-flip.
+        """
+        injected = self.injected()
+        transient = injected["read_transient"] + injected["write_transient"]
+        recovered = counters.get("fault_transient_recovered")
+        abandoned = counters.get("fault_transient_abandoned")
+        dropped = counters.get("fault_chunks_dropped")
+        dropped_io = counters.get("fault_dropped_flash_io")
+        dropped_corrupt = counters.get("fault_dropped_corrupt")
+        consistent = (
+            recovered + abandoned == transient
+            and dropped == dropped_io + dropped_corrupt
+            and dropped_corrupt <= injected["bitflips"]
+        )
+        return {
+            "injected": injected,
+            "recovered_transient": recovered,
+            "abandoned_transient": abandoned,
+            "chunks_dropped": dropped,
+            "consistent": consistent,
+        }
+
+
+def install_fault_plan(ctx, plan: FaultPlan | None) -> None:
+    """Attach ``plan`` to a scheme context and its flash device.
+
+    Pass ``None`` to detach.  Must run before the scenario starts — a
+    mid-run install skips decisions for I/O already performed, breaking
+    the deterministic replay property.
+    """
+    ctx.fault_plan = plan
+    ctx.flash_device.fault_plan = plan

@@ -42,7 +42,15 @@ class FlashDeviceConfig:
 
 
 class FlashDevice:
-    """Charges latency for flash I/O and tracks wear."""
+    """Charges latency for flash I/O and tracks wear.
+
+    ``fault_plan`` (normally installed via
+    :func:`repro.faults.install_fault_plan`) is consulted *before* any
+    counter moves, so an injected failure leaves the device state
+    untouched — a retry is an exact re-execution, and with no plan (or
+    a rate-0 plan) every number is bit-identical to the fault-free
+    model.
+    """
 
     def __init__(self, config: FlashDeviceConfig | None = None) -> None:
         self.config = config if config is not None else FlashDeviceConfig()
@@ -51,11 +59,15 @@ class FlashDevice:
         self.host_bytes_written = 0
         self.read_commands = 0
         self.write_commands = 0
+        #: Optional :class:`repro.faults.FaultPlan` injecting I/O errors.
+        self.fault_plan = None
 
     def read(self, nbytes: int) -> int:
         """Perform a read; returns latency in ns and updates counters."""
         if nbytes < 0:
             raise ConfigError(f"cannot read negative bytes: {nbytes}")
+        if self.fault_plan is not None:
+            self.fault_plan.before_read()
         self.host_bytes_read += nbytes
         self.read_commands += 1
         return self.config.read_command_ns + int(nbytes * self.config.read_per_byte_ns)
@@ -64,6 +76,8 @@ class FlashDevice:
         """Perform a write; returns latency in ns and updates counters."""
         if nbytes < 0:
             raise ConfigError(f"cannot write negative bytes: {nbytes}")
+        if self.fault_plan is not None:
+            self.fault_plan.before_write()
         self.host_bytes_written += nbytes
         self.write_commands += 1
         return self.config.write_command_ns + int(
@@ -79,6 +93,8 @@ class FlashDevice:
         """
         if n_commands < 1:
             raise ConfigError(f"n_commands must be >= 1, got {n_commands}")
+        if self.fault_plan is not None:
+            self.fault_plan.before_read()
         self.host_bytes_read += total_bytes
         self.read_commands += n_commands
         return n_commands * self.config.read_command_ns + int(
@@ -89,6 +105,8 @@ class FlashDevice:
         """Write ``total_bytes`` over ``n_commands`` commands."""
         if n_commands < 1:
             raise ConfigError(f"n_commands must be >= 1, got {n_commands}")
+        if self.fault_plan is not None:
+            self.fault_plan.before_write()
         self.host_bytes_written += total_bytes
         self.write_commands += n_commands
         return n_commands * self.config.write_command_ns + int(

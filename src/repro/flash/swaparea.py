@@ -93,16 +93,19 @@ class FlashSwapArea:
                 f"swap area cannot fit {fmt_bytes(nbytes)} "
                 f"(free {fmt_bytes(self.free_bytes)})"
             )
+        # Device write first, slot allocation second: an injected write
+        # fault (repro.faults) must not leak a half-allocated slot.  On
+        # the success path this ordering is observationally identical.
+        real_bytes = nbytes * self.byte_scale
+        latency_ns = self.device.write_many(
+            real_bytes, n_commands=self._command_count(real_bytes, sequential)
+        )
         slot = SwapSlot(
             slot_id=self._next_slot, stored_bytes=nbytes, sequential=sequential
         )
         self._next_slot += 1
         self._slots[slot.slot_id] = slot
         self._used_bytes += nbytes
-        real_bytes = nbytes * self.byte_scale
-        latency_ns = self.device.write_many(
-            real_bytes, n_commands=self._command_count(real_bytes, sequential)
-        )
         return slot, latency_ns
 
     def load(self, slot_id: int) -> tuple[SwapSlot, int]:

@@ -87,6 +87,40 @@ class CpuAccount:
         return merged
 
 
+#: Recovery counters maintained by the schemes' graceful-degradation
+#: paths (see :mod:`repro.faults`).  All stay zero without an installed
+#: fault plan; :func:`recovery_summary` snapshots them for reports.
+FAULT_COUNTERS = (
+    # Injection-side mirrors, bumped when an injected error reaches a scheme.
+    "fault_flash_read_transient",
+    "fault_flash_read_permanent",
+    "fault_flash_write_transient",
+    "fault_flash_write_permanent",
+    # Recovery outcomes.
+    "fault_io_retries",
+    "fault_transient_recovered",
+    "fault_transient_abandoned",
+    "fault_write_gave_up",
+    "fault_writeback_deferred",
+    # Degradation outcomes.
+    "fault_chunks_dropped",
+    "fault_dropped_flash_io",
+    "fault_dropped_corrupt",
+    "fault_cold_refaults",
+)
+
+
+def recovery_summary(counters: "Counters | dict[str, int]") -> dict[str, int]:
+    """Snapshot of the :data:`FAULT_COUNTERS` from a counter store.
+
+    Accepts a live :class:`Counters` or a plain counter dict (e.g. a
+    :class:`~repro.sim.scenario.ScenarioResult`'s ``counters``).
+    """
+    if isinstance(counters, dict):
+        return {name: counters.get(name, 0) for name in FAULT_COUNTERS}
+    return {name: counters.get(name) for name in FAULT_COUNTERS}
+
+
 class Counters:
     """Named integer event counters (compressions, faults, hits, ...)."""
 

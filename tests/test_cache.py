@@ -50,6 +50,20 @@ class TestSizeStore:
         path.write_bytes(path.read_bytes() + b"\x01\x02\x03")  # torn write
         assert cache.load_sizes("lzo", 4096) == entries
 
+    def test_torn_tail_is_truncated_on_disk(self, cache):
+        # Loading repairs the file so the next O_APPEND flush starts on
+        # a record boundary instead of extending the tear forever.
+        entries = {payload_digest(b"r" * 16): 6}
+        cache.append_sizes("lzo", 4096, entries)
+        path = cache._sizes_path("lzo", 4096)
+        whole = path.stat().st_size
+        path.write_bytes(path.read_bytes() + b"\xff" * 5)
+        cache.load_sizes("lzo", 4096)
+        assert path.stat().st_size == whole
+        more = {payload_digest(b"s" * 16): 8}
+        cache.append_sizes("lzo", 4096, more)
+        assert cache.load_sizes("lzo", 4096) == {**entries, **more}
+
 
 class TestTraceStore:
     def test_workload_roundtrips_exactly(self, cache):
@@ -180,6 +194,46 @@ class TestExperimentResultCache:
         path.write_bytes(b"definitely not a pickle")
         assert results.load("fig2", "ZRAM", None) is None
         assert not path.exists()
+
+    def test_corrupt_entry_is_quarantined_and_recomputable(self, tmp_path):
+        results = ExperimentResultCache(tmp_path, fingerprint="f1")
+        results.store("fig2", "ZRAM", None, "ok")
+        path = results._path("fig2", "ZRAM", None)
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF  # one flipped payload bit: digest must reject it
+        path.write_bytes(bytes(raw))
+        assert results.load("fig2", "ZRAM", None) is None
+        assert results.corrupt_entries == 1
+        # Evidence survives for inspection, outside the loadable namespace.
+        assert path.with_suffix(".corrupt").exists()
+        # The caller recomputes and the slot works again.
+        results.store("fig2", "ZRAM", None, "recomputed")
+        assert results.load("fig2", "ZRAM", None) == "recomputed"
+
+    def test_truncated_entry_is_a_miss_not_a_crash(self, tmp_path):
+        # A torn write can cut the envelope anywhere — mid-magic,
+        # mid-digest, or mid-pickle (the EOFError/UnpicklingError case).
+        results = ExperimentResultCache(tmp_path, fingerprint="f1")
+        results.store("fig2", "ZRAM", None, {"payload": list(range(100))})
+        path = results._path("fig2", "ZRAM", None)
+        raw = path.read_bytes()
+        for cut in (3, 10, len(raw) // 2, len(raw) - 1):
+            path.write_bytes(raw[:cut])
+            assert results.load("fig2", "ZRAM", None) is None
+            path.with_suffix(".corrupt").unlink(missing_ok=True)
+        assert results.corrupt_entries == 4
+
+    def test_empty_entry_is_a_miss(self, tmp_path):
+        results = ExperimentResultCache(tmp_path, fingerprint="f1")
+        results.store("fig2", "ZRAM", None, "ok")
+        results._path("fig2", "ZRAM", None).write_bytes(b"")
+        assert results.load("fig2", "ZRAM", None) is None
+
+    def test_healthy_entries_count_no_corruption(self, tmp_path):
+        results = ExperimentResultCache(tmp_path, fingerprint="f1")
+        results.store("fig2", "ZRAM", None, "ok")
+        assert results.load("fig2", "ZRAM", None) == "ok"
+        assert results.corrupt_entries == 0
 
     def test_default_fingerprint_is_stable_within_a_tree(self, tmp_path):
         a = ExperimentResultCache(tmp_path / "a")

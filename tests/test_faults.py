@@ -1,0 +1,166 @@
+"""Fault-injection tests (repro.faults + scheme recovery paths).
+
+Three properties matter: a zero-rate plan is bit-identical to no plan
+at all (injection is free when off), a seeded nonzero-rate run is
+deterministic across fresh systems/processes, and every injected fault
+is absorbed gracefully — retried to success or counted as a drop plus
+cold refault — with a recovery ledger that balances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PermanentFlashError, TransientFlashError
+from repro.faults import FaultPlan, _stream, install_fault_plan
+from repro.metrics import FAULT_COUNTERS, recovery_summary
+from repro.sim import run_light_scenario
+from repro.units import US
+from tests.conftest import build_tiny
+
+
+def _run_chaotic(scheme_name, trace, rate, seed=7, duration_s=3.0):
+    """One tiny scenario under a fresh fault plan; returns all evidence."""
+    system = build_tiny(scheme_name, trace)
+    plan = FaultPlan(
+        seed=seed,
+        read_error_rate=rate,
+        write_error_rate=rate,
+        bitflip_rate=rate / 10.0,
+    )
+    install_fault_plan(system.ctx, plan)
+    result = run_light_scenario(system, duration_s=duration_s)
+    return system, plan, result
+
+
+def _evidence(plan, result):
+    """The deterministic footprint of a chaotic run (order-free)."""
+    return (
+        plan.injected(),
+        recovery_summary(result.counters),
+        [r.latency_ns for r in result.relaunches],
+    )
+
+
+class TestPlanValidation:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ValueError, match="read_error_rate"):
+            FaultPlan(read_error_rate=1.5)
+        with pytest.raises(ValueError, match="bitflip_rate"):
+            FaultPlan(bitflip_rate=-0.1)
+
+    def test_retry_budget_must_be_nonnegative(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            FaultPlan(max_retries=-1)
+
+    def test_backoff_doubles_and_caps(self):
+        plan = FaultPlan(retry_backoff_ns=100 * US)
+        assert plan.backoff_ns(1) == 100 * US
+        assert plan.backoff_ns(2) == 200 * US
+        assert plan.backoff_ns(3) == 400 * US
+        # Capped at 64x so an abandoned sequence never stalls forever.
+        assert plan.backoff_ns(20) == plan.backoff_ns(7) == 6400 * US
+
+
+class TestDecisionStreams:
+    def test_streams_are_seed_deterministic(self):
+        # blake2b-derived, so independent of PYTHONHASHSEED: the same
+        # (seed, name) always produces the same decision sequence.
+        a = [_stream(42, "flash-read").random() for _ in range(5)]
+        b = [_stream(42, "flash-read").random() for _ in range(5)]
+        assert a == b
+        assert a != [_stream(43, "flash-read").random() for _ in range(5)]
+        assert a != [_stream(42, "flash-write").random() for _ in range(5)]
+
+    def test_error_mix_spans_transient_and_permanent(self):
+        plan = FaultPlan(seed=3, read_error_rate=1.0, permanent_fraction=0.5)
+        kinds = set()
+        for _ in range(64):
+            try:
+                plan.before_read()
+            except TransientFlashError:
+                kinds.add("transient")
+            except PermanentFlashError:
+                kinds.add("permanent")
+        assert kinds == {"transient", "permanent"}
+        assert plan.injected()["read_transient"] > 0
+        assert plan.injected()["read_permanent"] > 0
+
+
+class TestRateZeroIdentity:
+    @pytest.mark.parametrize("scheme", ["Ariadne", "SWAP", "ZRAM"])
+    def test_zero_rate_plan_changes_nothing(self, tiny_trace, scheme):
+        baseline = run_light_scenario(
+            build_tiny(scheme, tiny_trace), duration_s=3.0
+        )
+        system, plan, chaotic = _run_chaotic(scheme, tiny_trace, rate=0.0)
+        assert plan.injected_total == 0
+        assert [r.latency_ns for r in chaotic.relaunches] == [
+            r.latency_ns for r in baseline.relaunches
+        ]
+        assert chaotic.counters == baseline.counters
+        assert all(
+            value == 0 for value in recovery_summary(chaotic.counters).values()
+        )
+
+
+class TestChaoticRuns:
+    def test_seeded_rate_is_deterministic_across_fresh_systems(
+        self, tiny_trace
+    ):
+        first = _run_chaotic("SWAP", tiny_trace, rate=0.02)
+        second = _run_chaotic("SWAP", tiny_trace, rate=0.02)
+        assert _evidence(first[1], first[2]) == _evidence(second[1], second[2])
+        assert first[1].injected_total > 0  # the runs were actually chaotic
+
+    def test_swap_survives_flash_errors_with_balanced_ledger(self, tiny_trace):
+        system, plan, result = _run_chaotic(
+            "SWAP", tiny_trace, rate=0.05, duration_s=4.0
+        )
+        assert plan.injected_total > 0
+        recovery = recovery_summary(result.counters)
+        # Every transient error ended in recovery or a counted abandon.
+        transients = (
+            plan.injected()["read_transient"]
+            + plan.injected()["write_transient"]
+        )
+        assert (
+            recovery["fault_transient_recovered"]
+            + recovery["fault_transient_abandoned"]
+            == transients
+        )
+        ledger = plan.ledger(system.ctx.counters)
+        assert ledger["consistent"], ledger
+
+    def test_ariadne_detects_bitflips_and_refaults_cold(self, tiny_trace):
+        # Force corruption on every stored chunk: each one must be
+        # caught by the digest check, dropped, and served as a counted
+        # cold refault — never returned silently wrong, never a crash.
+        system = build_tiny("Ariadne", tiny_trace)
+        plan = FaultPlan(seed=11, bitflip_rate=1.0)
+        install_fault_plan(system.ctx, plan)
+        result = run_light_scenario(system, duration_s=3.0)
+        recovery = recovery_summary(result.counters)
+        assert plan.injected()["bitflips"] > 0
+        assert recovery["fault_dropped_corrupt"] > 0
+        assert recovery["fault_cold_refaults"] > 0
+        assert plan.ledger(system.ctx.counters)["consistent"]
+
+    def test_permanent_errors_drop_without_retry_storm(self, tiny_trace):
+        system = build_tiny("SWAP", tiny_trace)
+        plan = FaultPlan(seed=5, read_error_rate=0.03, permanent_fraction=1.0)
+        install_fault_plan(system.ctx, plan)
+        result = run_light_scenario(system, duration_s=3.0)
+        recovery = recovery_summary(result.counters)
+        assert plan.injected()["read_permanent"] > 0
+        assert recovery["fault_io_retries"] == 0  # permanent: no retries
+        assert recovery["fault_chunks_dropped"] > 0
+        assert plan.ledger(system.ctx.counters)["consistent"]
+
+
+class TestRecoverySummary:
+    def test_reads_counters_and_plain_dicts(self):
+        assert set(recovery_summary({})) == set(FAULT_COUNTERS)
+        assert recovery_summary({"fault_io_retries": 3})[
+            "fault_io_retries"
+        ] == 3

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
 
 import pytest
@@ -9,9 +11,14 @@ import pytest
 from repro.experiments import Experiment, common, experiment, registry
 from repro.experiments.runner import (
     ExperimentOutcome,
+    TaskFailure,
     default_jobs,
     run_experiments,
 )
+
+#: Captured at import time in the parent: lets crash cells kill only
+#: forked workers while the in-parent serial fallback survives.
+_MAIN_PID = os.getpid()
 
 
 @dataclass
@@ -50,6 +57,30 @@ class _FakeSharded(Experiment):
 class _FakeShardedFailing(_FakeSharded):
     def cell_keys(self, quick: bool = False) -> list[str]:
         return ["alpha", "boom"]
+
+
+class _FakeShardedHanging(_FakeSharded):
+    """One cell sleeps far past any sane task timeout."""
+
+    def cell_keys(self, quick: bool = False) -> list[str]:
+        return ["alpha", "hang"]
+
+    def run_cell(self, key: str, quick: bool = False) -> dict:
+        if key == "hang":
+            time.sleep(300)
+        return super().run_cell(key, quick)
+
+
+class _FakeShardedCrashing(_FakeSharded):
+    """One cell kills any *worker* process it runs in (parent survives)."""
+
+    def cell_keys(self, quick: bool = False) -> list[str]:
+        return ["alpha", "die"]
+
+    def run_cell(self, key: str, quick: bool = False) -> dict:
+        if key == "die" and os.getpid() != _MAIN_PID:
+            os._exit(41)  # simulated segfault/OOM-kill: no cleanup, no result
+        return super().run_cell(key, quick)
 
 
 @pytest.fixture()
@@ -229,10 +260,100 @@ class TestRunExperiments:
         assert len(outcomes) == 1 and outcomes[0].ok
 
 
+class TestFailurePaths:
+    """A broken cell becomes a structured failure; nothing else is lost."""
+
+    def test_raising_cell_yields_exception_failure(self, fake_failing):
+        (outcome,) = run_experiments(["fake"], jobs=2)
+        assert not outcome.ok
+        (failure,) = outcome.failures
+        assert failure.kind == "exception"
+        assert failure.experiment == "fake" and failure.cell == "boom"
+        assert "cell exploded" in failure.error
+
+    def test_hung_cell_times_out_and_fails_structured(self, monkeypatch):
+        monkeypatch.setitem(registry._REGISTRY, "fake", _FakeShardedHanging())
+        start = time.monotonic()
+        (outcome,) = run_experiments(
+            ["fake"], jobs=2, task_timeout_s=0.5, task_retries=0
+        )
+        assert time.monotonic() - start < 60  # SIGKILLed, not waited out
+        assert not outcome.ok
+        (failure,) = outcome.failures
+        assert failure.kind == "timeout"
+        assert failure.cell == "hang"
+        assert "0.5s task timeout" in failure.error
+
+    def test_worker_crash_yields_crash_failure(self, monkeypatch):
+        monkeypatch.setitem(registry._REGISTRY, "fake", _FakeShardedCrashing())
+        (outcome,) = run_experiments(
+            ["fake"], jobs=2, task_retries=0, serial_fallback=False
+        )
+        assert not outcome.ok
+        (failure,) = outcome.failures
+        assert failure.kind == "crash"
+        assert failure.cell == "die"
+        assert "died mid-task" in failure.error
+
+    def test_serial_fallback_rescues_a_crashing_cell(self, monkeypatch):
+        # The cell kills every *worker* it runs in; the final in-parent
+        # attempt succeeds, so the experiment completes with no failure.
+        monkeypatch.setitem(registry._REGISTRY, "fake", _FakeShardedCrashing())
+        (outcome,) = run_experiments(
+            ["fake"], jobs=2, task_retries=1, serial_fallback=True
+        )
+        assert outcome.ok and not outcome.failures
+        assert outcome.result.partials["die"] == {"die": "DIE"}
+
+    def test_one_bad_cell_loses_nothing_else(self, fake_failing):
+        # The failing experiment still reports its good cells' payloads
+        # to the merge stage, and suite-mates are untouched.
+        outcomes = run_experiments(["fake", "platform"], jobs=2, quick=True)
+        fake, platform = outcomes
+        assert not fake.ok and platform.ok
+        assert [f.cell for f in fake.failures] == ["boom"]
+
+    def test_failures_surface_in_to_json_errors(self, fake_failing):
+        (outcome,) = run_experiments(["fake"], jobs=2)
+        payload = outcome.to_json()
+        assert payload["ok"] is False
+        (row,) = payload["errors"]
+        assert row["kind"] == "exception" and row["cell"] == "boom"
+        assert row["attempts"] == 1
+        assert "cell exploded" in row["error"]
+
+    def test_task_failure_json_shape(self):
+        failure = TaskFailure(
+            experiment="x", cell=None, kind="timeout", error="e", attempts=3
+        )
+        assert failure.to_json() == {
+            "experiment": "x",
+            "cell": None,
+            "kind": "timeout",
+            "error": "e",
+            "attempts": 3,
+        }
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="task_retries"):
+            run_experiments(["platform"], jobs=2, task_retries=-1)
+
+
 class TestDefaultJobs:
     def test_at_least_one_and_bounded(self):
         jobs = default_jobs()
         assert 1 <= jobs <= 8
+
+    def test_repro_jobs_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert default_jobs() == 3
+        monkeypatch.setenv("REPRO_JOBS", "12")  # env wins over the cap of 8
+        assert default_jobs() == 12
+
+    def test_invalid_repro_jobs_values_are_ignored(self, monkeypatch):
+        for bad in ("0", "-2", "many", ""):
+            monkeypatch.setenv("REPRO_JOBS", bad)
+            assert 1 <= default_jobs() <= 8
 
 
 class TestOutcome:
