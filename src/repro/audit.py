@@ -92,6 +92,8 @@ class InvariantAuditor:
         self._audit_free_dram(scheme)
         self._audit_nonresident_counts(scheme)
         self._audit_lru_membership(scheme)
+        self._audit_zpool_classes(scheme)
+        self._audit_swap_slots(scheme)
         self.audits_performed += 1
 
     # -------------------------------------------------------------- the checks
@@ -213,4 +215,68 @@ class InvariantAuditor:
             raise InvariantViolationError(
                 f"{len(resident)} pages resident but only {len(seen)} on "
                 f"LRU lists; first orphan pfns: {orphans}"
+            )
+
+    def _audit_zpool_classes(self, scheme) -> None:
+        """The zpool's size-class tally matches its live entries exactly.
+
+        The tally is a maintained counter (one dict update per
+        store/free); a missed update means fragmentation accounting and
+        any class-level reporting silently drift.  The per-class counts
+        must also re-sum to ``audit_used_bytes()`` — tying the two
+        independent recomputes together.
+        """
+        if not scheme.uses_zpool:
+            return
+        zpool = scheme.ctx.zpool
+        tally = zpool.class_tally()
+        truth = zpool.audit_class_tally()
+        if tally != truth:
+            drifted = sorted(
+                cls
+                for cls in set(tally) | set(truth)
+                if tally.get(cls, 0) != truth.get(cls, 0)
+            )
+            raise InvariantViolationError(
+                "zpool size-class tally drifted: counter vs entries differ "
+                f"for class(es) {drifted} (counter "
+                f"{ {c: tally.get(c, 0) for c in drifted} }, entries "
+                f"{ {c: truth.get(c, 0) for c in drifted} })"
+            )
+        class_sum = sum(cls * count for cls, count in tally.items())
+        expected = zpool.audit_used_bytes()
+        if class_sum != expected:
+            raise InvariantViolationError(
+                f"zpool size-class tally sums to {class_sum} bytes but the "
+                f"entries hold {expected} bytes"
+            )
+
+    def _audit_swap_slots(self, scheme) -> None:
+        """Flash swap slots and live in-flash chunk handles agree exactly.
+
+        A slot with no chunk pointing at it is a capacity leak (the area
+        fills with garbage until ``FlashFullError``); a chunk pointing
+        at a missing slot was double-freed and its next fault would read
+        freed storage.
+        """
+        flash_swap = getattr(scheme.ctx, "flash_swap", None)
+        if flash_swap is None:
+            return
+        slots = set(flash_swap._slots)
+        live = {
+            chunk.flash_slot
+            for chunk in scheme._chunks.values()
+            if chunk.in_flash and chunk.flash_slot is not None
+        }
+        orphans = slots - live
+        if orphans:
+            raise InvariantViolationError(
+                f"{len(orphans)} swap slot(s) allocated but owned by no "
+                f"live chunk (leak); first: {sorted(orphans)[:5]}"
+            )
+        missing = live - slots
+        if missing:
+            raise InvariantViolationError(
+                f"{len(missing)} in-flash chunk(s) reference freed swap "
+                f"slot(s) (double free); first: {sorted(missing)[:5]}"
             )

@@ -17,6 +17,7 @@ from .ariadne import AriadneScheme
 from .config import (
     AriadneConfig,
     PlatformConfig,
+    PressureConfig,
     RelaunchScenario,
     pixel7_platform,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "DramScheme",
     "FlashSwapScheme",
     "PlatformConfig",
+    "PressureConfig",
     "RelaunchScenario",
     "SchemeContext",
     "StagingBuffer",

@@ -191,13 +191,34 @@ class AriadneScheme(SwapScheme):
         """
         return hotness.rank * 256 + uid % 256
 
-    def _relieve_zpool(self) -> bool:
+    def _relieve_zpool_lossless(self) -> bool:
         """zpool overflow: write a chunk back instead of dropping data."""
-        if self.config.writeback_enabled and self._writeback_one(
+        return self.config.writeback_enabled and self._writeback_one(
             KSWAPD, allow_warm=True
-        ):
+        )
+
+    def app_has_reclaimable(self, uid: int) -> bool:
+        if super().app_has_reclaimable(uid):
             return True
-        return self._drop_oldest_chunk()
+        return any(page.uid == uid for page in self.staging._pages.values())
+
+    def _purge_staged(self, uid: int) -> int:
+        """Kill teardown: drop ``uid``'s pre-decompressed staged pages.
+
+        Staged pages are non-resident (they sit in the reserved buffer),
+        so moving them to :attr:`_lost_pfns` keeps the per-app
+        non-resident ground truth balanced.  They bypass ``claim()`` so
+        the buffer's hit/miss statistics stay honest.
+        """
+        purged = 0
+        for pfn, page in list(self.staging._pages.items()):
+            if page.uid != uid:
+                continue
+            del self.staging._pages[pfn]
+            self._staged_levels.pop(pfn, None)
+            self._lost_pfns[pfn] = uid
+            purged += 1
+        return purged
 
     def _writeback_one(self, thread: str, allow_warm: bool = False) -> bool:
         """Move the oldest zpool chunk to flash, cold data first.

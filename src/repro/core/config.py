@@ -11,6 +11,7 @@ scenarios of Section 5.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
 
 from ..errors import ConfigError
@@ -131,6 +132,71 @@ def pixel7_platform(
         swap_bytes=int(swap_gb * GIB) // scale,
         scale=scale,
     )
+
+
+#: Kill policies the pressure lifecycle supports (SWAM, PAPERS.md):
+#: ``lmk`` kills as soon as full pressure is reached (Android lowmemory-
+#: killer), ``swap`` never kills and sheds load through escalated reclaim
+#: and counted drops, ``hybrid`` escalates swap first and kills only once
+#: reclaim boost is already saturated (the SWAM-style middle ground).
+PRESSURE_POLICIES = ("lmk", "swap", "hybrid")
+
+
+@dataclass(frozen=True)
+class PressureConfig:
+    """Tunables of the memory-pressure lifecycle (:mod:`repro.lmk`).
+
+    Attributes:
+        policy: Kill policy — one of :data:`PRESSURE_POLICIES`.
+        some_threshold: PSI ("some") level at which kswapd starts
+            escalating its reclaim batch.
+        full_threshold: PSI level at which the killer may fire
+            (``lmk`` immediately; ``hybrid`` only once the kswapd boost
+            is saturated).
+        kswapd_boost_max: Maximum multiplier applied to the kswapd
+            reclaim batch while pressure stays above ``some_threshold``.
+        oom_priority_weight: Weight of the app-class score in the
+            oom-score formula.
+        oom_recency_weight: Weight of the LRU age (0 = most recently
+            used app, n-1 = least) in the oom-score formula.
+        min_resident_apps: Number of live (not-yet-killed) apps the
+            killer must always leave standing.
+    """
+
+    policy: str = "hybrid"
+    some_threshold: float = 0.10
+    full_threshold: float = 0.40
+    kswapd_boost_max: int = 4
+    oom_priority_weight: float = 10.0
+    oom_recency_weight: float = 1.0
+    min_resident_apps: int = 1
+
+    def __post_init__(self) -> None:
+        if self.policy not in PRESSURE_POLICIES:
+            raise ConfigError(
+                f"policy must be one of {PRESSURE_POLICIES}, got "
+                f"{self.policy!r}"
+            )
+        if not 0.0 <= self.some_threshold <= self.full_threshold <= 1.0:
+            raise ConfigError(
+                "pressure thresholds must satisfy 0 <= some <= full <= 1, "
+                f"got {self.some_threshold}/{self.full_threshold}"
+            )
+        if self.kswapd_boost_max < 1:
+            raise ConfigError(
+                f"kswapd_boost_max must be >= 1, got {self.kswapd_boost_max}"
+            )
+        for name in ("oom_priority_weight", "oom_recency_weight"):
+            value = getattr(self, name)
+            if not math.isfinite(value) or value < 0:
+                raise ConfigError(
+                    f"{name} must be finite and >= 0, got {value}"
+                )
+        if self.min_resident_apps < 0:
+            raise ConfigError(
+                f"min_resident_apps cannot be negative, got "
+                f"{self.min_resident_apps}"
+            )
 
 
 #: Chunk sizes the paper sweeps (Table 5).

@@ -142,6 +142,10 @@ class SwapScheme(ABC):
         #: in normal runs, so the only steady-state cost is one ``is
         #: None`` test per kswapd wakeup.
         self._auditor = auditor_from_env()
+        #: Memory-pressure lifecycle plan (:mod:`repro.lmk`); ``None``
+        #: keeps every pressure hook a single ``is None`` test, so
+        #: pressure-off runs stay bit-identical.
+        self._pressure = None
         #: (uid, ground-truth hotness) per page in compression order
         #: (the Figure 4 measurement).
         self.compression_log: list[tuple[int, Hotness]] = []
@@ -506,6 +510,8 @@ class SwapScheme(ABC):
         """
         platform = self.ctx.platform
         self.ctx.counters.incr("lost_page_accesses")
+        if self._pressure is not None:
+            self._pressure.note_refault(1)
         stall = self._make_room(1, direct=True, thread=thread)
         fault_ns = platform.fault_overhead_ns * platform.scale
         self._charge(thread, "fault", fault_ns // 4)
@@ -543,6 +549,8 @@ class SwapScheme(ABC):
         self._charge(KSWAPD, "file_writeback", file_ns)
         self.ctx.counters.incr("file_pages_written", platform.kswapd_batch_pages)
         self._make_room(0, direct=False, thread=KSWAPD)
+        if self._pressure is not None:
+            self._pressure.on_kswapd(self)
         if self._auditor is not None:
             self._auditor.checkpoint(self)
 
@@ -566,6 +574,17 @@ class SwapScheme(ABC):
             if victim is None:
                 if self.free_dram_bytes() >= incoming_pages * PAGE_SIZE:
                     break  # watermark missed but the allocation itself fits
+                if self._pressure is not None and self._pressure.emergency_relief(
+                    self
+                ):
+                    # Policied hard-exhaustion fallback (emergency kill
+                    # or counted drop) made progress; re-probe.
+                    guard += 1
+                    if guard > 1_000_000:
+                        raise MemoryPressureError(
+                            "reclaim loop failed to make progress"
+                        )
+                    continue
                 raise MemoryPressureError(
                     "reclaim found no victims and the allocation does not fit"
                 )
@@ -575,6 +594,8 @@ class SwapScheme(ABC):
             guard += 1
             if guard > 1_000_000:
                 raise MemoryPressureError("reclaim loop failed to make progress")
+        if direct and stall_total and self._pressure is not None:
+            self._pressure.note_stall(stall_total)
         return stall_total
 
     def _pop_victim(self) -> Page | None:
@@ -681,12 +702,15 @@ class SwapScheme(ABC):
         chunk_size: int,
         hotness: Hotness,
         thread: str,
-    ) -> tuple[StoredChunk, int]:
+    ) -> tuple[StoredChunk | None, int]:
         """Compress ``pages`` at ``chunk_size`` into the zpool.
 
         Returns (chunk, synchronous latency ns).  The caller has already
         removed the pages from DRAM/organizer.  If the zpool is full the
-        scheme-specific overflow hook runs first.
+        scheme-specific overflow hook runs first; with a pressure plan
+        installed, a still-full zpool becomes a counted admission
+        refusal (pages lost, ``(None, 0)`` returned) instead of an
+        unhandled :class:`~repro.errors.ZpoolFullError`.
         """
         ctx = self.ctx
         platform = ctx.platform
@@ -697,8 +721,27 @@ class SwapScheme(ABC):
         span = PAGE_SIZE * len(pages)
         stored = ctx.compressed_size_of_pages(pages, chunk_size)
         while not ctx.zpool.has_room_for(stored):
-            if not self._relieve_zpool():
+            if self._pressure is not None:
+                # The plan owns the lossy step: lossless relief first,
+                # then its policy (kill / counted drop) decides.
+                if self._pressure.zpool_relief(self):
+                    continue
                 break
+            if self._relieve_zpool():
+                continue
+            break
+        if self._pressure is not None and not ctx.zpool.has_room_for(stored):
+            # Admission refusal: the zpool cannot take this chunk even
+            # after relief — drop the pages with full accounting rather
+            # than raise mid-eviction.
+            self._pressure.note_refusal(len(pages))
+            for page in pages:
+                self._lost_pfns[page.pfn] = page.uid
+            self._bump_app_epoch(pages[0].uid)
+            ctx.counters.incr("pressure_admission_refusals")
+            ctx.counters.incr("pressure_pages_refused", len(pages))
+            ctx.counters.incr("pages_lost", len(pages))
+            return None, 0
         comp_ns = platform.scale * ctx.latency.compress_ns(
             ctx.codec.name, span, chunk_size
         )
@@ -730,8 +773,19 @@ class SwapScheme(ABC):
         ctx.counters.incr("bytes_stored", stored)
         return chunk, self._stall(comp_ns)
 
+    def _relieve_zpool_lossless(self) -> bool:
+        """Non-destructive response to zpool pressure; returns progress.
+
+        The base schemes have none (no flash writeback path); Ariadne
+        overrides this with its cold-first writeback.  An installed
+        pressure plan tries this before its lossy policy step.
+        """
+        return False
+
     def _relieve_zpool(self) -> bool:
         """Scheme-specific response to zpool pressure; returns progress."""
+        if self._relieve_zpool_lossless():
+            return True
         return self._drop_oldest_chunk()
 
     def _drop_oldest_chunk(self) -> bool:
@@ -754,6 +808,62 @@ class SwapScheme(ABC):
                 self.ctx.counters.incr("pages_lost", chunk.page_count)
                 return True
         return False
+
+    # --------------------------------------------------------- low-memory kill
+
+    def app_has_reclaimable(self, uid: int) -> bool:
+        """Whether killing ``uid`` would free any memory at all.
+
+        The low-memory killer skips apps this returns ``False`` for —
+        killing them frees nothing, so selecting one could stall the
+        emergency-relief loop without making progress.
+        """
+        organizer = self._organizers.get(uid)
+        if organizer is not None and organizer.resident_count() > 0:
+            return True
+        return any(chunk.uid == uid for chunk in self._chunks.values())
+
+    def _purge_staged(self, uid: int) -> int:
+        """Hook: drop ``uid``'s pre-decompressed pages (Ariadne overrides);
+        returns how many pages were purged."""
+        return 0
+
+    def terminate_app(self, uid: int) -> int:
+        """Low-memory kill: tear down every trace of ``uid``'s data.
+
+        Resident pages leave DRAM through :meth:`_detach_page` (the
+        epoch layer can never miss a residency loss), stored chunks
+        release their zpool handle or swap slot, staged pages are
+        purged, and everything joins :attr:`_lost_pfns` — the same
+        bookkeeping contract as :meth:`_drop_oldest_chunk`, so the
+        runtime auditor's ground truth stays balanced.  The app stays
+        registered: a later relaunch is a cold launch of the same uid,
+        charged ``process_create_ns`` by the system layer.  Returns the
+        number of pages freed.
+        """
+        ctx = self.ctx
+        organizer = self.organizer(uid)
+        pages_freed = 0
+        while organizer.has_victims():
+            page = organizer.pop_victim()
+            self._detach_page(page)
+            self._lost_pfns[page.pfn] = uid
+            pages_freed += 1
+        pages_freed += self._purge_staged(uid)
+        for chunk in [c for c in self._chunks.values() if c.uid == uid]:
+            if chunk.in_flash and chunk.flash_slot is not None:
+                ctx.flash_swap.free(chunk.flash_slot)
+            elif chunk.in_zpool and chunk.zpool_handle is not None:
+                ctx.zpool.free(chunk.zpool_handle)
+            self._unregister_chunk(chunk)
+            for page in chunk.pages:
+                self._lost_pfns[page.pfn] = uid
+            pages_freed += chunk.page_count
+        self._bump_app_epoch(uid)
+        ctx.counters.incr("lmk_kills")
+        ctx.counters.incr("lmk_pages_killed", pages_freed)
+        ctx.counters.incr("pages_lost", pages_freed)
+        return pages_freed
 
     # ---------------------------------------------------------- fault recovery
 
@@ -954,4 +1064,6 @@ class SwapScheme(ABC):
         self._note_pages_resident(chunk.uid, chunk.page_count)
         organizer.on_access(faulted, self.ctx.clock.now_ns)
         self.ctx.counters.incr("pages_swapped_in", chunk.page_count)
+        if self._pressure is not None:
+            self._pressure.note_refault(chunk.page_count)
         return room_stall + fault_stall, breakdown

@@ -55,6 +55,7 @@ from . import (  # noqa: E402  (registration side effects)
     fig14,
     fig15,
     chaos,
+    pressure,
 )
 
 __all__ = [

@@ -70,11 +70,25 @@ class ChaosResult(ExperimentResult):
     """Relaunch degradation and recovery accounting per fault rate."""
 
     cells: list[ChaosCell]
+    #: Full runs only: the faults-while-killing cell (fault injection
+    #: active while the low-memory killer is live); ``None`` in quick
+    #: runs and omitted from the JSON then, so the quick ``--json``
+    #: document is byte-identical to before the cell existed.
+    combined: dict | None = None
 
     @property
     def all_consistent(self) -> bool:
         """Every injected fault at every rate was fully accounted for."""
-        return all(cell.ledger_consistent for cell in self.cells)
+        cells_ok = all(cell.ledger_consistent for cell in self.cells)
+        if self.combined is not None:
+            cells_ok = cells_ok and bool(self.combined["consistent"])
+        return cells_ok
+
+    def to_json(self) -> dict:
+        payload = super().to_json()
+        if self.combined is None:
+            del payload["combined"]
+        return payload
 
     def render(self) -> str:
         rows = []
@@ -100,6 +114,13 @@ class ChaosResult(ExperimentResult):
             if self.all_consistent
             else "LEDGER INCONSISTENT: some faults are unaccounted for"
         )
+        if self.combined is not None:
+            verdict += (
+                "\ncombined faults+pressure cell: "
+                f"{self.combined['injected_total']} faults injected, "
+                f"{sum(self.combined['kills'].values())} kills, ledgers "
+                + ("balanced" if self.combined["consistent"] else "BROKEN")
+            )
         return f"{table}\n{verdict}"
 
 
@@ -113,8 +134,11 @@ class Chaos(Experiment):
     sharded = True
 
     def cell_keys(self, quick: bool = False) -> list[str]:
-        return [_rate_key(rate) for rate in
+        keys = [_rate_key(rate) for rate in
                 (QUICK_RATES if quick else FULL_RATES)]
+        if not quick:
+            keys.append("combined")
+        return keys
 
     def run_cell(self, key: str, quick: bool = False) -> ChaosCell:
         """Run one fault rate: a short light scenario per scheme.
@@ -125,6 +149,8 @@ class Chaos(Experiment):
         sweep is deterministic across job counts and completion orders.
         """
         self._require_cell(key, quick)
+        if key == "combined":
+            return self._run_combined()
         rates = QUICK_RATES if quick else FULL_RATES
         rate = next(r for r in rates if _rate_key(r) == key)
         duration = _QUICK_DURATION_S if quick else _DURATION_S
@@ -168,8 +194,68 @@ class Chaos(Experiment):
             ledger_consistent=consistent,
         )
 
+    def _run_combined(self) -> dict:
+        """Faults while the low-memory killer is live.
+
+        The hardest compound scenario the reproduction models: flash
+        command errors and bit-flips injected *while* a tight-DRAM
+        hybrid pressure plan escalates reclaim and kills apps.  Both
+        accounting systems must keep balancing independently — every
+        injected fault retried/dropped/refaulted, every kill traced to
+        a decision — or the cell reports inconsistent.
+        """
+        from ..core import PressureConfig
+        from ..lmk import PressurePlan, install_pressure
+        from .pressure import _pressure_platform
+
+        platform = _pressure_platform(0.55)
+        rate = 0.01
+        relaunches: dict[str, int] = {}
+        kills: dict[str, int] = {}
+        injected_total = 0
+        consistent = True
+        for scheme in SCHEMES:
+            from ..sim import make_system
+            from .common import _SHARED_SIZES
+
+            system = make_system(
+                scheme, workload_trace(n_apps=5), platform=platform
+            )
+            system.ctx.sizes = _SHARED_SIZES
+            fault_plan = FaultPlan(
+                seed=DEFAULT_SEED,
+                read_error_rate=rate,
+                write_error_rate=rate,
+                bitflip_rate=rate / 10.0,
+            )
+            install_fault_plan(system.ctx, fault_plan)
+            pressure_plan = PressurePlan(PressureConfig(
+                policy="hybrid",
+                some_threshold=0.02,
+                full_threshold=0.10,
+                kswapd_boost_max=3,
+            ))
+            install_pressure(system, pressure_plan)
+            result = run_light_scenario(system, duration_s=_DURATION_S)
+            relaunches[scheme] = len(result.relaunches)
+            kills[scheme] = system.ctx.counters.get("lmk_kills")
+            injected_total += sum(fault_plan.injected().values())
+            consistent = consistent and bool(
+                fault_plan.ledger(system.ctx.counters)["consistent"]
+            ) and bool(
+                pressure_plan.ledger(system.ctx.counters)["consistent"]
+            )
+        return {
+            "fault_rate": rate,
+            "relaunches": relaunches,
+            "kills": kills,
+            "injected_total": injected_total,
+            "consistent": consistent,
+        }
+
     def merge(
-        self, cell_results: dict[str, ChaosCell], quick: bool = False
+        self, cell_results: dict, quick: bool = False
     ) -> ChaosResult:
         ordered = self._ordered(cell_results, quick)
-        return ChaosResult(cells=list(ordered.values()))
+        combined = ordered.pop("combined", None)
+        return ChaosResult(cells=list(ordered.values()), combined=combined)

@@ -1,0 +1,316 @@
+"""Pressure sweep: the memory-pressure lifecycle under shrinking DRAM.
+
+Not a paper figure — a robustness experiment for the reproduction
+itself: it sweeps RAM headroom (DRAM as a fraction of the workload's
+anonymous footprint) against the low-memory policy (:mod:`repro.lmk`)
+and reports how each scheme degrades: kill counts, the relaunch-latency
+distribution (cold relaunches pay ``process_create_ns``), and the
+pressure ledger that proves every kill, drop, and admission refusal
+traces back to a recorded decision.
+
+Three policies per headroom:
+
+- ``lmk`` — kill as soon as the PSI signal crosses ``full_threshold``
+  (classic Android lowmemorykiller);
+- ``swap`` — never kill; escalate kswapd and fall back to counted
+  chunk drops on hard exhaustion (compressed-swap-only);
+- ``hybrid`` — SWAM-style: escalate swap first, kill only once reclaim
+  boost is saturated and pressure still exceeds ``full_threshold``.
+
+The ``off`` cell is the experiment's own bit-identity witness: each
+scheme runs the standard scenario twice — once with no plan installed,
+once with an inert plan (thresholds pinned to 1.0, boost capped at 1)
+— and asserts the relaunch latencies and counters are identical, i.e.
+the pressure machinery costs nothing when it never fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import PlatformConfig, PressureConfig
+from ..lmk import PressurePlan, install_pressure
+from ..sim.scenario import run_light_scenario
+from .common import (
+    experiment_platform,
+    render_table,
+    workload_trace,
+)
+from .registry import Experiment, ExperimentResult, register
+
+#: DRAM budget as a fraction of the workload's anonymous footprint.
+#: The standard scenario platform sits at 0.92; the sweep tightens it.
+FULL_HEADROOMS = (0.85, 0.70, 0.55)
+QUICK_HEADROOMS = (0.55,)
+
+#: Low-memory policies swept at each headroom.
+POLICIES = ("lmk", "swap", "hybrid")
+
+#: Schemes each cell runs (the DRAM baseline tracks no free-memory
+#: budget, so a pressure plan cannot install on it).
+SCHEMES = ("Ariadne", "SWAP", "ZRAM")
+
+#: Scenario length (simulated seconds of app switching) per system.
+_DURATION_S = 25.0
+_QUICK_DURATION_S = 10.0
+
+#: The sweep's pressure thresholds.  More trigger-happy than the
+#: :class:`~repro.core.config.PressureConfig` defaults so the tightest
+#: headroom demonstrably kills under ``lmk``/``hybrid`` within the
+#: scenario length (CI asserts exactly that).
+_SOME_THRESHOLD = 0.02
+_FULL_THRESHOLD = 0.10
+_BOOST_MAX = 3
+
+#: The inert plan for the ``off`` cell: thresholds no PSI sample can
+#: exceed and a boost cap of 1, so no hook ever changes behavior.
+_INERT = PressureConfig(
+    policy="hybrid",
+    some_threshold=1.0,
+    full_threshold=1.0,
+    kswapd_boost_max=1,
+)
+
+
+def _headroom_key(headroom: float) -> str:
+    return f"h{round(headroom * 100)}"
+
+
+def _sweep_keys(quick: bool) -> list[str]:
+    headrooms = QUICK_HEADROOMS if quick else FULL_HEADROOMS
+    return [
+        f"{_headroom_key(h)}-{policy}" for h in headrooms
+        for policy in POLICIES
+    ]
+
+
+def _pressure_platform(headroom: float) -> PlatformConfig:
+    trace = workload_trace(n_apps=5)
+    total = sum(app.total_bytes() for app in trace.apps)
+    base = experiment_platform(len(trace.apps))
+    return PlatformConfig(
+        dram_bytes=int(total * headroom),
+        zpool_bytes=base.zpool_bytes,
+        swap_bytes=base.swap_bytes,
+        scale=base.scale,
+        parallelism=base.parallelism,
+    )
+
+
+def _build(scheme_name: str, platform: PlatformConfig):
+    # Local import: sim imports core which is experiment-free, but
+    # keeping the experiment layer's system construction in one place
+    # (common._SHARED_SIZES) matters for cache behavior.
+    from ..sim import make_system
+    from .common import _SHARED_SIZES
+
+    system = make_system(scheme_name, workload_trace(n_apps=5),
+                         platform=platform)
+    system.ctx.sizes = _SHARED_SIZES
+    return system
+
+
+def _run_one(
+    scheme_name: str,
+    platform: PlatformConfig,
+    config: PressureConfig | None,
+    duration_s: float,
+):
+    """One scheme under one (platform, pressure-config); returns the
+    scenario result and the installed plan (``None`` when no config)."""
+    system = _build(scheme_name, platform)
+    plan = None
+    if config is not None:
+        plan = PressurePlan(config)
+        install_pressure(system, plan)
+    result = run_light_scenario(system, duration_s=duration_s)
+    return system, result, plan
+
+
+@dataclass
+class PressureCell:
+    """One (headroom, policy) point's measured outcome (picklable)."""
+
+    headroom: float
+    policy: str
+    kills: dict[str, int]                 # scheme -> lmk kills
+    cold_relaunches: dict[str, int]       # scheme -> cold (post-kill)
+    relaunches: dict[str, int]            # scheme -> count
+    mean_latency_ms: dict[str, float]     # scheme -> mean
+    p95_latency_ms: dict[str, float]      # scheme -> p95
+    ledger: dict[str, int]                # summed across schemes
+    ledger_consistent: bool               # every scheme's ledger held
+
+    @property
+    def kills_total(self) -> int:
+        return sum(self.kills.values())
+
+
+@dataclass
+class OffCell:
+    """The pressure-off identity check's outcome (picklable)."""
+
+    relaunches: dict[str, int]            # scheme -> count
+    mean_latency_ms: dict[str, float]     # scheme -> mean
+    bit_identical: bool                   # inert plan == no plan
+
+
+@dataclass
+class PressureResult(ExperimentResult):
+    """Degradation and kill accounting per (headroom, policy) point."""
+
+    off: OffCell
+    cells: list[PressureCell]
+
+    @property
+    def all_consistent(self) -> bool:
+        """Every cell's pressure ledger balanced."""
+        return all(cell.ledger_consistent for cell in self.cells)
+
+    def render(self) -> str:
+        rows = [[
+            "off", "-",
+            *[f"{self.off.mean_latency_ms.get(s, 0.0):.1f}" for s in SCHEMES],
+            "0", "0", "0",
+            "identical" if self.off.bit_identical else "DRIFTED",
+        ]]
+        for cell in self.cells:
+            rows.append([
+                f"{cell.headroom:g}",
+                cell.policy,
+                *[f"{cell.mean_latency_ms.get(s, 0.0):.1f}" for s in SCHEMES],
+                str(cell.kills_total),
+                str(cell.ledger.get("pressure_overflow_drops", 0)),
+                str(cell.ledger.get("pressure_admission_refusals", 0)),
+                "yes" if cell.ledger_consistent else "NO",
+            ])
+        table = render_table(
+            "Pressure sweep: relaunch latency (mean ms) vs RAM headroom",
+            ["Headroom", "Policy", *SCHEMES, "Kills", "Drops", "Refused",
+             "Ledger"],
+            rows,
+        )
+        verdict = (
+            "every kill, drop, and refusal traces to a recorded decision"
+            if self.all_consistent and self.off.bit_identical
+            else "LEDGER INCONSISTENT or pressure-off run drifted"
+        )
+        return f"{table}\n{verdict}"
+
+
+@register
+class Pressure(Experiment):
+    """Headroom x policy sweep with kill-ledger verification."""
+
+    id = "pressure"
+    title = "Memory-pressure sweep (LMK / swap-only / hybrid)"
+    anchor = "robustness"
+    sharded = True
+
+    def cell_keys(self, quick: bool = False) -> list[str]:
+        return ["off", *_sweep_keys(quick)]
+
+    def run_cell(self, key: str, quick: bool = False):
+        """Run one cell: the off-identity check or one sweep point.
+
+        Cells are independent by construction — each builds its own
+        systems and its own :class:`PressurePlan` per scheme, and the
+        plan is deterministic (no RNG), so the sweep is identical
+        across job counts and completion orders.
+        """
+        self._require_cell(key, quick)
+        duration = _QUICK_DURATION_S if quick else _DURATION_S
+        if key == "off":
+            return self._run_off(duration)
+        head_key, policy = key.split("-", 1)
+        headrooms = QUICK_HEADROOMS if quick else FULL_HEADROOMS
+        headroom = next(
+            h for h in headrooms if _headroom_key(h) == head_key
+        )
+        return self._run_sweep_point(headroom, policy, duration)
+
+    def _run_off(self, duration: float) -> OffCell:
+        """Pressure-off identity: an inert plan changes nothing."""
+        platform = _pressure_platform(0.92)
+        relaunches: dict[str, int] = {}
+        mean_ms: dict[str, float] = {}
+        identical = True
+        for scheme in SCHEMES:
+            _, bare_result, _ = _run_one(scheme, platform, None, duration)
+            inert_sys, inert_result, _ = _run_one(
+                scheme, platform, _INERT, duration
+            )
+            bare = [r.latency_ns for r in bare_result.relaunches]
+            inert = [r.latency_ns for r in inert_result.relaunches]
+            identical = identical and bare == inert
+            count = len(bare)
+            relaunches[scheme] = count
+            mean_ms[scheme] = (
+                sum(bare) / count / 1e6 if count else 0.0
+            )
+            # The inert plan may sample PSI (pure observation); every
+            # *behavioral* counter must agree with the bare run.
+            for name in ("lmk_kills", "pressure_boost_evictions",
+                         "pressure_overflow_drops",
+                         "pressure_admission_refusals"):
+                identical = identical and (
+                    inert_sys.ctx.counters.get(name) == 0
+                )
+        return OffCell(
+            relaunches=relaunches,
+            mean_latency_ms=mean_ms,
+            bit_identical=identical,
+        )
+
+    def _run_sweep_point(
+        self, headroom: float, policy: str, duration: float
+    ) -> PressureCell:
+        platform = _pressure_platform(headroom)
+        config = PressureConfig(
+            policy=policy,
+            some_threshold=_SOME_THRESHOLD,
+            full_threshold=_FULL_THRESHOLD,
+            kswapd_boost_max=_BOOST_MAX,
+        )
+        kills: dict[str, int] = {}
+        cold: dict[str, int] = {}
+        relaunches: dict[str, int] = {}
+        mean_ms: dict[str, float] = {}
+        p95_ms: dict[str, float] = {}
+        ledger: dict[str, int] = {}
+        consistent = True
+        for scheme in SCHEMES:
+            system, result, plan = _run_one(
+                scheme, platform, config, duration
+            )
+            cell_ledger = plan.ledger(system.ctx.counters)
+            consistent = consistent and bool(cell_ledger.pop("consistent"))
+            for name, value in cell_ledger.items():
+                ledger[name] = ledger.get(name, 0) + value
+            kills[scheme] = system.ctx.counters.get("lmk_kills")
+            cold[scheme] = system.ctx.counters.get("lmk_cold_relaunches")
+            latencies = sorted(r.latency_ms for r in result.relaunches)
+            count = len(latencies)
+            relaunches[scheme] = count
+            mean_ms[scheme] = sum(latencies) / count if count else 0.0
+            p95_ms[scheme] = (
+                latencies[int(0.95 * (count - 1))] if count else 0.0
+            )
+        return PressureCell(
+            headroom=headroom,
+            policy=policy,
+            kills=kills,
+            cold_relaunches=cold,
+            relaunches=relaunches,
+            mean_latency_ms=mean_ms,
+            p95_latency_ms=p95_ms,
+            ledger=ledger,
+            ledger_consistent=consistent,
+        )
+
+    def merge(
+        self, cell_results: dict, quick: bool = False
+    ) -> PressureResult:
+        ordered = self._ordered(cell_results, quick)
+        off = ordered.pop("off")
+        return PressureResult(off=off, cells=list(ordered.values()))

@@ -216,16 +216,25 @@ _events = None
 
 
 def _worker_init(event_queue) -> None:
-    """Pool initializer: register the event channel, ignore SIGINT.
+    """Pool initializer: register the event channel, reset signals.
 
     Workers ignore SIGINT so a Ctrl-C lands only in the parent, which
     shuts the pool down deliberately (terminate + structured partial
     results) instead of every process racing its own traceback.
+
+    SIGTERM must go back to the default action: workers fork after the
+    parent installs its own SIGTERM->KeyboardInterrupt handler, and
+    ``pool.terminate()`` delivers SIGTERM to every worker.  With the
+    inherited handler a worker raises KeyboardInterrupt at an arbitrary
+    bytecode — possibly while holding the shared task-queue lock — and
+    a sibling then blocks on that lock forever, deadlocking the
+    parent's ``pool.join()``.
     """
     global _events
     _events = event_queue
     try:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
     except (ValueError, OSError):  # non-main thread / exotic platforms
         pass
 

@@ -1,0 +1,299 @@
+"""Memory-pressure lifecycle: PSI signal, kswapd escalation, and a
+deterministic low-memory killer.
+
+The simulator's reclaim loop (PR 6's fault layer notwithstanding) never
+killed anything: apps only relaunched on script, and an allocation that
+outran the zpool was an unmodeled edge.  This module adds the lifecycle
+the SWAM paper (PAPERS.md) studies:
+
+- :class:`PressurePlan` — a per-system pressure controller.  Each kswapd
+  wakeup it samples a PSI-style "some" signal: the fraction of the
+  elapsed window the workload spent stalled on reclaim (direct-reclaim
+  stall charged by ``_make_room``) plus the refault cost of pages
+  faulted back from swap.  Rising pressure escalates kswapd's reclaim
+  batch (``kswapd_boost``); pressure above ``full_threshold`` arms the
+  killer under the ``lmk``/``hybrid`` policies.
+- A deterministic oom-score victim selection: ``priority_weight *
+  class_score + recency_weight * lru_age`` with the app class from
+  :data:`~repro.workload.profiles.OOM_CLASS_SCORES` and the LRU age from
+  the scheme's app-recency order (least-recently-used = oldest = most
+  killable; ties resolve to the least-recently-used candidate).  The
+  foreground app is never killed and ``min_resident_apps`` live apps
+  always survive.
+- Hard-exhaustion fallbacks: when reclaim finds no victims or the zpool
+  refuses an allocation, the installed plan turns the former unhandled
+  error into an emergency kill (``lmk``/``hybrid``), a counted oldest-
+  chunk drop (``swap``), or a counted admission refusal — all audited by
+  :mod:`repro.audit` and cross-checked by :meth:`PressurePlan.ledger`.
+
+Everything is deterministic — no RNG, no wall clock — and without an
+installed plan every scheme hook is a single ``is None`` test, keeping
+pressure-off runs bit-identical to main (pinned by the goldens).
+"""
+
+from __future__ import annotations
+
+from .core.config import PressureConfig
+from .metrics import KSWAPD, pressure_summary
+from .units import PAGE_SIZE
+from .workload.profiles import OOM_CLASS_SCORES
+
+
+class PressurePlan:
+    """Deterministic pressure controller for one scheme/system.
+
+    Create one per simulated system (it accumulates window state), bind
+    it with :func:`install_pressure`, and read the decision/counter
+    cross-check from :meth:`ledger` at the end of the run.
+    """
+
+    def __init__(self, config: PressureConfig | None = None) -> None:
+        self.config = config if config is not None else PressureConfig()
+        #: Current kswapd reclaim-batch multiplier (1 = no escalation).
+        self.kswapd_boost = 1
+        #: PSI value of the most recent completed sample window.
+        self.last_psi = 0.0
+        self._window_stall_ns = 0
+        self._window_refaults = 0
+        self._last_sample_ns: int | None = None
+        self._app_classes: dict[int, str] = {}
+        self._killed_uids: set[int] = set()
+        self._system = None
+        #: Decision tally, cross-checked against the executed-outcome
+        #: counters by :meth:`ledger` — every kill/drop/refusal the
+        #: counters report must trace back to a decision made here.
+        self._decisions = {
+            "proactive_kills": 0,
+            "emergency_kills": 0,
+            "overflow_drops": 0,
+            "admission_refusals": 0,
+        }
+
+    # ------------------------------------------------------------- binding
+
+    def bind(self, system) -> None:
+        """Attach to a :class:`~repro.sim.system.MobileSystem`: harvest
+        app classes from its profiles and track kill/relaunch state."""
+        self._system = system
+        for live in system.apps:
+            profile = live.trace.profile
+            self._app_classes[profile.uid] = profile.app_class
+
+    def set_app_class(self, uid: int, app_class: str) -> None:
+        """Declare an app's kill-priority class (systemless unit tests)."""
+        if app_class not in OOM_CLASS_SCORES:
+            raise ValueError(
+                f"unknown app class {app_class!r}; known: "
+                f"{sorted(OOM_CLASS_SCORES)}"
+            )
+        self._app_classes[uid] = app_class
+
+    # ------------------------------------------------------ signal plumbing
+
+    def note_stall(self, ns: int) -> None:
+        """Direct-reclaim stall charged inside the sample window."""
+        self._window_stall_ns += ns
+
+    def note_refault(self, pages: int) -> None:
+        """Pages faulted back from swap inside the sample window."""
+        self._window_refaults += pages
+
+    # ------------------------------------------------------------- sampling
+
+    def on_kswapd(self, scheme) -> None:
+        """Per-wakeup hook: sample PSI, escalate, maybe kill, boost."""
+        self._sample(scheme)
+        self._boost_reclaim(scheme)
+
+    def _sample(self, scheme) -> None:
+        ctx = scheme.ctx
+        now = ctx.clock.now_ns
+        if self._last_sample_ns is None:
+            self._last_sample_ns = now
+            return
+        window_ns = now - self._last_sample_ns
+        if window_ns <= 0:
+            return  # clock did not advance; fold into the next window
+        self._last_sample_ns = now
+        platform = ctx.platform
+        # Refaults stall the app for the fault-path cost; like the
+        # schemes' own stall accounting, divide by the parallelism that
+        # hides it.  Stall ns are already post-division.
+        refault_ns = (
+            self._window_refaults * platform.fault_overhead_ns * platform.scale
+        ) // platform.parallelism
+        psi = min(1.0, (self._window_stall_ns + refault_ns) / window_ns)
+        self.last_psi = psi
+        self._window_stall_ns = 0
+        self._window_refaults = 0
+        ctx.counters.incr("pressure_samples")
+        cfg = self.config
+        if psi >= cfg.some_threshold:
+            if self.kswapd_boost < cfg.kswapd_boost_max:
+                self.kswapd_boost += 1
+                ctx.counters.incr("pressure_escalations")
+        elif self.kswapd_boost > 1:
+            self.kswapd_boost -= 1
+        if psi >= cfg.full_threshold and cfg.policy in ("lmk", "hybrid"):
+            if (
+                cfg.policy == "hybrid"
+                and self.kswapd_boost < cfg.kswapd_boost_max
+            ):
+                # SWAM-style: shed load through swap first; kill only
+                # once reclaim escalation is already saturated.
+                return
+            uid = self.select_victim(scheme)
+            if uid is not None:
+                self._decisions["proactive_kills"] += 1
+                self._execute_kill(scheme, uid)
+
+    def _boost_reclaim(self, scheme) -> None:
+        """Escalated kswapd batch: reclaim ahead of the high watermark."""
+        if self.kswapd_boost <= 1:
+            return
+        ctx = scheme.ctx
+        platform = ctx.platform
+        extra_pages = (self.kswapd_boost - 1) * platform.kswapd_batch_pages
+        # The bigger batch also shrinks the file LRU proportionally.
+        file_ns = platform.file_writeback_ns * extra_pages * platform.scale
+        scheme._charge(KSWAPD, "file_writeback", file_ns)
+        ctx.counters.incr("file_pages_written", extra_pages)
+        target = platform.high_watermark_bytes + extra_pages * PAGE_SIZE
+        evicted = 0
+        while scheme.free_dram_bytes() < target and evicted < extra_pages:
+            victim = scheme._pop_victim()
+            if victim is None:
+                break
+            scheme._evict(victim, KSWAPD)
+            evicted += 1
+        if evicted:
+            ctx.counters.incr("pressure_boost_evictions", evicted)
+
+    # ------------------------------------------------------ victim selection
+
+    def oom_score(self, scheme, uid: int, lru_age: int) -> float:
+        """The kill priority: class score weighted against LRU age."""
+        cfg = self.config
+        app_class = self._app_classes.get(uid, "cached")
+        return (
+            cfg.oom_priority_weight * OOM_CLASS_SCORES[app_class]
+            + cfg.oom_recency_weight * lru_age
+        )
+
+    def select_victim(self, scheme) -> int | None:
+        """Highest-oom-score killable app, or ``None``.
+
+        Never the foreground app; never an app with nothing to free;
+        never below ``min_resident_apps`` surviving apps.  Ties resolve
+        to the least-recently-used candidate (iteration order), so the
+        choice is deterministic.
+        """
+        lru_order = list(scheme._app_lru)  # first = least recently used
+        alive = [uid for uid in lru_order if not self._app_killed(uid)]
+        if len(alive) <= self.config.min_resident_apps:
+            return None
+        n = len(lru_order)
+        best_uid: int | None = None
+        best_score = 0.0
+        for index, uid in enumerate(lru_order):
+            if uid == scheme._foreground_uid:
+                continue
+            if not scheme.app_has_reclaimable(uid):
+                continue
+            score = self.oom_score(scheme, uid, n - 1 - index)
+            if best_uid is None or score > best_score:
+                best_uid, best_score = uid, score
+        return best_uid
+
+    def _app_killed(self, uid: int) -> bool:
+        if self._system is not None:
+            return self._system.app_killed(uid)
+        return uid in self._killed_uids
+
+    def _execute_kill(self, scheme, uid: int) -> None:
+        self._killed_uids.add(uid)
+        scheme.terminate_app(uid)
+        if self._system is not None:
+            self._system.mark_killed(uid)
+
+    # --------------------------------------------------- exhaustion fallbacks
+
+    def zpool_relief(self, scheme) -> bool:
+        """zpool-overflow response when this plan is installed.
+
+        Lossless relief first (Ariadne's cold-first writeback); only
+        when nothing non-destructive remains does the policy's lossy
+        step run — so an installed killer never costs data a writeback
+        could have saved.
+        """
+        if scheme._relieve_zpool_lossless():
+            return True
+        return self.emergency_relief(scheme)
+
+    def emergency_relief(self, scheme) -> bool:
+        """Free memory when reclaim is out of victims; returns progress.
+
+        ``lmk``/``hybrid`` kill the best oom-score victim; ``swap`` (and
+        the kill policies once no app is killable) falls back to a
+        counted oldest-chunk drop.  ``False`` means the plan could not
+        help and the caller's original error stands.
+        """
+        if self.config.policy in ("lmk", "hybrid"):
+            uid = self.select_victim(scheme)
+            if uid is not None:
+                self._decisions["emergency_kills"] += 1
+                self._execute_kill(scheme, uid)
+                return True
+        if scheme._drop_oldest_chunk():
+            self._decisions["overflow_drops"] += 1
+            scheme.ctx.counters.incr("pressure_overflow_drops")
+            return True
+        return False
+
+    def note_refusal(self, pages: int) -> None:
+        """A zpool admission was refused (the scheme counts the pages)."""
+        self._decisions["admission_refusals"] += 1
+
+    # --------------------------------------------------------------- ledger
+
+    def ledger(self, counters) -> dict:
+        """Decision-vs-outcome cross-check (cf. ``FaultPlan.ledger``).
+
+        ``consistent`` holds when every executed kill traces to a
+        pressure event or exhaustion fallback decided here, every cold
+        relaunch traces to a kill, and drop/refusal counts match their
+        decisions exactly.
+        """
+        summary = pressure_summary(counters)
+        decided_kills = (
+            self._decisions["proactive_kills"]
+            + self._decisions["emergency_kills"]
+        )
+        consistent = (
+            summary["lmk_kills"] == decided_kills
+            and summary["lmk_cold_relaunches"] <= summary["lmk_kills"]
+            and summary["pressure_overflow_drops"]
+            == self._decisions["overflow_drops"]
+            and summary["pressure_admission_refusals"]
+            == self._decisions["admission_refusals"]
+        )
+        return {
+            **self._decisions,
+            **summary,
+            "consistent": consistent,
+        }
+
+
+def install_pressure(system, plan: PressurePlan) -> bool:
+    """Wire ``plan`` into ``system``'s scheme; returns whether it took.
+
+    The DRAM baseline tracks no free-memory budget (nothing to reclaim,
+    nothing to kill for), so installation is a no-op there — exactly
+    like the scheme's other pressure-dependent machinery.
+    """
+    scheme = system.scheme
+    if not scheme.tracks_free_dram:
+        return False
+    plan.bind(system)
+    scheme._pressure = plan
+    return True

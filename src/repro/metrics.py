@@ -121,6 +121,36 @@ def recovery_summary(counters: "Counters | dict[str, int]") -> dict[str, int]:
     return {name: counters.get(name) for name in FAULT_COUNTERS}
 
 
+#: Memory-pressure lifecycle counters maintained by the schemes and the
+#: low-memory killer (see :mod:`repro.lmk`).  All stay zero without an
+#: installed pressure plan; :func:`pressure_summary` snapshots them.
+PRESSURE_COUNTERS = (
+    # Signal-side: PSI sampling and kswapd escalation.
+    "pressure_samples",
+    "pressure_escalations",
+    "pressure_boost_evictions",
+    # Killer outcomes (executed teardowns).
+    "lmk_kills",
+    "lmk_pages_killed",
+    "lmk_cold_relaunches",
+    # Hard-exhaustion fallbacks.
+    "pressure_overflow_drops",
+    "pressure_admission_refusals",
+    "pressure_pages_refused",
+)
+
+
+def pressure_summary(counters: "Counters | dict[str, int]") -> dict[str, int]:
+    """Snapshot of the :data:`PRESSURE_COUNTERS` from a counter store.
+
+    Accepts a live :class:`Counters` or a plain counter dict, exactly
+    like :func:`recovery_summary`.
+    """
+    if isinstance(counters, dict):
+        return {name: counters.get(name, 0) for name in PRESSURE_COUNTERS}
+    return {name: counters.get(name) for name in PRESSURE_COUNTERS}
+
+
 class Counters:
     """Named integer event counters (compressions, faults, hits, ...)."""
 

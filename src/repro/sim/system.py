@@ -45,6 +45,9 @@ class LiveApp:
     pages: dict[int, Page]
     launched: bool = False
     next_session: int = 0
+    #: Set by the low-memory killer (:mod:`repro.lmk`); the next
+    #: relaunch is a cold launch charged ``process_create_ns``.
+    killed: bool = False
     relaunch_results: list[RelaunchResult] = field(default_factory=list)
     #: Memoized replay runs (see :meth:`access_run`).
     _access_runs: dict[tuple, AccessRun] = field(
@@ -113,6 +116,17 @@ class MobileSystem:
     def apps(self) -> list[LiveApp]:
         """All installed apps in trace order."""
         return [self._apps[t.uid] for t in self.trace.apps]
+
+    # ------------------------------------------------------- pressure lifecycle
+
+    def mark_killed(self, uid: int) -> None:
+        """Record a low-memory kill (called by an installed plan)."""
+        self._apps[uid].killed = True
+
+    def app_killed(self, uid: int) -> bool:
+        """Whether ``uid`` is dead (killed and not yet relaunched)."""
+        live = self._apps.get(uid)
+        return live is not None and live.killed
 
     # ----------------------------------------------------------------- launch
 
@@ -220,6 +234,16 @@ class MobileSystem:
             app_name=name, scheme_name=self.scheme.name, latency_ns=fixed_ns
         )
         result.breakdown.dram_ns += fixed_ns
+        if live.killed:
+            # The process was low-memory-killed: this relaunch re-creates
+            # it from scratch (Section 2.1 — process creation dominates
+            # cold launches).  Its data faults back through the lost-page
+            # path below, which charges the per-page cost.
+            create_ns = platform.process_create_ns
+            result.latency_ns += create_ns
+            result.breakdown.process_create_ns += create_ns
+            live.killed = False
+            self.ctx.counters.incr("lmk_cold_relaunches")
         # Batched replay: the summary's totals are exactly what the
         # per-access loop accumulated (per-page DRAM time is uniform, so
         # it distributes over the count), with no per-hit object churn.

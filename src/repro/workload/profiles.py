@@ -15,6 +15,19 @@ from dataclasses import dataclass
 
 from ..errors import ConfigError
 
+#: Android-oomd-style kill priority per app class: higher = more
+#: killable.  The low-memory killer (:mod:`repro.lmk`) weighs these
+#: against LRU recency; "cached" is the default for apps with no class.
+OOM_CLASS_SCORES: dict[str, int] = {
+    "system": 0,
+    "navigation": 3,
+    "social": 4,
+    "browser": 5,
+    "media": 6,
+    "game": 7,
+    "cached": 8,
+}
+
 
 @dataclass(frozen=True)
 class AppProfile:
@@ -40,6 +53,8 @@ class AppProfile:
         incompressible_fraction: Fraction of page fields holding
             high-entropy media/cipher data (drives per-app ratio spread).
         zero_page_fraction: Fraction of fully zero pages.
+        app_class: Kill-priority class (:data:`OOM_CLASS_SCORES` key)
+            consumed by the low-memory killer's oom-score formula.
     """
 
     name: str
@@ -55,8 +70,14 @@ class AppProfile:
     dram_relaunch_ms: float
     incompressible_fraction: float = 0.15
     zero_page_fraction: float = 0.06
+    app_class: str = "cached"
 
     def __post_init__(self) -> None:
+        if self.app_class not in OOM_CLASS_SCORES:
+            raise ConfigError(
+                f"{self.name}: app_class {self.app_class!r} not in "
+                f"{sorted(OOM_CLASS_SCORES)}"
+            )
         if self.anon_mb_10s <= 0 or self.anon_mb_5min < self.anon_mb_10s:
             raise ConfigError(
                 f"{self.name}: anon volumes must satisfy 0 < 10s <= 5min"
@@ -148,6 +169,7 @@ def _catalog() -> tuple[AppProfile, ...]:
             locality_p2=0.86, locality_p4=0.72,
             dram_relaunch_ms=68.0,
             incompressible_fraction=0.18,
+            app_class="media",
         ),
         AppProfile(
             name="Twitter", uid=2,
@@ -157,6 +179,7 @@ def _catalog() -> tuple[AppProfile, ...]:
             locality_p2=0.81, locality_p4=0.61,
             dram_relaunch_ms=60.0,
             incompressible_fraction=0.12,
+            app_class="social",
         ),
         AppProfile(
             name="Firefox", uid=3,
@@ -166,6 +189,7 @@ def _catalog() -> tuple[AppProfile, ...]:
             locality_p2=0.69, locality_p4=0.43,
             dram_relaunch_ms=95.0,
             incompressible_fraction=0.14,
+            app_class="browser",
         ),
         AppProfile(
             name="GEarth", uid=4,
@@ -175,6 +199,7 @@ def _catalog() -> tuple[AppProfile, ...]:
             locality_p2=0.77, locality_p4=0.54,
             dram_relaunch_ms=80.0,
             incompressible_fraction=0.22,
+            app_class="navigation",
         ),
         AppProfile(
             name="BangDream", uid=5,
@@ -184,6 +209,7 @@ def _catalog() -> tuple[AppProfile, ...]:
             locality_p2=0.61, locality_p4=0.33,
             dram_relaunch_ms=120.0,
             incompressible_fraction=0.30,
+            app_class="game",
         ),
         # --- the other five (no per-app numbers published; plausible) ------
         AppProfile(
@@ -194,6 +220,7 @@ def _catalog() -> tuple[AppProfile, ...]:
             locality_p2=0.80, locality_p4=0.60,
             dram_relaunch_ms=72.0,
             incompressible_fraction=0.22,
+            app_class="media",
         ),
         AppProfile(
             name="Edge", uid=7,
@@ -203,6 +230,7 @@ def _catalog() -> tuple[AppProfile, ...]:
             locality_p2=0.74, locality_p4=0.50,
             dram_relaunch_ms=65.0,
             incompressible_fraction=0.12,
+            app_class="browser",
         ),
         AppProfile(
             name="GoogleMaps", uid=8,
@@ -212,6 +240,7 @@ def _catalog() -> tuple[AppProfile, ...]:
             locality_p2=0.76, locality_p4=0.52,
             dram_relaunch_ms=85.0,
             incompressible_fraction=0.20,
+            app_class="navigation",
         ),
         AppProfile(
             name="AngryBirds", uid=9,
@@ -221,6 +250,7 @@ def _catalog() -> tuple[AppProfile, ...]:
             locality_p2=0.78, locality_p4=0.55,
             dram_relaunch_ms=75.0,
             incompressible_fraction=0.24,
+            app_class="game",
         ),
         AppProfile(
             name="TwitchTV", uid=10,
@@ -230,6 +260,7 @@ def _catalog() -> tuple[AppProfile, ...]:
             locality_p2=0.72, locality_p4=0.48,
             dram_relaunch_ms=70.0,
             incompressible_fraction=0.20,
+            app_class="media",
         ),
     )
 

@@ -86,6 +86,10 @@ class Zpool:
         self._next_sector_by_lane: dict[int, int] = {}
         self._used_bytes = 0
         self._payload_bytes = 0
+        #: Live entries per size class (class_bytes -> count), maintained
+        #: on every store/free; :meth:`audit_class_tally` recomputes it
+        #: from the entries for the runtime auditor's cross-check.
+        self._class_tally: dict[int, int] = {}
         #: Byte-delta listeners, called as ``fn(delta)`` after every
         #: occupancy change (positive on store, negative on free) — the
         #: same incremental-accounting protocol as
@@ -113,6 +117,17 @@ class Zpool:
     def audit_used_bytes(self) -> int:
         """From-scratch recompute of :attr:`used_bytes` (invariant checks)."""
         return sum(entry.class_bytes for entry in self._entries.values())
+
+    def class_tally(self) -> dict[int, int]:
+        """Live entry count per size class (maintained counter, copied)."""
+        return dict(self._class_tally)
+
+    def audit_class_tally(self) -> dict[int, int]:
+        """From-scratch recompute of :meth:`class_tally` from the entries."""
+        tally: dict[int, int] = {}
+        for entry in self._entries.values():
+            tally[entry.class_bytes] = tally.get(entry.class_bytes, 0) + 1
+        return tally
 
     @property
     def free_bytes(self) -> int:
@@ -159,6 +174,9 @@ class Zpool:
         self._by_sector[entry.sector] = entry.handle
         self._used_bytes += class_bytes
         self._payload_bytes += payload_bytes
+        self._class_tally[class_bytes] = (
+            self._class_tally.get(class_bytes, 0) + 1
+        )
         self.stores += 1
         if self._used_bytes > self.peak_used_bytes:
             self.peak_used_bytes = self._used_bytes
@@ -174,6 +192,11 @@ class Zpool:
         del self._by_sector[entry.sector]
         self._used_bytes -= entry.class_bytes
         self._payload_bytes -= entry.payload_bytes
+        remaining = self._class_tally.get(entry.class_bytes, 0) - 1
+        if remaining > 0:
+            self._class_tally[entry.class_bytes] = remaining
+        else:
+            self._class_tally.pop(entry.class_bytes, None)
         self.frees += 1
         if self._listeners:
             self._notify(-entry.class_bytes)

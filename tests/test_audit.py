@@ -160,3 +160,60 @@ class TestPlantedDrift:
         organizer.remove_page(page)  # forgotten re-add after a touch
         with pytest.raises(InvariantViolationError, match="LRU"):
             InvariantAuditor().audit(warmed)
+
+    def test_catches_zpool_class_tally_drift(self, warmed):
+        # A free that forgot to decrement its size class's count.
+        zpool = warmed.ctx.zpool
+        cls = next(iter(zpool._class_tally))
+        zpool._class_tally[cls] += 1
+        with pytest.raises(
+            InvariantViolationError, match="size-class tally drifted"
+        ):
+            InvariantAuditor().audit(warmed)
+
+    def test_catches_zpool_class_tally_missing_class(self, warmed):
+        # A store that forgot to count its class entirely.
+        zpool = warmed.ctx.zpool
+        cls = next(iter(zpool._class_tally))
+        del zpool._class_tally[cls]
+        with pytest.raises(
+            InvariantViolationError, match="size-class tally drifted"
+        ):
+            InvariantAuditor().audit(warmed)
+
+    @pytest.fixture()
+    def swap_warmed(self, tiny_trace):
+        system = build_tiny("SWAP", tiny_trace)
+        run_light_scenario(system, duration_s=2.0)
+        scheme = system.scheme
+        assert scheme.ctx.flash_swap._slots  # the drift tests need slots
+        return scheme
+
+    def test_swap_clean_state_passes(self, swap_warmed):
+        InvariantAuditor().audit(swap_warmed)
+
+    def test_catches_leaked_swap_slot(self, swap_warmed):
+        # A chunk drop that forgot to free its slot: the slot is live
+        # in the area but no chunk owns it.
+        area = swap_warmed.ctx.flash_swap
+        slot_id = next(iter(area._slots))
+        chunk = next(
+            c for c in swap_warmed._chunks.values()
+            if c.flash_slot == slot_id
+        )
+        del swap_warmed._chunks[chunk.chunk_id]
+        with pytest.raises(InvariantViolationError, match="leak"):
+            InvariantAuditor()._audit_swap_slots(swap_warmed)
+
+    def test_catches_double_freed_swap_slot(self, swap_warmed):
+        # A slot freed while a chunk still references it: that chunk's
+        # next fault would read freed storage.
+        area = swap_warmed.ctx.flash_swap
+        slot_id = next(
+            c.flash_slot
+            for c in swap_warmed._chunks.values()
+            if c.in_flash and c.flash_slot is not None
+        )
+        del area._slots[slot_id]
+        with pytest.raises(InvariantViolationError, match="double free"):
+            InvariantAuditor().audit(swap_warmed)

@@ -13,7 +13,7 @@ def test_registry_covers_every_table_and_figure():
     expected = {
         "table1", "fig2", "fig3", "table2", "fig4", "fig5", "fig6",
         "table3", "platform", "fig10", "fig11", "fig12", "fig13",
-        "fig14", "fig15", "chaos",
+        "fig14", "fig15", "chaos", "pressure",
     }
     assert set(experiment_ids()) == expected
 

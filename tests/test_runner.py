@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import json
 import os
+import signal
 import time
 from dataclasses import dataclass, field
 
@@ -81,6 +83,33 @@ class _FakeShardedCrashing(_FakeSharded):
         if key == "die" and os.getpid() != _MAIN_PID:
             os._exit(41)  # simulated segfault/OOM-kill: no cleanup, no result
         return super().run_cell(key, quick)
+
+
+class _FakeBlocking(Experiment):
+    """Unsharded spec that never finishes (module-level: fork-visible).
+
+    When ``REPRO_TEST_SIGTERM_TARGET`` names a pid and this spec's id
+    ends in ``-a``, it SIGTERMs that pid first — modelling an operator
+    interrupting a suite mid-flight.  Every instance then blocks, so no
+    task can ever complete and the whole suite must resolve as
+    ``"interrupted"`` — on the in-process path (the signal lands inside
+    the parent's own ``compute``) and the pool path (it lands while
+    workers hold every task) alike.
+    """
+
+    title = "fake blocking experiment"
+    anchor = "Test"
+
+    def __init__(self, id_: str) -> None:
+        self.id = id_
+
+    def compute(self, quick: bool = False) -> _FakeResult:
+        target = os.environ.get("REPRO_TEST_SIGTERM_TARGET")
+        if target:
+            if self.id.endswith("-a"):
+                os.kill(int(target), signal.SIGTERM)
+            time.sleep(30)  # the interrupt always wins
+        return _FakeResult({})
 
 
 @pytest.fixture()
@@ -337,6 +366,42 @@ class TestFailurePaths:
     def test_negative_retries_rejected(self):
         with pytest.raises(ValueError, match="task_retries"):
             run_experiments(["platform"], jobs=2, task_retries=-1)
+
+
+class TestInterruptDeterminism:
+    """A SIGTERM mid-suite yields the same structured errors document
+    no matter how many workers the interrupted run was using."""
+
+    @staticmethod
+    def _errors_doc(outcomes) -> str:
+        # Exactly the CLI's --json errors section: every failure, sorted
+        # the way __main__ sorts before serializing.
+        failures = [f.to_json() for o in outcomes for f in o.failures]
+        failures.sort(
+            key=lambda f: (f["experiment"], f["cell"] or "", f["kind"])
+        )
+        return json.dumps(failures, indent=2, sort_keys=True)
+
+    def test_sigterm_errors_identical_across_job_counts(self, monkeypatch):
+        names = ["fake-a", "fake-b", "fake-c"]
+        for name in names:
+            monkeypatch.setitem(
+                registry._REGISTRY, name, _FakeBlocking(name)
+            )
+        monkeypatch.setenv("REPRO_TEST_SIGTERM_TARGET", str(os.getpid()))
+        docs = {}
+        for jobs in (1, 4):
+            outcomes = run_experiments(names, jobs=jobs)
+            assert [o.name for o in outcomes] == names
+            assert not any(o.ok for o in outcomes)
+            assert all(
+                f.kind == "interrupted"
+                for o in outcomes for f in o.failures
+            )
+            docs[jobs] = self._errors_doc(outcomes)
+        assert docs[1] == docs[4]
+        rows = json.loads(docs[1])
+        assert [row["experiment"] for row in rows] == names
 
 
 class TestDefaultJobs:
