@@ -33,6 +33,7 @@ import time
 from repro.compression.chunking import SizeCache
 from repro.experiments.common import scenario_build, workload_trace
 from repro.faults import FaultPlan, install_fault_plan
+from repro.mem.columnar import resolve_core
 from repro.metrics import recovery_summary
 from repro.sim.scenario import run_heavy_scenario, run_light_scenario
 from repro.sim.system import SCHEME_NAMES
@@ -115,6 +116,31 @@ def profile(
         f"# epochs: {probed.epoch_skips} epoch-verified batch skips, "
         f"{probed.residency_probes} residency probes, "
         f"eviction_epoch {probed.eviction_epoch}"
+    )
+    # Which page-metadata core ran, and — under the columnar core — the
+    # kernel/journal counters aggregated over every app organizer, so a
+    # profile shows how much of the replay went through the vectorized
+    # paths (PR 8).
+    print(f"# core: {resolve_core()}")
+    stats: dict[str, int] = {}
+    for organizer in probed._organizers.values():
+        for key, value in getattr(organizer, "columnar_stats", dict)().items():
+            stats[key] = stats.get(key, 0) + value
+    if stats:
+        print(
+            f"# columnar: {stats['handles']} handles, "
+            f"{stats['kernel_batches']} kernel batches "
+            f"({stats['kernel_pages']} pages), "
+            f"{stats['journal_scans']} journal scans "
+            f"({stats['journal_candidates']} candidate handles)"
+        )
+    # Size-cache recency accounting: the digest-keyed run fast path
+    # stopped paying an LRU move per hit (PR 8) — ``lru_moves`` counts
+    # the moves still performed (single-payload front door), against the
+    # run hits that no longer pay one.
+    print(
+        f"# size cache: {sizes.run_hits} run-key hits without LRU move, "
+        f"{sizes.lru_moves} LRU moves on the payload path"
     )
     if plan is not None:
         # The recovery story at a glance: injections vs how the schemes

@@ -92,6 +92,7 @@ class InvariantAuditor:
         self._audit_free_dram(scheme)
         self._audit_nonresident_counts(scheme)
         self._audit_lru_membership(scheme)
+        self._audit_columnar(scheme)
         self._audit_zpool_classes(scheme)
         self._audit_swap_slots(scheme)
         self.audits_performed += 1
@@ -184,6 +185,21 @@ class InvariantAuditor:
                 f"apps {sorted(extra)} own non-resident pages but have no "
                 "non-resident counter entry"
             )
+
+    def _audit_columnar(self, scheme) -> None:
+        """Columnar organizers' struct-of-arrays state is self-consistent.
+
+        Under the columnar core (``repro.mem.columnar``) list membership
+        and recency live in flat columns; this delegates to each
+        organizer's ``audit_columnar_state`` cross-check (handle-table
+        bijectivity, per-list column census vs tracked counts, order/pos
+        linkage).  Object-core organizers have no columnar state and are
+        skipped — :meth:`_audit_lru_membership` already covered them.
+        """
+        for organizer in scheme._organizers.values():
+            check = getattr(organizer, "audit_columnar_state", None)
+            if check is not None:
+                check()
 
     def _audit_lru_membership(self, scheme) -> None:
         """Organizer LRU lists and DRAM residency agree exactly.

@@ -102,6 +102,14 @@ class SizeCache:
         )
         self.hits = 0
         self.misses = 0
+        #: Digest-keyed page-run hits served with *no* LRU bookkeeping
+        #: (the run cache evicts in FIFO order; see
+        #: :meth:`compressed_size_of_pages`).
+        self.run_hits = 0
+        #: ``move_to_end`` recency updates still performed (payload-
+        #: digest hits only) — the counter that proves the run-path
+        #: bookkeeping went away in ``benchmarks/profile_scenario.py``.
+        self.lru_moves = 0
 
     def compressed_size(
         self, codec: Compressor, data: bytes, chunk_size: int
@@ -113,6 +121,7 @@ class SizeCache:
         cached = self._cache.get(key)
         if cached is not None:
             self._cache.move_to_end(key)
+            self.lru_moves += 1
             self.hits += 1
             return cached
         self.misses += 1
@@ -135,15 +144,29 @@ class SizeCache:
         under the standard payload-digest key and numbers are
         unchanged.
         """
+        # Read the cached digest attribute directly (trace records
+        # pre-share theirs); only a test-built page without one pays the
+        # content_digest() call.  ~32 method dispatches saved per chunk
+        # on the eviction path.
         key = (
-            b"".join([page.content_digest() for page in pages]),
+            b"".join(
+                [
+                    page._content_digest or page.content_digest()
+                    for page in pages
+                ]
+            ),
             codec.name,
             chunk_size,
         )
         run_cache = self._page_run_cache
         cached = run_cache.get(key)
         if cached is not None:
-            run_cache.move_to_end(key)
+            # No move_to_end on the hit path: warm runs hit this line
+            # tens of thousands of times, and a cached size is the same
+            # whichever entry FIFO eviction drops, so recency
+            # bookkeeping here bought nothing (values are recomputable
+            # either way; numbers never depend on what is cached).
+            self.run_hits += 1
             self.hits += 1
             return cached
         data = b"".join([page.payload for page in pages])

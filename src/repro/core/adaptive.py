@@ -48,6 +48,16 @@ def gather_cold_group(
     goes through the scheme so the eviction-epoch layer sees every page
     that leaves DRAM.
     """
+    cold = organizer.cold
+    pop_run = getattr(cold, "pop_lru_run", None)
+    if pop_run is not None:
+        # Columnar core: one walk pops the whole group; the batched
+        # detach leaves the epoch/stamp state exactly where the
+        # per-page walk would (see ``_detach_pages``).
+        rest = pop_run(group_pages - 1)
+        organizer.list_operations += len(rest)
+        scheme._detach_pages(rest)
+        return [first, *rest]
     group = [first]
     while len(group) < group_pages and len(organizer.cold) > 0:
         page = organizer.cold.pop_lru()

@@ -20,7 +20,8 @@ Assembles the three techniques on top of the shared scheme machinery:
 from __future__ import annotations
 
 from ..errors import ChunkLostError, FlashFullError
-from ..mem.organizer import ActiveInactiveOrganizer, DataOrganizer, HotWarmColdOrganizer
+from ..mem.columnar import make_tri_list_organizer, make_two_list_organizer
+from ..mem.organizer import DataOrganizer, HotWarmColdOrganizer
 from ..mem.page import Hotness, Page, PageLocation
 from ..metrics import APP, KSWAPD, PREDECOMP, AccessBatchSummary, LatencyBreakdown
 from ..units import PAGE_SIZE
@@ -54,8 +55,8 @@ class AriadneScheme(SwapScheme):
     def _make_organizer(self, uid: int, hot_seed_limit: int) -> DataOrganizer:
         if not self.config.hotness_org_enabled:
             # Ablation: Ariadne's chunk/prefetch machinery on stock LRU.
-            return ActiveInactiveOrganizer(uid)
-        return HotWarmColdOrganizer(uid, hot_seed_limit=hot_seed_limit)
+            return make_two_list_organizer(uid)
+        return make_tri_list_organizer(uid, hot_seed_limit)
 
     def end_launch(self, uid: int) -> None:
         organizer = self.organizer(uid)
@@ -103,17 +104,23 @@ class AriadneScheme(SwapScheme):
         """Global eviction order (Section 4.2): the cold data of *all*
         applications goes first, then warm, and only then hot — within a
         level, least-recently-switched apps first, foreground last."""
-        candidates = [uid for uid in self._app_lru if uid != self._foreground_uid]
-        if self._foreground_uid is not None:
-            candidates.append(self._foreground_uid)
+        fg = self._foreground_uid
+        candidates = [uid for uid in self._app_lru if uid != fg]
+        if fg is not None:
+            candidates.append(fg)
+        organizers = self._organizers
+        hwc = [
+            org
+            for uid in candidates
+            if isinstance(org := organizers.get(uid), HotWarmColdOrganizer)
+        ]
         for level in (Hotness.COLD, Hotness.WARM, Hotness.HOT):
-            for uid in candidates:
-                organizer = self._organizers.get(uid)
-                if not isinstance(organizer, HotWarmColdOrganizer):
+            for organizer in hwc:
+                lru = organizer.level_list(level)
+                if not len(lru):
                     continue
-                if organizer.level_population(level) == 0:
-                    continue
-                page = organizer.pop_victim_from_level(level)
+                organizer.list_operations += 1
+                page = lru.pop_lru()
                 self._detach_page(page)
                 self._victim_levels[page.pfn] = level
                 return page

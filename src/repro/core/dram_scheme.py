@@ -9,7 +9,8 @@ fixed per-batch charge whenever the system gives kswapd a turn.
 
 from __future__ import annotations
 
-from ..mem.organizer import ActiveInactiveOrganizer, DataOrganizer
+from ..mem.columnar import make_two_list_organizer
+from ..mem.organizer import DataOrganizer
 from ..mem.page import Page
 from ..metrics import APP, KSWAPD, AccessBatchSummary
 from .context import SchemeContext
@@ -40,7 +41,7 @@ class DramScheme(SwapScheme):
         self.pressure_budget_bytes = pressure_budget_bytes
 
     def _make_organizer(self, uid: int, hot_seed_limit: int) -> DataOrganizer:
-        return ActiveInactiveOrganizer(uid)
+        return make_two_list_organizer(uid)
 
     def free_dram_bytes(self) -> int:
         """The optimistic assumption: memory never runs out."""

@@ -37,6 +37,7 @@ from ..errors import (
     PermanentFlashError,
     TransientFlashError,
 )
+from ..mem.columnar import ColumnarOrganizerMixin
 from ..mem.organizer import DataOrganizer
 from ..mem.page import Hotness, Page, PageLocation
 from ..metrics import (
@@ -146,9 +147,13 @@ class SwapScheme(ABC):
         #: keeps every pressure hook a single ``is None`` test, so
         #: pressure-off runs stay bit-identical.
         self._pressure = None
-        #: (uid, ground-truth hotness) per page in compression order
-        #: (the Figure 4 measurement).
-        self.compression_log: list[tuple[int, Hotness]] = []
+        #: Page runs in compression order, expanded lazily by
+        #: :attr:`compression_log` (the Figure 4 measurement).  Storing
+        #: the chunk's page tuple is O(1) per eviction; the per-page
+        #: ``(uid, true_hotness)`` expansion is paid once per report
+        #: read, and ``true_hotness`` is immutable ground truth, so the
+        #: deferred read equals the eager log entry for entry.
+        self._compression_log_runs: list[tuple[Page, ...]] = []
         #: (uid, zpool sector) per zpool fault in access order (the
         #: Table 3 locality measurement).
         self.sector_access_log: list[tuple[int, int]] = []
@@ -225,6 +230,28 @@ class SwapScheme(ABC):
         self.eviction_epoch += 1
         self._app_eviction_epoch[page.uid] = self.eviction_epoch
 
+    def _detach_pages(self, pages: list[Page]) -> None:
+        """Batched :meth:`_detach_page`: same final state, one DRAM call.
+
+        The epoch/stamp bookkeeping still runs per page (each uid's
+        stamp lands on the epoch of its last detached page, exactly as
+        the per-page walk leaves it); nothing probes residency between
+        the individual detaches, so the single summed DRAM delta is
+        unobservable.
+        """
+        if not pages:
+            return
+        self.ctx.dram.remove_pages(pages)
+        nonresident = self._nonresident_pages
+        app_epoch = self._app_eviction_epoch
+        epoch = self.eviction_epoch
+        for page in pages:
+            uid = page.uid
+            nonresident[uid] += 1
+            epoch += 1
+            app_epoch[uid] = epoch
+        self.eviction_epoch = epoch
+
     def _bump_app_epoch(self, uid: int) -> None:
         """Conservatively invalidate ``uid``'s verifications (writeback,
         purge: no residency changed, but the epoch contract treats every
@@ -296,19 +323,32 @@ class SwapScheme(ABC):
             ctx.dram.add_pages(pages)
             organizer.add_page_run(pages)
         else:
-            # _make_room with free already at the per-page target is a
-            # no-op by its own first check, so probing here first skips
-            # the call without changing a single eviction.
-            page_target = PAGE_SIZE + ctx.platform.high_watermark_bytes
+            # The per-page reference walk admits pages while
+            # free >= PAGE_SIZE + high_watermark and calls
+            # _make_room(1) exactly when the check fails.  Admissions
+            # between two reclaim points are pure state writes (no
+            # reads the walk branches on), so admitting that whole
+            # stretch as one batch reproduces the reference decision
+            # sequence exactly: the next _make_room observes the same
+            # free level at the same batch offset.  After _make_room
+            # the reference admits one page unconditionally (it may
+            # return with the watermark missed but the allocation
+            # fitting), hence the max(fit, 1).
+            high_wm = ctx.platform.high_watermark_bytes
             free = self.free_dram_bytes
             make_room = self._make_room
-            add_resident = ctx.dram.add_page
-            add_to_lists = organizer.add_page
-            for page in pages:
-                if free() < page_target:
+            add_resident_run = ctx.dram.add_pages
+            add_to_lists_run = organizer.add_page_run
+            i, count = 0, len(pages)
+            while i < count:
+                fit = (free() - high_wm) // PAGE_SIZE
+                if fit <= 0:
                     make_room(1, direct=False, thread=KSWAPD)
-                add_resident(page)
-                add_to_lists(page)
+                    fit = max((free() - high_wm) // PAGE_SIZE, 1)
+                batch = pages[i : i + fit]
+                add_resident_run(batch)
+                add_to_lists_run(batch)
+                i += len(batch)
         self._charge(APP, "list_ops", ctx.platform.list_op_ns * len(pages))
 
     # ----------------------------------------------------------------- access
@@ -418,6 +458,15 @@ class SwapScheme(ABC):
                 summary.add_hits(n)
                 self.epoch_skips += 1
                 return summary
+            organizer = self._organizers[run_uid]
+            if isinstance(organizer, ColumnarOrganizerMixin):
+                # Columnar core: probe residency against the organizer's
+                # list_id column (equivalent to the DRAM probe — see
+                # leading_resident) and touch resident runs through the
+                # handle kernels, skipping per-page work entirely.
+                return self._access_batch_runs_columnar(
+                    pages, thread, organizer, app_stamp, summary
+                )
         resident = ctx.dram._resident
         verified = self._resident_verified_epoch
         organizers = self._organizers
@@ -470,13 +519,68 @@ class SwapScheme(ABC):
             pages.verified_epoch = self.eviction_epoch
         return summary
 
+    def _access_batch_runs_columnar(
+        self,
+        pages: AccessRun,
+        thread: str,
+        organizer,
+        app_stamp: int,
+        summary: AccessBatchSummary,
+    ) -> AccessBatchSummary:
+        """The probing loop of :meth:`_access_batch_runs`, columnar.
+
+        Identical dispatch structure and numbers — app-level verified
+        segments, resident-run coalescing with the same probe counts,
+        per-page fallback on the first non-resident page — but residency
+        is probed against the organizer's ``list_id`` column (equivalent
+        to the DRAM probe: the lists cover exactly the app's resident
+        pages, the ``_audit_lru_membership`` invariant) and resident
+        runs are touched as handle-array kernels, so a fully resident
+        replay does no per-page Python work at all.
+        """
+        ctx = self.ctx
+        uid = pages.uid
+        app_epochs = self._app_eviction_epoch
+        verified = self._resident_verified_epoch
+        handles = organizer.run_handles(pages)
+        charge = ctx.cpu.charge
+        list_op_ns = ctx.platform.list_op_ns
+        n = len(pages)
+        i = 0
+        while i < n:
+            if verified.get(uid, -1) >= app_epochs.get(uid, 0):
+                organizer._on_access_handles(
+                    handles[i:] if i else handles, ctx.clock.now_ns
+                )
+                charge(thread, "list_ops", list_op_ns * (n - i))
+                summary.add_hits(n - i)
+                self.epoch_skips += 1
+                break
+            k = organizer.leading_resident(handles, i)
+            if k:
+                self.residency_probes += k + (1 if i + k < n else 0)
+                organizer._on_access_handles(
+                    handles[i:i + k], ctx.clock.now_ns
+                )
+                charge(thread, "list_ops", list_op_ns * k)
+                summary.add_hits(k)
+                i += k
+            else:
+                self.residency_probes += 1
+                summary.add_result(self.access(pages[i], thread))
+                i += 1
+        if app_epochs[uid] == app_stamp:
+            pages.verified_epoch = self.eviction_epoch
+        return summary
+
     def _touch_resident_run(self, run: list[Page], thread: str) -> None:
         """Bulk bookkeeping for a run of resident hits (no stall, no fault).
 
         Splits the run into per-app segments (in practice a replay is
         single-app, so this is one segment), hands each to its
         organizer's bulk touch, and charges the per-hit list-op CPU in
-        one call.
+        one call.  A memoized :class:`AccessRun` names its app, so the
+        segment scan is skipped outright (same call, same charge).
         """
         n = len(run)
         if n == 0:
@@ -485,6 +589,10 @@ class SwapScheme(ABC):
             return
         ctx = self.ctx
         now_ns = ctx.clock.now_ns
+        if type(run) is AccessRun:
+            self._organizers[run.uid].on_access_run(run, now_ns)
+            ctx.cpu.charge(thread, "list_ops", ctx.platform.list_op_ns * n)
+            return
         organizers = self._organizers
         i = 0
         while i < n:
@@ -651,13 +759,20 @@ class SwapScheme(ABC):
         self._chunk_seq += 1
         return self._chunk_seq
 
+    @property
+    def compression_log(self) -> list[tuple[int, "Hotness"]]:
+        """(uid, ground-truth hotness) per page in compression order."""
+        return [
+            (page.uid, page.true_hotness)
+            for run in self._compression_log_runs
+            for page in run
+        ]
+
     def _register_chunk(self, chunk: StoredChunk) -> None:
         self._chunks[chunk.chunk_id] = chunk
         for page in chunk.pages:
             self._stored_by_pfn[page.pfn] = chunk
-        self.compression_log.extend(
-            [(page.uid, page.true_hotness) for page in chunk.pages]
-        )
+        self._compression_log_runs.append(chunk.pages)
 
     def _unregister_chunk(self, chunk: StoredChunk) -> None:
         self._chunks.pop(chunk.chunk_id, None)
@@ -746,9 +861,10 @@ class SwapScheme(ABC):
             ctx.codec.name, span, chunk_size
         )
         self._charge(thread, "compress", comp_ns)
-        ctx.counters.incr("pages_compressed", len(pages))
-        ctx.counters.incr("compress_ops")
-        ctx.counters.incr("dram_bytes_moved", 2 * span * platform.scale)
+        counts = ctx.counters.mutable()
+        counts["pages_compressed"] += len(pages)
+        counts["compress_ops"] += 1
+        counts["dram_bytes_moved"] += 2 * span * platform.scale
         entry = ctx.zpool.store(stored, lane=self._zpool_lane(pages[0].uid, hotness))
         chunk = StoredChunk(
             chunk_id=self._next_chunk_id(),
@@ -769,8 +885,8 @@ class SwapScheme(ABC):
             chunk.corrupted = True
         self._register_chunk(chunk)
         self._by_zpool_handle[entry.handle] = chunk
-        ctx.counters.incr("bytes_original", span)
-        ctx.counters.incr("bytes_stored", stored)
+        counts["bytes_original"] += span
+        counts["bytes_stored"] += stored
         return chunk, self._stall(comp_ns)
 
     def _relieve_zpool_lossless(self) -> bool:
@@ -1058,9 +1174,9 @@ class SwapScheme(ABC):
         fault_stall = self._stall(fault_ns)
         breakdown.other_ns += fault_stall
         organizer = self.organizer(chunk.uid)
-        for page in chunk.pages:
-            self.ctx.dram.add_page(page)
-            organizer.add_page(page)
+        admitted = list(chunk.pages)
+        self.ctx.dram.add_pages(admitted)
+        organizer.add_page_run(admitted)
         self._note_pages_resident(chunk.uid, chunk.page_count)
         organizer.on_access(faulted, self.ctx.clock.now_ns)
         self.ctx.counters.incr("pages_swapped_in", chunk.page_count)

@@ -9,7 +9,8 @@ the critical path (the long relaunch latencies of Figure 2).
 from __future__ import annotations
 
 from ..errors import FlashFullError
-from ..mem.organizer import ActiveInactiveOrganizer, DataOrganizer
+from ..mem.columnar import make_two_list_organizer
+from ..mem.organizer import DataOrganizer
 from ..mem.page import Hotness, Page, PageLocation
 from ..metrics import APP, AccessBatchSummary, LatencyBreakdown
 from ..units import PAGE_SIZE
@@ -28,7 +29,7 @@ class FlashSwapScheme(SwapScheme):
         super().__init__(ctx)
 
     def _make_organizer(self, uid: int, hot_seed_limit: int) -> DataOrganizer:
-        return ActiveInactiveOrganizer(uid)
+        return make_two_list_organizer(uid)
 
     def access_batch(
         self, pages: list[Page], thread: str = APP

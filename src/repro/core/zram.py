@@ -12,7 +12,8 @@ Exactly the configuration the paper evaluates against (Section 5):
 
 from __future__ import annotations
 
-from ..mem.organizer import ActiveInactiveOrganizer, DataOrganizer
+from ..mem.columnar import make_two_list_organizer
+from ..mem.organizer import DataOrganizer
 from ..mem.page import Hotness, Page, PageLocation
 from ..metrics import APP, AccessBatchSummary
 from ..units import PAGE_SIZE
@@ -31,7 +32,7 @@ class ZramScheme(SwapScheme):
         super().__init__(ctx)
 
     def _make_organizer(self, uid: int, hot_seed_limit: int) -> DataOrganizer:
-        return ActiveInactiveOrganizer(uid)
+        return make_two_list_organizer(uid)
 
     def access_batch(
         self, pages: list[Page], thread: str = APP

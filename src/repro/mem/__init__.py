@@ -3,11 +3,22 @@
 This package models the parts of the Linux memory-management stack the
 paper's techniques live in: anonymous pages, the kernel's LRU page lists
 (active/inactive in stock Android, hot/warm/cold under Ariadne's
-HotnessOrg), and a capacity-tracked main memory.
+HotnessOrg), and a capacity-tracked main memory.  Each organizer (and
+its LRU lists) exists in two bit-identical implementations selected by
+``REPRO_CORE``: the object model (:mod:`repro.mem.organizer`) and the
+numpy columnar core (:mod:`repro.mem.columnar`).
 """
 
+from .columnar import (
+    ColumnarActiveInactiveOrganizer,
+    ColumnarHotWarmColdOrganizer,
+    ColumnarOrganizerMixin,
+    make_tri_list_organizer,
+    make_two_list_organizer,
+    resolve_core,
+)
 from .dram import MainMemory
-from .lru import LruList
+from .lru import IndexLruList, LruList
 from .organizer import (
     ActiveInactiveOrganizer,
     DataOrganizer,
@@ -17,12 +28,19 @@ from .page import Hotness, Page, PageKind, PageLocation
 
 __all__ = [
     "ActiveInactiveOrganizer",
+    "ColumnarActiveInactiveOrganizer",
+    "ColumnarHotWarmColdOrganizer",
+    "ColumnarOrganizerMixin",
     "DataOrganizer",
     "Hotness",
     "HotWarmColdOrganizer",
+    "IndexLruList",
     "LruList",
     "MainMemory",
     "Page",
     "PageKind",
     "PageLocation",
+    "make_tri_list_organizer",
+    "make_two_list_organizer",
+    "resolve_core",
 ]

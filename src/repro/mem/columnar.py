@@ -1,0 +1,746 @@
+"""Columnar page-metadata core: struct-of-arrays organizers.
+
+The object-model organizers (:mod:`repro.mem.organizer`) spend the warm
+wall on per-page Python work — OrderedDict node churn on every touch,
+dict probes per membership classification, and whole-list scans at
+relaunch boundaries.  This module re-implements both organizers over a
+*columnar* page table, the same playbook that made the LZO index fast
+(PR 1-2): per-page metadata lives in flat numpy columns indexed by a
+dense integer *handle*, the LRU lists become index-linked views over
+those columns (:class:`repro.mem.lru.IndexLruList`), and run-shaped
+operations (``on_access_run``, ``add_page_run``, ``end_relaunch``)
+become vectorized kernels over handle arrays.
+
+Equivalence contract
+--------------------
+
+The columnar organizers are drop-in subclasses of the object ones:
+every list operation leaves the *same final list order* and bumps
+``list_operations`` by the *same count* as the object implementation,
+so golden numbers, heavy-scenario fingerprints, and the quick-suite
+``--json`` document are bit-identical under either core
+(``tests/test_columnar_core.py`` pins this differentially).  Two
+deliberate, observable-only-off-the-numbers deltas:
+
+- Access stamps (``last_access_ns`` / ``access_count``) are written to
+  the table columns, not the :class:`Page` attributes — the columns
+  are authoritative in the columnar core.  Nothing outside the
+  organizer reads the per-page attributes on scheme-owned pages.
+- Error paths may raise *before* partially mutating state where the
+  object core raises mid-loop (both still raise
+  :class:`PageStateError` on the same inputs).
+
+The relaunch *touched-page journal* replaces the object core's
+whole-list ``end_relaunch`` scan: every access during a relaunch
+appends its handles to an order-preserving journal, and the hotness
+update promotes exactly ``journal ∩ warm`` then ``journal ∩ cold``,
+each sorted by live position — which *is* that list's LRU order, so
+the promotion order (and hence the final hot-list order) matches the
+object core's full scan.  Stale-hot demotion uses the per-handle
+relaunch generation stamp instead of the set: journaled handles all
+carry the current generation, demoted ones never do, so the two
+selections are disjoint exactly as in the object core.
+
+Core selection
+--------------
+
+``REPRO_CORE`` picks the implementation: ``object`` forces the
+reference organizers, ``columnar`` forces this module, and ``auto``
+(the default) uses columnar when numpy imports and falls back to the
+object core with a one-line warning otherwise — the same
+soft-ImportError pattern as :mod:`repro.compression.lzo`, so the
+pure-python tree still imports and runs everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from ..errors import ConfigError, InvariantViolationError, PageStateError
+from .lru import NO_LIST, IndexLruList
+from .organizer import ActiveInactiveOrganizer, HotWarmColdOrganizer
+from .page import Page
+
+try:  # Soft dependency, mirroring compression/lzo.py.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via monkeypatch tests
+    _np = None
+
+#: Environment variable selecting the page-metadata core.
+CORE_ENV = "REPRO_CORE"
+
+#: Valid ``REPRO_CORE`` values.
+_CORE_MODES = ("auto", "object", "columnar")
+
+#: List ids of the tri-list organizer (== ``HOTNESS_TO_ID`` codes).
+HOT_ID, WARM_ID, COLD_ID = 0, 1, 2
+#: List ids of the two-list organizer.
+ACTIVE_ID, INACTIVE_ID = 0, 1
+
+#: Residency-probe block size for :meth:`ColumnarOrganizerMixin.leading_resident`.
+_PROBE_BLOCK = 256
+
+#: Run length below which the access kernels fall back to a per-page
+#: loop over the columns — the vectorized path's fixed setup cost
+#: (~10 us of temp arrays) loses to the loop on short runs.
+_SMALL_KERNEL = 12
+
+_warned_no_numpy = False
+
+
+def numpy_available() -> bool:
+    """Whether the columnar core's numpy dependency is importable."""
+    return _np is not None
+
+
+def resolve_core() -> str:
+    """Resolve ``REPRO_CORE`` to ``"object"`` or ``"columnar"``.
+
+    Read per call (not cached) so tests and tools can flip the
+    environment between system builds.  ``auto``/``columnar`` without
+    numpy degrade to the object core with a one-line warning (once per
+    process), keeping the pure-python tree runnable.
+    """
+    global _warned_no_numpy
+    mode = os.environ.get(CORE_ENV, "auto").strip().lower() or "auto"
+    if mode not in _CORE_MODES:
+        raise ConfigError(
+            f"{CORE_ENV}={mode!r} invalid; expected one of {_CORE_MODES}"
+        )
+    if mode == "object":
+        return "object"
+    if _np is None:
+        if not _warned_no_numpy:
+            print(
+                "repro: numpy unavailable; using the object page-metadata "
+                "core (REPRO_CORE=columnar needs numpy)",
+                file=sys.stderr,
+            )
+            _warned_no_numpy = True
+        return "object"
+    return "columnar"
+
+
+def make_tri_list_organizer(uid: int, hot_seed_limit: int):
+    """Tri-list (hot/warm/cold) organizer under the resolved core."""
+    if resolve_core() == "columnar":
+        return ColumnarHotWarmColdOrganizer(uid, hot_seed_limit)
+    return HotWarmColdOrganizer(uid, hot_seed_limit)
+
+
+def make_two_list_organizer(uid: int, refill_batch: int = 32):
+    """Two-list (active/inactive) organizer under the resolved core."""
+    if resolve_core() == "columnar":
+        return ColumnarActiveInactiveOrganizer(uid, refill_batch)
+    return ActiveInactiveOrganizer(uid, refill_batch)
+
+
+class HandleTable:
+    """Dense pfn -> handle map plus the flat per-page metadata columns.
+
+    One table per organizer (pages never change apps, and per-app
+    tables keep handles dense over exactly the pages the organizer can
+    ever see).  Handles are append-only: a page keeps its handle for
+    the organizer's lifetime, across eviction and refault, so handle
+    arrays cached on :class:`repro.metrics.AccessRun` replays stay
+    valid.  Columns (all parallel, indexed by handle):
+
+    - ``list_id``: which LRU list the page is on (``NO_LIST`` when
+      evicted/absent) — doubling as the organizer-residency bit the
+      batch replay probes.
+    - ``pos``: slot in that list's append-order array (see
+      :class:`repro.mem.lru.IndexLruList`).
+    - ``stamp``: relaunch generation of the last access (the
+      ``end_relaunch`` demotion predicate).
+    - ``last_access_ns`` / ``access_count``: authoritative access
+      stamps (the :class:`Page` attributes go stale under this core).
+    """
+
+    __slots__ = (
+        "index", "pages", "list_id", "pos", "stamp",
+        "last_access_ns", "access_count",
+    )
+
+    def __init__(self, capacity: int = 64) -> None:
+        self.index: dict[int, int] = {}
+        self.pages: list[Page] = []
+        capacity = max(16, capacity)
+        self.list_id = _np.full(capacity, NO_LIST, dtype=_np.int8)
+        self.pos = _np.zeros(capacity, dtype=_np.int64)
+        self.stamp = _np.zeros(capacity, dtype=_np.int64)
+        self.last_access_ns = _np.zeros(capacity, dtype=_np.int64)
+        self.access_count = _np.zeros(capacity, dtype=_np.int64)
+
+    def __len__(self) -> int:
+        return len(self.pages)
+
+    def _grow(self, need: int) -> None:
+        capacity = self.list_id.shape[0]
+        while capacity < need:
+            capacity *= 2
+
+        def regrown(column, fill):
+            out = _np.full(capacity, fill, dtype=column.dtype)
+            out[: column.shape[0]] = column
+            return out
+
+        self.list_id = regrown(self.list_id, NO_LIST)
+        self.pos = regrown(self.pos, 0)
+        self.stamp = regrown(self.stamp, 0)
+        self.last_access_ns = regrown(self.last_access_ns, 0)
+        self.access_count = regrown(self.access_count, 0)
+
+    def ensure(self, page: Page) -> int:
+        """Handle of ``page``, allocating one on first sight."""
+        h = self.index.get(page.pfn)
+        if h is None:
+            h = len(self.pages)
+            if h >= self.list_id.shape[0]:
+                self._grow(h + 1)
+            self.index[page.pfn] = h
+            self.pages.append(page)
+        return h
+
+    def handles_for(self, pages) -> "_np.ndarray":
+        """Handle array for a sized page sequence (allocating as needed)."""
+        index = self.index
+        try:
+            return _np.fromiter(
+                (index[page.pfn] for page in pages),
+                dtype=_np.int64,
+                count=len(pages),
+            )
+        except KeyError:
+            # Allocating pass, with ensure() inlined: probe the index
+            # once per page, defer the column growth to a single
+            # _grow() after the batch (nothing touches the columns
+            # until the handles are returned).
+            get = index.get
+            pages_list = self.pages
+            page_append = pages_list.append
+            nxt = len(pages_list)
+            handles: list[int] = []
+            append = handles.append
+            for page in pages:
+                h = get(page.pfn)
+                if h is None:
+                    h = nxt
+                    index[page.pfn] = h
+                    page_append(page)
+                    nxt += 1
+                append(h)
+            if nxt > self.list_id.shape[0]:
+                self._grow(nxt)
+            return _np.array(handles, dtype=_np.int64)
+
+    def stamp_accesses(self, handles, now_ns: int) -> None:
+        """Bulk access-stamp update (duplicates each count once)."""
+        self.last_access_ns[handles] = now_ns
+        # Unbuffered accumulate: a plain fancy `+= 1` collapses duplicate
+        # handles within a run to a single increment, and a bincount
+        # would cost O(table) per run instead of O(run).
+        _np.add.at(self.access_count, handles, 1)
+
+
+class ColumnarOrganizerMixin:
+    """Marker + shared machinery of the columnar organizers.
+
+    Importable (and isinstance-checkable) without numpy — only concrete
+    organizer construction requires it.  The scheme's batched replay
+    dispatches on this marker to the handle-array kernels.
+    """
+
+    # Concrete subclasses create these in __init__.
+    _table: HandleTable
+
+    def _init_columnar(self) -> None:
+        self._table = HandleTable()
+        #: Vectorized-touch kernel invocations / pages (profiling).
+        self.kernel_batches = 0
+        self.kernel_pages = 0
+        #: Journal-bounded relaunch promotion scans / candidate handles.
+        self.journal_scans = 0
+        self.journal_candidates = 0
+
+    def _views(self):
+        raise NotImplementedError
+
+    def prime_pages(self, pages) -> None:
+        """Pre-allocate handles for an app's full page set.
+
+        Called once at launch so hot-path kernels never take the
+        allocating branch of :meth:`HandleTable.handles_for`; order is
+        the deterministic trace order.
+        """
+        ensure = self._table.ensure
+        for page in pages:
+            ensure(page)
+
+    def run_handles(self, pages) -> "_np.ndarray":
+        """Handle array for a replay run, memoized on ``AccessRun``s.
+
+        An :class:`repro.metrics.AccessRun` is memoized per app per
+        system and this organizer is that system's only organizer for
+        the app, so caching the handle array on the run is safe —
+        handles are stable for the organizer's lifetime.
+        """
+        handles = getattr(pages, "columnar_handles", None)
+        if handles is not None:
+            return handles
+        cache = getattr(pages, "handle_cache", None)
+        if cache is not None:
+            # Cross-system share: another system built from the same
+            # trace already computed this run's handle array, and
+            # first-touch order (launch creation order) makes handle
+            # assignment a pure function of the trace — so the numbers
+            # agree.  Verify the endpoints against this table before
+            # trusting the entry: a run from a different table lineage
+            # (hand-built organizer, disagreeing pfn set) falls through
+            # to a fresh computation instead of silently misindexing.
+            host, key = cache
+            shared = host.get(key)
+            if shared is not None and len(pages):
+                index_get = self._table.index.get
+                if (
+                    index_get(pages[0].pfn) == shared.item(0)
+                    and index_get(pages[-1].pfn) == shared.item(-1)
+                ):
+                    pages.columnar_handles = shared
+                    return shared
+        handles = self._table.handles_for(pages)
+        try:
+            pages.columnar_handles = handles
+        except AttributeError:  # plain list: nowhere to memoize
+            pass
+        if cache is not None:
+            cache[0][cache[1]] = handles
+        return handles
+
+    def leading_resident(self, handles, start: int) -> int:
+        """Length of the organizer-resident prefix of ``handles[start:]``.
+
+        Organizer membership (``list_id != NO_LIST``) is equivalent to
+        DRAM residency at batch-replay probe points — the
+        ``_audit_lru_membership`` invariant — so this is the columnar
+        replacement for per-page ``pfn in dram._resident`` probes.
+        Blockwise so a fault-heavy run costs O(n) total, not O(n²).
+        """
+        list_id = self._table.list_id
+        n = handles.shape[0]
+        i = start
+        k = 0
+        if n - i <= 24:
+            # Short remainder: scalar probes undercut the fancy-index
+            # block's fixed temp-array cost.
+            list_item = list_id.item
+            handle_item = handles.item
+            while i < n:
+                if list_item(handle_item(i)) == NO_LIST:
+                    return k
+                k += 1
+                i += 1
+            return k
+        while i < n:
+            j = min(i + _PROBE_BLOCK, n)
+            dead = _np.flatnonzero(list_id[handles[i:j]] == NO_LIST)
+            if dead.size:
+                return k + int(dead[0])
+            k += j - i
+            i = j
+        return k
+
+    def remove_page(self, page: Page) -> None:
+        """Detach ``page`` from whichever list holds it (one lookup).
+
+        The object core's :meth:`_list_of` probes every list; here the
+        ``list_id`` column names the list directly, so removal is one
+        index lookup plus one column write.
+        """
+        table = self._table
+        h = table.index.get(page.pfn)
+        lid = -1 if h is None else int(table.list_id[h])
+        if lid < 0:
+            raise PageStateError(
+                f"page {page.pfn} not resident in app {self.uid}"
+            )
+        table.list_id[h] = NO_LIST
+        self._views()[lid]._count -= 1
+        self.list_operations += 1
+
+    def columnar_stats(self) -> dict[str, int]:
+        """Profiling counters (``benchmarks/profile_scenario.py``)."""
+        return {
+            "handles": len(self._table),
+            "kernel_batches": self.kernel_batches,
+            "kernel_pages": self.kernel_pages,
+            "journal_scans": self.journal_scans,
+            "journal_candidates": self.journal_candidates,
+        }
+
+    # -- auditing ------------------------------------------------------------
+
+    def audit_columnar_state(self) -> None:
+        """Cross-check columns against list counts (``REPRO_AUDIT=1``).
+
+        Raises :class:`InvariantViolationError` when the struct-of-
+        arrays bookkeeping drifts: handle-table bijectivity, per-list
+        cardinality (``list_id`` census vs the view's count), and the
+        order/pos linkage (every on-list handle's recorded position
+        must point back at it inside the view's live window).
+        """
+        table = self._table
+        n = len(table.pages)
+        if len(table.index) != n:
+            raise InvariantViolationError(
+                f"app {self.uid} columnar handle table: {len(table.index)} "
+                f"pfns indexed vs {n} pages stored"
+            )
+        for pfn, h in table.index.items():
+            if table.pages[h].pfn != pfn:
+                raise InvariantViolationError(
+                    f"app {self.uid} columnar handle table: pfn {pfn} maps "
+                    f"to handle {h} holding pfn {table.pages[h].pfn}"
+                )
+        census_total = 0
+        for view in self._views():
+            members = _np.flatnonzero(table.list_id[:n] == view._lid)
+            if members.size != len(view):
+                raise InvariantViolationError(
+                    f"list {view.name!r}: column census {members.size} "
+                    f"pages vs tracked count {len(view)}"
+                )
+            census_total += int(members.size)
+            if not members.size:
+                continue
+            positions = table.pos[members]
+            if ((positions < view._head) | (positions >= view._tail)).any():
+                raise InvariantViolationError(
+                    f"list {view.name!r}: a member's pos lies outside the "
+                    f"live window [{view._head}, {view._tail})"
+                )
+            if (view._order[positions] != members).any():
+                raise InvariantViolationError(
+                    f"list {view.name!r}: order/pos linkage broken (a "
+                    f"member's recorded slot holds a different handle)"
+                )
+        on_lists = int((table.list_id[:n] != NO_LIST).sum())
+        if on_lists != census_total:
+            raise InvariantViolationError(
+                f"app {self.uid}: {on_lists} handles carry a list id but "
+                f"only {census_total} are accounted to a known list"
+            )
+
+
+class ColumnarHotWarmColdOrganizer(ColumnarOrganizerMixin, HotWarmColdOrganizer):
+    """Columnar tri-list organizer (HotnessOrg under the columnar core).
+
+    Inherits every routing decision — launch seeding, relaunch
+    admission, eviction order — from :class:`HotWarmColdOrganizer`; the
+    inherited methods operate unchanged through the
+    :class:`IndexLruList` views.  Overridden here are only the
+    run-shaped hot paths (access kernels) and the relaunch bracketing,
+    which swaps the accessed-pfn set for the generation stamp +
+    touched-page journal.
+    """
+
+    def __init__(self, uid: int, hot_seed_limit: int) -> None:
+        super().__init__(uid, hot_seed_limit)
+        self._init_columnar()
+        self.hot = IndexLruList(self._table, HOT_ID, f"app{uid}.hot")
+        self.warm = IndexLruList(self._table, WARM_ID, f"app{uid}.warm")
+        self.cold = IndexLruList(self._table, COLD_ID, f"app{uid}.cold")
+        #: Relaunch generation; `stamp[h] == _generation` marks handles
+        #: touched during the currently open relaunch.
+        self._generation = 0
+        #: Order-preserving journal of handles touched since
+        #: begin_relaunch (ints and arrays, in touch order).
+        self._journal: list = []
+
+    def _views(self):
+        return (self.hot, self.warm, self.cold)
+
+    # -- access kernels ------------------------------------------------------
+
+    def on_access(self, page: Page, now_ns: int) -> None:
+        table = self._table
+        h = table.index.get(page.pfn)
+        lid = NO_LIST if h is None else table.list_id.item(h)
+        if lid == NO_LIST:
+            raise PageStateError(
+                f"page {page.pfn} accessed but not resident in app {self.uid}"
+            )
+        table.last_access_ns[h] = now_ns
+        table.access_count[h] += 1
+        if self._relaunch_active:
+            table.stamp[h] = self._generation
+            self._journal.append(h)
+        if lid == COLD_ID:
+            table.list_id[h] = WARM_ID
+            self.cold._count -= 1
+            self.warm._count += 1
+            self.warm._append(h)
+            self.list_operations += 2
+        elif lid == WARM_ID:
+            self.warm._append(h)
+            self.list_operations += 1
+        else:
+            self.hot._append(h)
+            self.list_operations += 1
+
+    def on_access_run(self, pages, now_ns: int) -> None:
+        self._on_access_handles(self.run_handles(pages), now_ns)
+
+    def _on_access_handles(self, handles, now_ns: int) -> None:
+        """Vectorized access replay over a resident handle run.
+
+        Equivalent to the object core's loop: per-occurrence op counts
+        (+1 touch, +2 cold->warm promotion at *first* occurrence, +1
+        for later occurrences of the same — by then warm — handle) and
+        final list orders match exactly.  Hot touches commute past
+        warm/cold work (accesses never enter or leave the hot list), so
+        warm and hot appends land in two independent bulk runs.
+        """
+        n = int(handles.shape[0])
+        if not n:
+            return
+        table = self._table
+        self.kernel_batches += 1
+        self.kernel_pages += n
+        if n <= _SMALL_KERNEL:
+            # Short runs replay through the object core's per-page
+            # logic on the columns: below ~a dozen pages the fancy-
+            # indexed kernel's fixed temp-array cost loses to the loop.
+            list_id = table.list_id
+            list_item = list_id.item
+            last = table.last_access_ns
+            counts = table.access_count
+            stamps = table.stamp
+            relaunch = self._relaunch_active
+            gen = self._generation
+            journal = self._journal
+            hot_append = self.hot._append
+            warm = self.warm
+            warm_append = warm._append
+            cold = self.cold
+            ops = 0
+            for h in handles.tolist():
+                last[h] = now_ns
+                counts[h] += 1
+                if relaunch:
+                    stamps[h] = gen
+                    journal.append(h)
+                lid = list_item(h)
+                if lid == HOT_ID:
+                    hot_append(h)
+                    ops += 1
+                elif lid == WARM_ID:
+                    warm_append(h)
+                    ops += 1
+                elif lid == COLD_ID:
+                    list_id[h] = WARM_ID
+                    cold._count -= 1
+                    warm._count += 1
+                    warm_append(h)
+                    ops += 2
+                else:
+                    raise PageStateError(
+                        f"page {table.pages[h].pfn} accessed but not "
+                        f"resident in app {self.uid}"
+                    )
+            self.list_operations += ops
+            return
+        table.stamp_accesses(handles, now_ns)
+        if self._relaunch_active:
+            table.stamp[handles] = self._generation
+            self._journal.append(handles)
+        lids = table.list_id[handles]
+        hot_mask = lids == HOT_ID
+        if hot_mask.all():
+            self.hot._append_run(handles)
+            self.list_operations += n
+            return
+        if (lids == NO_LIST).any():
+            bad = handles[int(_np.argmax(lids == NO_LIST))]
+            raise PageStateError(
+                f"page {table.pages[int(bad)].pfn} accessed but not "
+                f"resident in app {self.uid}"
+            )
+        non_hot = handles[~hot_mask]
+        cold_handles = handles[lids == COLD_ID]
+        # set() over a small pylist beats np.unique's sort/hash setup on
+        # run-sized arrays by ~4x (only the cardinality is needed).
+        promoted = len(set(cold_handles.tolist())) if cold_handles.size else 0
+        table.list_id[non_hot] = WARM_ID
+        self.warm._append_run(non_hot)
+        self.warm._count += promoted
+        self.cold._count -= promoted
+        hot_handles = handles[hot_mask]
+        if hot_handles.size:
+            self.hot._append_run(hot_handles)
+        self.list_operations += int(non_hot.size) + promoted + int(hot_handles.size)
+
+    # -- relaunch bracketing -------------------------------------------------
+
+    def begin_relaunch(self) -> None:
+        self._relaunch_active = True
+        self._relaunch_accessed = set()  # unused; kept for attribute shape
+        self._generation += 1
+        self._journal = []
+
+    def end_relaunch(self) -> None:
+        """Hotness update, journal-bounded.
+
+        Demotion: live hot handles whose generation stamp is stale, in
+        hot-LRU order (the object core's first loop).  Promotion: the
+        journal's unique handles still on warm then cold, each batch
+        sorted by live position — ascending position within one list
+        *is* that list's LRU order, so this equals the object core's
+        full warm+cold scan while only touching the accessed set.
+        Journaled handles all carry the current generation, so the
+        demotion and promotion sets are disjoint by construction.
+        """
+        if not self._relaunch_active:
+            raise PageStateError(f"app {self.uid}: end_relaunch without begin")
+        self._relaunch_active = False
+        table = self._table
+        ops = 0
+        hot_live = self.hot._live_handles()
+        if hot_live.size:
+            stale = hot_live[table.stamp[hot_live] != self._generation]
+            demoted = int(stale.size)
+            if demoted:
+                table.list_id[stale] = WARM_ID
+                self.warm._append_run(stale)
+                self.hot._count -= demoted
+                self.warm._count += demoted
+                ops += 2 * demoted
+        if self._journal:
+            # Dedup via a set: candidate order is irrelevant (each
+            # per-list batch is re-sorted by live position below), so
+            # np.unique's sort would be wasted work.
+            touched: set[int] = set()
+            for part in self._journal:
+                if isinstance(part, int):
+                    touched.add(part)
+                else:
+                    touched.update(part.tolist())
+            candidates = _np.fromiter(
+                touched, dtype=_np.int64, count=len(touched)
+            )
+            self.journal_scans += 1
+            self.journal_candidates += int(candidates.size)
+            lids = table.list_id[candidates]
+            for want, source in ((WARM_ID, self.warm), (COLD_ID, self.cold)):
+                batch = candidates[lids == want]
+                if not batch.size:
+                    continue
+                batch = batch[_np.argsort(table.pos[batch])]
+                table.list_id[batch] = HOT_ID
+                self.hot._append_run(batch)
+                moved = int(batch.size)
+                source._count -= moved
+                self.hot._count += moved
+                ops += 2 * moved
+        self._journal = []
+        self._relaunch_accessed = set()
+        self.list_operations += ops
+
+
+class ColumnarActiveInactiveOrganizer(ColumnarOrganizerMixin, ActiveInactiveOrganizer):
+    """Columnar two-list organizer (stock-kernel LRU, columnar core).
+
+    Admission, refill, and reclaim are inherited and run through the
+    views; only the access paths are vectorized here.
+    """
+
+    def __init__(self, uid: int, refill_batch: int = 32) -> None:
+        super().__init__(uid, refill_batch)
+        self._init_columnar()
+        self.active = IndexLruList(self._table, ACTIVE_ID, f"app{uid}.active")
+        self.inactive = IndexLruList(self._table, INACTIVE_ID, f"app{uid}.inactive")
+
+    def _views(self):
+        return (self.active, self.inactive)
+
+    def on_access(self, page: Page, now_ns: int) -> None:
+        table = self._table
+        h = table.index.get(page.pfn)
+        lid = NO_LIST if h is None else table.list_id.item(h)
+        if lid == NO_LIST:
+            raise PageStateError(
+                f"page {page.pfn} accessed but not resident in app {self.uid}"
+            )
+        table.last_access_ns[h] = now_ns
+        table.access_count[h] += 1
+        if lid == INACTIVE_ID:
+            table.list_id[h] = ACTIVE_ID
+            self.inactive._count -= 1
+            self.active._count += 1
+            self.active._append(h)
+            self.list_operations += 2
+        else:
+            self.active._append(h)
+            self.list_operations += 1
+
+    def on_access_run(self, pages, now_ns: int) -> None:
+        self._on_access_handles(self.run_handles(pages), now_ns)
+
+    def _on_access_handles(self, handles, now_ns: int) -> None:
+        """Vectorized access replay: every occurrence lands on the
+        active list in run order (touch and promotion both move to the
+        active MRU end, so one bulk append covers both); ops count one
+        per occurrence plus one per unique inactive->active promotion,
+        exactly the object core's loop."""
+        n = int(handles.shape[0])
+        if not n:
+            return
+        table = self._table
+        self.kernel_batches += 1
+        self.kernel_pages += n
+        if n <= _SMALL_KERNEL:
+            list_id = table.list_id
+            list_item = list_id.item
+            last = table.last_access_ns
+            counts = table.access_count
+            active = self.active
+            active_append = active._append
+            inactive = self.inactive
+            ops = 0
+            for h in handles.tolist():
+                last[h] = now_ns
+                counts[h] += 1
+                lid = list_item(h)
+                if lid == ACTIVE_ID:
+                    active_append(h)
+                    ops += 1
+                elif lid == INACTIVE_ID:
+                    list_id[h] = ACTIVE_ID
+                    inactive._count -= 1
+                    active._count += 1
+                    active_append(h)
+                    ops += 2
+                else:
+                    raise PageStateError(
+                        f"page {table.pages[h].pfn} accessed but not "
+                        f"resident in app {self.uid}"
+                    )
+            self.list_operations += ops
+            return
+        table.stamp_accesses(handles, now_ns)
+        lids = table.list_id[handles]
+        if (lids == NO_LIST).any():
+            bad = handles[int(_np.argmax(lids == NO_LIST))]
+            raise PageStateError(
+                f"page {table.pages[int(bad)].pfn} accessed but not "
+                f"resident in app {self.uid}"
+            )
+        inactive_handles = handles[lids == INACTIVE_ID]
+        promoted = (
+            len(set(inactive_handles.tolist())) if inactive_handles.size else 0
+        )
+        table.list_id[handles] = ACTIVE_ID
+        self.active._append_run(handles)
+        self.active._count += promoted
+        self.inactive._count -= promoted
+        self.list_operations += n + promoted

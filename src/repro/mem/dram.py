@@ -90,8 +90,10 @@ class MainMemory:
         self._used_bytes += PAGE_SIZE
         if self._used_bytes > self.peak_used_bytes:
             self.peak_used_bytes = self._used_bytes
-        if self._listeners:
-            self._notify(PAGE_SIZE)
+        # Listener loop inlined: this and remove_page are the two
+        # per-page occupancy paths left on the fault storm.
+        for listener in self._listeners:
+            listener(PAGE_SIZE)
 
     def add_pages(self, pages: list[Page]) -> None:
         """Make a batch of pages resident; the caller ensured room.
@@ -137,8 +139,31 @@ class MainMemory:
         if self._resident.pop(page.pfn, None) is None:
             raise PageStateError(f"page {page.pfn} is not resident")
         self._used_bytes -= PAGE_SIZE
-        if self._listeners:
-            self._notify(-PAGE_SIZE)
+        for listener in self._listeners:
+            listener(-PAGE_SIZE)
+
+    def remove_pages(self, pages: list[Page]) -> None:
+        """Evict a batch of pages; one summed listener delta.
+
+        Identical outcome to calling :meth:`remove_page` per page: the
+        non-resident check runs per page and surfaces at exactly the
+        page it would have (earlier pages stay removed, and the counter
+        accounts for them, matching the per-page reference), and deltas
+        are additive by contract so subscribers see the same total.
+        """
+        resident = self._resident
+        removed = 0
+        try:
+            for page in pages:
+                if resident.pop(page.pfn, None) is None:
+                    raise PageStateError(f"page {page.pfn} is not resident")
+                removed += 1
+        finally:
+            if removed:
+                delta = removed * PAGE_SIZE
+                self._used_bytes -= delta
+                if self._listeners:
+                    self._notify(-delta)
 
     def is_resident(self, page: Page) -> bool:
         """Whether ``page`` currently occupies DRAM."""

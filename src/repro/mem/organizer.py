@@ -428,14 +428,26 @@ class HotWarmColdOrganizer(DataOrganizer):
                 return lru.pop_lru()
         raise PageStateError(f"app {self.uid} has no pages to reclaim")
 
+    def level_list(self, level: Hotness):
+        """The LRU list backing one hotness level.
+
+        An ``is``-chain rather than a per-call dict build: this sits on
+        the reclaim scan's innermost loop, and it stays correct when a
+        subclass swaps the list implementation in its own ``__init__``.
+        """
+        if level is Hotness.COLD:
+            return self.cold
+        if level is Hotness.WARM:
+            return self.warm
+        return self.hot
+
     def pop_victim_from_level(self, level: Hotness) -> Page:
         """Remove the LRU page of one specific list.
 
         Used by Ariadne's global eviction order (Section 4.2: cold data
         of *all* applications first, then warm, then hot).
         """
-        lru = {Hotness.HOT: self.hot, Hotness.WARM: self.warm,
-               Hotness.COLD: self.cold}[level]
+        lru = self.level_list(level)
         if not len(lru):
             raise PageStateError(
                 f"app {self.uid} has no {level.value} pages to reclaim"
@@ -445,9 +457,7 @@ class HotWarmColdOrganizer(DataOrganizer):
 
     def level_population(self, level: Hotness) -> int:
         """Number of resident pages on one hotness list."""
-        lru = {Hotness.HOT: self.hot, Hotness.WARM: self.warm,
-               Hotness.COLD: self.cold}[level]
-        return len(lru)
+        return len(self.level_list(level))
 
     def has_victims(self) -> bool:
         return bool(len(self.cold) or len(self.warm) or len(self.hot))

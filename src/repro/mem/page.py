@@ -46,6 +46,14 @@ class Hotness(enum.Enum):
         return {Hotness.HOT: 0, Hotness.WARM: 1, Hotness.COLD: 2}[self]
 
 
+#: Dense integer codes for :class:`Hotness`, used as list ids by the
+#: columnar page-metadata core (``repro.mem.columnar``).  The codes
+#: equal ``Hotness.rank`` so "evicted earlier" sorts ascending either
+#: way; ``-1`` (no list) is reserved and must stay out of this table.
+HOTNESS_TO_ID = {Hotness.HOT: 0, Hotness.WARM: 1, Hotness.COLD: 2}
+ID_TO_HOTNESS = {code: hotness for hotness, code in HOTNESS_TO_ID.items()}
+
+
 class PageLocation(enum.Enum):
     """Where a page's data currently resides."""
 

@@ -161,6 +161,12 @@ class Counters:
         """Increase counter ``name`` by ``amount``."""
         self._counts[name] += amount
 
+    def mutable(self) -> dict[str, int]:
+        """The live counter store, for hot paths that batch several
+        increments without per-call :meth:`incr` dispatch.  Mutating the
+        returned defaultdict is equivalent to the same ``incr`` calls."""
+        return self._counts
+
     def get(self, name: str) -> int:
         """Current value of counter ``name`` (0 if never incremented)."""
         return self._counts.get(name, 0)
@@ -236,13 +242,24 @@ class AccessRun(list):
     key-reuse hazard a side table would have.
     """
 
-    __slots__ = ("uid", "verified_epoch")
+    __slots__ = ("uid", "verified_epoch", "columnar_handles", "handle_cache")
 
     def __init__(self, pages, uid: int) -> None:
         super().__init__(pages)
         self.uid = uid
         #: Scheme epoch at the last fully-resident replay (-1 = never).
         self.verified_epoch = -1
+        #: Memoized handle array of this run in its organizer's columnar
+        #: page table (``repro.mem.columnar``); None until first replay
+        #: under the columnar core.  Safe for the same reason
+        #: ``verified_epoch`` is: the run object is per-app per-system,
+        #: and handles are stable for the organizer's lifetime.
+        self.columnar_handles = None
+        #: Optional ``(host_dict, key)`` for sharing the handle array
+        #: across systems built from the same immutable trace (set by
+        #: ``LiveApp.access_run``; consumed by the columnar organizers,
+        #: which verify table agreement before trusting an entry).
+        self.handle_cache = None
 
 
 @dataclass

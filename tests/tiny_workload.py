@@ -1,0 +1,67 @@
+"""Tiny-workload builders shared by fixtures and direct test imports.
+
+Lives in its own uniquely named module (not ``conftest``) so test files
+can import it by name: a repo-wide pytest run loads *both*
+``tests/conftest.py`` and ``benchmarks/conftest.py`` under the module
+name ``conftest``, and a ``from conftest import ...`` in a test file
+resolves to whichever loaded first.
+"""
+
+from __future__ import annotations
+
+from repro.core import AriadneConfig, PlatformConfig
+from repro.sim import MobileSystem, make_system
+from repro.trace import WorkloadTrace
+from repro.units import KIB, MIB
+from repro.workload import AppProfile
+
+TINY_PROFILES = (
+    AppProfile(
+        name="MiniTube", uid=1,
+        anon_mb_10s=8, anon_mb_5min=16,
+        hot_fraction=0.25, warm_fraction=0.30,
+        hot_similarity=0.75, reused_fraction=0.97,
+        locality_p2=0.80, locality_p4=0.60,
+        dram_relaunch_ms=50.0,
+        incompressible_fraction=0.15,
+    ),
+    AppProfile(
+        name="MiniChat", uid=2,
+        anon_mb_10s=6, anon_mb_5min=12,
+        hot_fraction=0.30, warm_fraction=0.25,
+        hot_similarity=0.70, reused_fraction=0.98,
+        locality_p2=0.75, locality_p4=0.50,
+        dram_relaunch_ms=40.0,
+        incompressible_fraction=0.10,
+    ),
+    AppProfile(
+        name="MiniGame", uid=3,
+        anon_mb_10s=10, anon_mb_5min=20,
+        hot_fraction=0.12, warm_fraction=0.28,
+        hot_similarity=0.60, reused_fraction=0.96,
+        locality_p2=0.65, locality_p4=0.35,
+        dram_relaunch_ms=70.0,
+        incompressible_fraction=0.25,
+    ),
+)
+
+
+def tiny_platform(total_trace_bytes: int) -> PlatformConfig:
+    """A pressured platform sized for the tiny workload."""
+    return PlatformConfig(
+        dram_bytes=max(64 * KIB, int(total_trace_bytes * 0.55)),
+        zpool_bytes=max(256 * KIB, total_trace_bytes),
+        swap_bytes=4 * MIB,
+    )
+
+
+def build_tiny(
+    scheme_name: str,
+    trace: WorkloadTrace,
+    config: AriadneConfig | None = None,
+) -> MobileSystem:
+    """System over the tiny workload with matching pressure."""
+    total = sum(app.total_bytes() for app in trace.apps)
+    return make_system(
+        scheme_name, trace, platform=tiny_platform(total), ariadne_config=config
+    )
