@@ -34,7 +34,7 @@ from repro.compression.chunking import SizeCache
 from repro.experiments.common import scenario_build, workload_trace
 from repro.faults import FaultPlan, install_fault_plan
 from repro.mem.columnar import resolve_core
-from repro.metrics import recovery_summary
+from repro.metrics import recovery_summary, zswap_summary
 from repro.sim.scenario import run_heavy_scenario, run_light_scenario
 from repro.sim.system import SCHEME_NAMES
 
@@ -142,6 +142,20 @@ def profile(
         f"# size cache: {sizes.run_hits} run-key hits without LRU move, "
         f"{sizes.lru_moves} LRU moves on the payload path"
     )
+    # The zswap writeback tier at a glance (PR 9): batched reclaim and
+    # slot-locality readahead traffic.  All-zero (any scheme without the
+    # tier, or a pool that never crossed its threshold) prints nothing.
+    zswap = zswap_summary(system.ctx.counters)
+    if any(zswap.values()):
+        print(
+            f"# zswap: {zswap['zswap_writeback_batches']} writeback "
+            f"batches ({zswap['zswap_pages_written_back']} pages, max "
+            f"batch {zswap['zswap_batch_pages_max']}); readahead "
+            f"{zswap['zswap_readahead_reads']} reads, "
+            f"{zswap['zswap_readahead_hits']} hits, "
+            f"{zswap['zswap_readahead_wasted']} wasted, "
+            f"{zswap['zswap_readahead_aborted']} aborted"
+        )
     if plan is not None:
         # The recovery story at a glance: injections vs how the schemes
         # absorbed them (retries, drops, cold refaults) and whether the

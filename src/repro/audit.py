@@ -95,6 +95,7 @@ class InvariantAuditor:
         self._audit_columnar(scheme)
         self._audit_zpool_classes(scheme)
         self._audit_swap_slots(scheme)
+        self._audit_zswap_writeback(scheme)
         self.audits_performed += 1
 
     # -------------------------------------------------------------- the checks
@@ -296,3 +297,62 @@ class InvariantAuditor:
                 f"{len(missing)} in-flash chunk(s) reference freed swap "
                 f"slot(s) (double free); first: {sorted(missing)[:5]}"
             )
+
+    def _audit_zswap_writeback(self, scheme) -> None:
+        """Zswap writeback ledger balances and batches stay contiguous.
+
+        Duck-typed on the zswap batch records (``_batches``/
+        ``_batch_of``); other schemes skip.  Three invariants:
+
+        - **Ledger balance** — every stored page is in exactly one
+          location: pages in in-zpool chunks plus pages in in-flash
+          chunks must equal the stored-page index (``_stored_by_pfn``).
+          A mismatch means a writeback or readahead transition updated
+          one side and not the other.
+        - **Batch membership** — every in-flash membership record maps
+          to a recorded batch that actually lists the chunk.
+        - **Slot contiguity** — a live batch member's slot id must be
+          ``first_slot + position``: batched writeback allocated the
+          slots consecutively, and readahead's one-sequential-command
+          charge is only honest while that layout holds.
+        """
+        batches = getattr(scheme, "_batches", None)
+        batch_of = getattr(scheme, "_batch_of", None)
+        if batches is None or batch_of is None:
+            return
+        in_zpool = sum(
+            chunk.page_count
+            for chunk in scheme._chunks.values()
+            if chunk.in_zpool
+        )
+        in_flash = sum(
+            chunk.page_count
+            for chunk in scheme._chunks.values()
+            if chunk.in_flash
+        )
+        stored = len(scheme._stored_by_pfn)
+        if in_zpool + in_flash != stored:
+            raise InvariantViolationError(
+                f"zswap writeback ledger unbalanced: {in_zpool} pages in "
+                f"zpool chunks + {in_flash} in flash chunks != {stored} "
+                f"stored pages (epoch {scheme.eviction_epoch})"
+            )
+        for batch_id, (first_slot, members) in batches.items():
+            for position, chunk in enumerate(members):
+                if batch_of.get(chunk.chunk_id) != batch_id:
+                    continue  # member already faulted in / read / dropped
+                expected_slot = first_slot + position
+                if chunk.flash_slot != expected_slot:
+                    raise InvariantViolationError(
+                        f"zswap batch {batch_id} lost slot contiguity: "
+                        f"chunk {chunk.chunk_id} at position {position} "
+                        f"holds slot {chunk.flash_slot}, expected "
+                        f"{expected_slot} (first slot {first_slot})"
+                    )
+        for chunk_id, batch_id in batch_of.items():
+            entry = batches.get(batch_id)
+            if entry is None or all(c.chunk_id != chunk_id for c in entry[1]):
+                raise InvariantViolationError(
+                    f"zswap chunk {chunk_id} claims membership of batch "
+                    f"{batch_id}, which does not record it"
+                )

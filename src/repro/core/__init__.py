@@ -5,6 +5,9 @@
 - :class:`FlashSwapScheme` — the SWAP baseline (uncompressed pages to
   flash).
 - :class:`DramScheme` — the optimistic no-swap lower bound.
+- :class:`ZswapScheme` — the production Linux design point: compressed
+  DRAM pool with batched LRU writeback to flash and slot-locality
+  readahead.
 - :class:`AriadneScheme` — HotnessOrg + AdaptiveComp + PreDecomp (+
   compressed cold writeback to flash).
 
@@ -19,6 +22,7 @@ from .config import (
     PlatformConfig,
     PressureConfig,
     RelaunchScenario,
+    ZswapConfig,
     pixel7_platform,
 )
 from .context import SchemeContext, build_context
@@ -28,6 +32,7 @@ from .scheme import AccessResult, SwapScheme
 from .stored import StoredChunk
 from .swap_scheme import FlashSwapScheme
 from .zram import ZramScheme
+from .zswap import ZswapScheme
 
 __all__ = [
     "AccessResult",
@@ -43,6 +48,8 @@ __all__ = [
     "StoredChunk",
     "SwapScheme",
     "ZramScheme",
+    "ZswapConfig",
+    "ZswapScheme",
     "build_context",
     "pixel7_platform",
 ]

@@ -278,6 +278,78 @@ class AriadneConfig:
         return max(1, self.large_size // PAGE_SIZE)
 
 
+@dataclass(frozen=True)
+class ZswapConfig:
+    """Tunables of the zswap writeback tier (:mod:`repro.core.zswap`).
+
+    Models the Linux zswap design point: pages compress into the zpool
+    as under ZRAM, but an LRU shrinker migrates the coldest compressed
+    entries to flash in batches, and faults from flash read the
+    neighboring slots of the same writeback batch ahead of demand.
+
+    Attributes:
+        swap_cluster_max: Largest reclaim batch one shrinker pass writes
+            back (the kernel's ``SWAP_CLUSTER_MAX``, 32).  Batch members
+            land in contiguous swap slots, which is what makes the
+            readahead window sequential on the device.
+        page_cluster: Readahead window exponent, as in
+            ``/proc/sys/vm/page-cluster``: a fault from flash
+            speculatively decompresses the other live slots inside its
+            aligned ``2**page_cluster`` window of the same batch.
+            ``0`` disables readahead.
+        n_devices: Equal-priority swap devices; writeback batches
+            round-robin across them (the kernel's same-priority
+            swap-device striping).
+        pool_threshold: zpool utilization above which the shrinker runs
+            (the ``zswap accept_thr_percent`` knob, as a fraction).
+        staging_pages: Capacity of the FIFO buffer holding readahead
+            decompressions until the app touches them (or they age out
+            and are recompressed as wasted work).
+    """
+
+    swap_cluster_max: int = 32
+    page_cluster: int = 3
+    n_devices: int = 1
+    pool_threshold: float = 0.85
+    staging_pages: int = 32
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.swap_cluster_max <= 512:
+            raise ConfigError(
+                f"swap_cluster_max must be in [1, 512], got "
+                f"{self.swap_cluster_max}"
+            )
+        if not 0 <= self.page_cluster <= 6:
+            raise ConfigError(
+                f"page_cluster must be in [0, 6] (window 1..64), got "
+                f"{self.page_cluster}"
+            )
+        if not 1 <= self.n_devices <= 8:
+            raise ConfigError(
+                f"n_devices must be in [1, 8], got {self.n_devices}"
+            )
+        if not 0.0 < self.pool_threshold <= 1.0:
+            raise ConfigError("pool_threshold must be in (0, 1]")
+        if self.staging_pages < 1:
+            raise ConfigError("staging_pages must be >= 1")
+
+    @property
+    def readahead_window(self) -> int:
+        """Slots covered by one readahead window (``2**page_cluster``)."""
+        return 1 << self.page_cluster
+
+    @property
+    def label(self) -> str:
+        """Stable column/cell name: ``ZSWAP`` for the defaults, else the
+        knobs spelled out (``ZSWAP-c8-p0-d2``)."""
+        if self == ZswapConfig():
+            return "ZSWAP"
+        return (
+            f"ZSWAP-c{self.swap_cluster_max}-p{self.page_cluster}-"
+            f"d{self.n_devices}"
+        )
+
+
 #: The configurations highlighted in the paper's figures.
 PAPER_CONFIGS: tuple[AriadneConfig, ...] = (
     AriadneConfig(small_size=1 * KIB, medium_size=2 * KIB, large_size=16 * KIB,

@@ -72,6 +72,7 @@ def build_context(
     codec_name: str = "lzo",
     latency: LatencyModel | None = None,
     sizes: SizeCache | None = None,
+    n_flash_devices: int = 1,
 ) -> SchemeContext:
     """Construct a fresh context (new clock, empty pools, zero counters).
 
@@ -82,6 +83,9 @@ def build_context(
         latency: Override latency model (tests inject simplified ones).
         sizes: Shared size cache (e.g. the experiment harness's
             disk-backed cache); a private in-memory cache by default.
+        n_flash_devices: Equal-priority swap devices behind the swap
+            area (zswap's round-robin batch striping); ``flash_device``
+            stays the primary (device 0) either way.
     """
     config = platform if platform is not None else pixel7_platform()
     device = FlashDevice()
@@ -91,7 +95,12 @@ def build_context(
         dram=MainMemory(config.dram_bytes),
         zpool=Zpool(config.zpool_bytes),
         flash_device=device,
-        flash_swap=FlashSwapArea(device, config.swap_bytes, byte_scale=config.scale),
+        flash_swap=FlashSwapArea(
+            device,
+            config.swap_bytes,
+            byte_scale=config.scale,
+            n_devices=n_flash_devices,
+        ),
         codec=get_compressor(codec_name),
         latency=latency if latency is not None else LatencyModel(),
         sizes=sizes if sizes is not None else SizeCache(),

@@ -1037,7 +1037,7 @@ class SwapScheme(ABC):
                 return slot, read_ns, backoff_total
 
     def _flash_store_with_retry(
-        self, nbytes: int, sequential: bool, thread: str
+        self, nbytes: int, sequential: bool, thread: str, store=None
     ) -> tuple[object, int, int] | None:
         """Store ``nbytes`` to swap, absorbing injected flash faults.
 
@@ -1046,22 +1046,29 @@ class SwapScheme(ABC):
         exhausted) — the caller degrades scheme-specifically (SWAP marks
         the page lost; Ariadne's writeback just reports no progress).
         :class:`~repro.errors.FlashFullError` propagates unchanged:
-        capacity exhaustion is policy, not a fault.  Without a fault
-        plan this is exactly one ``flash_swap.store``.
+        capacity exhaustion is policy, not a fault.  ``store`` overrides
+        the write call itself (zswap passes its batched contiguous-slot
+        store; the ``slot`` position of the return then carries the slot
+        tuple) — it must leak nothing on a raised fault so a retry is an
+        exact re-execution, which ``FlashSwapArea`` guarantees by
+        writing the device before allocating slots.  Without a fault
+        plan this is exactly one store call.
         """
         ctx = self.ctx
+        if store is None:
+            store = lambda: ctx.flash_swap.store(  # noqa: E731
+                nbytes, sequential=sequential
+            )
         plan = ctx.fault_plan
         if plan is None:
-            slot, write_ns = ctx.flash_swap.store(nbytes, sequential=sequential)
+            slot, write_ns = store()
             return slot, write_ns, 0
         counters = ctx.counters
         failed = 0
         backoff_total = 0
         while True:
             try:
-                slot, write_ns = ctx.flash_swap.store(
-                    nbytes, sequential=sequential
-                )
+                slot, write_ns = store()
             except TransientFlashError:
                 counters.incr("fault_flash_write_transient")
                 failed += 1

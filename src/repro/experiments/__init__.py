@@ -56,6 +56,8 @@ from . import (  # noqa: E402  (registration side effects)
     fig15,
     chaos,
     pressure,
+    zswap_compare,
+    zswap_sensitivity,
 )
 
 __all__ = [

@@ -6,11 +6,13 @@ a light switching scenario and reports how relaunch latency degrades
 and how every injected fault was absorbed (retried to success,
 abandoned to a counted cold refault, or caught by the digest check).
 
-Each rate runs two schemes, because they stress complementary paths:
+Each rate runs three schemes, because they stress complementary paths:
 SWAP does raw flash I/O for every swap-out/in (flash command errors,
-retry/backoff, drop-on-permanent), while Ariadne compresses into the
-zpool (bit-flip corruption caught by the digest check) and only
-touches flash through cold writeback.
+retry/backoff, drop-on-permanent), Ariadne compresses into the zpool
+(bit-flip corruption caught by the digest check) and only touches
+flash through cold writeback, and ZSWAP adds the batched writeback
+path (a deferred batch per unrecoverable write, readahead aborts on
+speculative reads).
 
 Two properties the suite pins:
 
@@ -37,7 +39,7 @@ FULL_RATES = (0.0, 0.0005, 0.002, 0.01, 0.05)
 QUICK_RATES = (0.0, 0.01)
 
 #: Schemes each rate runs (complementary fault surfaces; see module doc).
-SCHEMES = ("Ariadne", "SWAP")
+SCHEMES = ("Ariadne", "SWAP", "ZSWAP")
 
 #: Scenario length (simulated seconds of app switching) per system.
 _DURATION_S = 30.0
@@ -129,7 +131,7 @@ class Chaos(Experiment):
     """Fault-rate sweep with recovery-ledger verification."""
 
     id = "chaos"
-    title = "Fault-injection chaos sweep (Ariadne + SWAP)"
+    title = "Fault-injection chaos sweep (Ariadne + SWAP + ZSWAP)"
     anchor = "robustness"
     sharded = True
 

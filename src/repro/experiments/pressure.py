@@ -48,7 +48,7 @@ POLICIES = ("lmk", "swap", "hybrid")
 
 #: Schemes each cell runs (the DRAM baseline tracks no free-memory
 #: budget, so a pressure plan cannot install on it).
-SCHEMES = ("Ariadne", "SWAP", "ZRAM")
+SCHEMES = ("Ariadne", "SWAP", "ZRAM", "ZSWAP")
 
 #: Scenario length (simulated seconds of app switching) per system.
 _DURATION_S = 25.0

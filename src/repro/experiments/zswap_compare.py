@@ -1,0 +1,156 @@
+"""ZSWAP comparison column: the full scheme matrix under a tight zpool.
+
+Not a paper figure — the scenario-diversity column ROADMAP direction 2
+asks for.  The paper compares Ariadne against ZRAM and flash SWAP; the
+production Linux design point for many-idle-app workloads is ZSWAP
+(SNIPPETS.md snippet 3), which this experiment adds to the matrix on
+equal terms: every scheme runs the same light switching scenario on a
+platform whose zpool is deliberately small relative to the workload's
+cold data, so the hot/cold migration machinery (zswap's shrinker,
+Ariadne's writeback) actually runs instead of idling below threshold.
+
+Reported per scheme, fig2/fig3/table2-style: mean and p95 relaunch
+latency, kswapd CPU seconds, flash bytes written, and — for ZSWAP —
+the writeback/readahead counter block
+(:data:`repro.metrics.ZSWAP_COUNTERS`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import PlatformConfig
+from ..metrics import zswap_summary
+from ..sim.scenario import run_light_scenario
+from ..units import MIB
+from .common import experiment_platform, render_table, workload_trace
+from .registry import Experiment, ExperimentResult, register
+
+#: Matrix columns, in render order.
+SCHEMES = ("DRAM", "ZRAM", "SWAP", "ZSWAP", "Ariadne")
+
+#: zpool budget as a fraction of the workload's anonymous footprint —
+#: small enough that compressed cold data overflows it and the
+#: writeback tiers engage (the standard 3 GB-scaled pool never fills).
+_ZPOOL_FRACTION = 0.04
+
+#: DRAM budget fraction (the standard scenario platform's churn point).
+_DRAM_FRACTION = 0.92
+
+_DURATION_S = 25.0
+_QUICK_DURATION_S = 10.0
+
+
+def tight_zpool_platform() -> PlatformConfig:
+    """The comparison platform: scenario DRAM churn, overflowing zpool."""
+    trace = workload_trace(n_apps=5)
+    total = sum(app.total_bytes() for app in trace.apps)
+    base = experiment_platform(len(trace.apps))
+    return PlatformConfig(
+        dram_bytes=int(total * _DRAM_FRACTION),
+        zpool_bytes=max(1, int(total * _ZPOOL_FRACTION)),
+        swap_bytes=base.swap_bytes,
+        scale=base.scale,
+        parallelism=base.parallelism,
+    )
+
+
+def build_tight(scheme_name: str, zswap_config=None):
+    """System on the tight-zpool platform, sharing the size cache."""
+    from ..sim import make_system
+    from .common import _SHARED_SIZES
+
+    system = make_system(
+        scheme_name,
+        workload_trace(n_apps=5),
+        platform=tight_zpool_platform(),
+        zswap_config=zswap_config,
+    )
+    system.ctx.sizes = _SHARED_SIZES
+    return system
+
+
+@dataclass
+class SchemeCell:
+    """One scheme's measured outcome (picklable)."""
+
+    scheme: str
+    relaunches: int
+    mean_latency_ms: float
+    p95_latency_ms: float
+    kswapd_cpu_s: float
+    flash_written_mib: float
+    zswap: dict[str, int]  # ZSWAP_COUNTERS snapshot (zeros elsewhere)
+
+
+@dataclass
+class ZswapCompareResult(ExperimentResult):
+    """The scheme matrix under a tight zpool, ZSWAP column included."""
+
+    cells: dict[str, SchemeCell]
+
+    def render(self) -> str:
+        rows = []
+        for scheme in SCHEMES:
+            cell = self.cells[scheme]
+            rows.append([
+                scheme,
+                f"{cell.mean_latency_ms:.1f}",
+                f"{cell.p95_latency_ms:.1f}",
+                f"{cell.kswapd_cpu_s:.3f}",
+                f"{cell.flash_written_mib:.1f}",
+            ])
+        table = render_table(
+            "ZSWAP comparison: light scenario on an overflowing zpool",
+            ["Scheme", "Mean (ms)", "p95 (ms)", "kswapd CPU (s)",
+             "Flash wr (MiB)"],
+            rows,
+        )
+        z = self.cells["ZSWAP"].zswap
+        counters = (
+            f"zswap: {z['zswap_writeback_batches']} writeback batches "
+            f"({z['zswap_pages_written_back']} pages, max batch "
+            f"{z['zswap_batch_pages_max']}), readahead "
+            f"{z['zswap_readahead_reads']} reads / "
+            f"{z['zswap_readahead_hits']} hits / "
+            f"{z['zswap_readahead_wasted']} wasted"
+        )
+        return f"{table}\n{counters}"
+
+
+@register
+class ZswapCompare(Experiment):
+    """Scheme matrix with the ZSWAP writeback tier as a column."""
+
+    id = "zswap_compare"
+    title = "ZSWAP writeback tier vs the scheme matrix (tight zpool)"
+    anchor = "roadmap-2"
+    sharded = True
+
+    def cell_keys(self, quick: bool = False) -> list[str]:
+        return list(SCHEMES)
+
+    def run_cell(self, key: str, quick: bool = False) -> SchemeCell:
+        """One scheme's scenario run; cells are fully independent."""
+        self._require_cell(key, quick)
+        duration = _QUICK_DURATION_S if quick else _DURATION_S
+        system = build_tight(key)
+        result = run_light_scenario(system, duration_s=duration)
+        latencies = sorted(r.latency_ms for r in result.relaunches)
+        count = len(latencies)
+        return SchemeCell(
+            scheme=key,
+            relaunches=count,
+            mean_latency_ms=sum(latencies) / count if count else 0.0,
+            p95_latency_ms=(
+                latencies[int(0.95 * (count - 1))] if count else 0.0
+            ),
+            kswapd_cpu_s=result.kswapd_cpu_ns / 1e9,
+            flash_written_mib=result.flash_bytes_written / MIB,
+            zswap=zswap_summary(result.counters),
+        )
+
+    def merge(
+        self, cell_results: dict, quick: bool = False
+    ) -> ZswapCompareResult:
+        return ZswapCompareResult(cells=self._ordered(cell_results, quick))

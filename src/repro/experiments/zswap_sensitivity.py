@@ -1,0 +1,151 @@
+"""ZSWAP sensitivity: reclaim batch size × readahead window × devices.
+
+Sweeps the three :class:`~repro.core.ZswapConfig` knobs the writeback
+tier exposes and reports the counters that make each knob's mechanism
+visible:
+
+- ``swap_cluster_max`` — smaller batches mean more writeback rounds for
+  the same page count (``zswap_writeback_batches`` rises, max batch
+  falls);
+- ``page_cluster`` — 0 disables readahead entirely (zero speculative
+  reads); 3 reads up to a 8-slot window per fault and the hit/waste
+  split shows how much of that speculation pays off;
+- ``n_devices`` — writeback batches round-robin across devices, so the
+  per-device sequential write command counts should stripe near-evenly.
+
+Every cell replays the identical trace on the identical tight-zpool
+platform (:func:`~repro.experiments.zswap_compare.tight_zpool_platform`)
+so differences are attributable to the knob alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import ZswapConfig
+from ..metrics import zswap_summary
+from ..sim.scenario import run_light_scenario
+from .registry import Experiment, ExperimentResult, register
+from .zswap_compare import build_tight
+
+#: (swap_cluster_max, page_cluster, n_devices) points, full sweep.
+_FULL_GRID = tuple(
+    (cluster, page_cluster, devices)
+    for cluster in (8, 32)
+    for page_cluster in (0, 3)
+    for devices in (1, 2)
+)
+
+#: Quick suite keeps the default batch size and sweeps the other knobs.
+_QUICK_GRID = tuple(point for point in _FULL_GRID if point[0] == 32)
+
+_DURATION_S = 10.0
+
+
+def _key(cluster: int, page_cluster: int, devices: int) -> str:
+    return f"c{cluster}-p{page_cluster}-d{devices}"
+
+
+@dataclass
+class SensitivityCell:
+    """One configuration point's measured outcome (picklable)."""
+
+    key: str
+    cluster: int
+    page_cluster: int
+    devices: int
+    mean_latency_ms: float
+    writeback_batches: int
+    pages_written_back: int
+    batch_pages_max: int
+    readahead_reads: int
+    readahead_hits: int
+    readahead_wasted: int
+    write_commands_by_device: tuple[int, ...]
+
+
+@dataclass
+class ZswapSensitivityResult(ExperimentResult):
+    """The sweep table."""
+
+    cells: dict[str, SensitivityCell]
+
+    def render(self) -> str:
+        from .common import render_table
+
+        rows = []
+        for cell in self.cells.values():
+            stripe = "/".join(str(n) for n in cell.write_commands_by_device)
+            rows.append([
+                cell.key,
+                f"{cell.mean_latency_ms:.1f}",
+                str(cell.writeback_batches),
+                str(cell.pages_written_back),
+                str(cell.batch_pages_max),
+                str(cell.readahead_reads),
+                str(cell.readahead_hits),
+                str(cell.readahead_wasted),
+                stripe,
+            ])
+        return render_table(
+            "ZSWAP sensitivity: cluster size x page-cluster x devices",
+            ["Config", "Mean (ms)", "Batches", "Pages WB", "Max batch",
+             "RA reads", "RA hits", "RA wasted", "Wr cmds/dev"],
+            rows,
+        )
+
+
+@register
+class ZswapSensitivity(Experiment):
+    """Knob sweep for the ZSWAP writeback tier."""
+
+    id = "zswap_sensitivity"
+    title = "ZSWAP sensitivity: batch size, readahead window, devices"
+    anchor = "roadmap-2"
+    sharded = True
+
+    def _grid(self, quick: bool):
+        return _QUICK_GRID if quick else _FULL_GRID
+
+    def cell_keys(self, quick: bool = False) -> list[str]:
+        return [_key(*point) for point in self._grid(quick)]
+
+    def run_cell(self, key: str, quick: bool = False) -> SensitivityCell:
+        """One config point; cells are fully independent."""
+        self._require_cell(key, quick)
+        point = dict(zip(self.cell_keys(quick), self._grid(quick)))[key]
+        cluster, page_cluster, devices = point
+        config = ZswapConfig(
+            swap_cluster_max=cluster,
+            page_cluster=page_cluster,
+            n_devices=devices,
+        )
+        system = build_tight("ZSWAP", zswap_config=config)
+        result = run_light_scenario(system, duration_s=_DURATION_S)
+        latencies = [r.latency_ms for r in result.relaunches]
+        summary = zswap_summary(result.counters)
+        return SensitivityCell(
+            key=key,
+            cluster=cluster,
+            page_cluster=page_cluster,
+            devices=devices,
+            mean_latency_ms=(
+                sum(latencies) / len(latencies) if latencies else 0.0
+            ),
+            writeback_batches=summary["zswap_writeback_batches"],
+            pages_written_back=summary["zswap_pages_written_back"],
+            batch_pages_max=summary["zswap_batch_pages_max"],
+            readahead_reads=summary["zswap_readahead_reads"],
+            readahead_hits=summary["zswap_readahead_hits"],
+            readahead_wasted=summary["zswap_readahead_wasted"],
+            write_commands_by_device=(
+                system.ctx.flash_swap.write_commands_by_device()
+            ),
+        )
+
+    def merge(
+        self, cell_results: dict, quick: bool = False
+    ) -> ZswapSensitivityResult:
+        return ZswapSensitivityResult(
+            cells=self._ordered(cell_results, quick)
+        )

@@ -197,3 +197,8 @@ def install_fault_plan(ctx, plan: FaultPlan | None) -> None:
     """
     ctx.fault_plan = plan
     ctx.flash_device.fault_plan = plan
+    # Multi-device swap setups (zswap striping) share the one plan: a
+    # batch write consults it once regardless of which device it lands
+    # on, so the decision sequence is independent of device count.
+    for device in getattr(ctx.flash_swap, "devices", ()):
+        device.fault_plan = plan

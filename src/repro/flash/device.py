@@ -52,9 +52,17 @@ class FlashDevice:
     model.
     """
 
-    def __init__(self, config: FlashDeviceConfig | None = None) -> None:
+    def __init__(
+        self, config: FlashDeviceConfig | None = None, index: int = 0
+    ) -> None:
         self.config = config if config is not None else FlashDeviceConfig()
         self.config.validate()
+        if index < 0:
+            raise ConfigError(f"device index cannot be negative: {index}")
+        #: Position in a multi-device swap setup (0 = the primary device;
+        #: :class:`~repro.flash.swaparea.FlashSwapArea` stripes writeback
+        #: batches across equal-priority devices by this index).
+        self.index = index
         self.host_bytes_read = 0
         self.host_bytes_written = 0
         self.read_commands = 0

@@ -28,6 +28,8 @@ class SwapSlot:
     slot_id: int
     stored_bytes: int
     sequential: bool = False
+    #: Which equal-priority device holds the slot (0 = primary).
+    device_index: int = 0
 
 
 #: Largest contiguous transfer a single UFS command covers in our model.
@@ -44,10 +46,19 @@ class FlashSwapArea:
             accounting stays at simulation scale, but device latency and
             wear are charged for the real transfer (one simulated page
             stands for ``byte_scale`` real pages).
+        n_devices: Equal-priority swap devices sharing the capacity.
+            ``device`` is device 0; extras are built from its config.
+            Single-slot ``store``/``load`` stay on device 0 (the classic
+            single-device paths are bit-identical); batched writeback
+            picks a device per batch (see :meth:`store_batch`).
     """
 
     def __init__(
-        self, device: FlashDevice, capacity_bytes: int, byte_scale: int = 1
+        self,
+        device: FlashDevice,
+        capacity_bytes: int,
+        byte_scale: int = 1,
+        n_devices: int = 1,
     ) -> None:
         if capacity_bytes <= 0:
             raise FlashFullError(
@@ -55,7 +66,12 @@ class FlashSwapArea:
             )
         if byte_scale < 1:
             raise FlashFullError(f"byte_scale must be >= 1, got {byte_scale}")
+        if n_devices < 1:
+            raise FlashFullError(f"n_devices must be >= 1, got {n_devices}")
         self.device = device
+        self.devices: tuple[FlashDevice, ...] = (device,) + tuple(
+            FlashDevice(device.config, index=i) for i in range(1, n_devices)
+        )
         self.capacity_bytes = capacity_bytes
         self.byte_scale = byte_scale
         self._slots: dict[int, SwapSlot] = {}
@@ -118,10 +134,90 @@ class FlashSwapArea:
         if slot is None:
             raise FlashFullError(f"swap slot {slot_id} is not occupied")
         real_bytes = slot.stored_bytes * self.byte_scale
-        latency_ns = self.device.read_many(
+        latency_ns = self.devices[slot.device_index].read_many(
             real_bytes, n_commands=self._command_count(real_bytes, slot.sequential)
         )
         return slot, latency_ns
+
+    def store_batch(
+        self, sizes: list[int], device_index: int = 0
+    ) -> tuple[tuple[SwapSlot, ...], int]:
+        """Write a reclaim batch to contiguous slots on one device.
+
+        The batch lands in consecutively numbered slots (the kernel's
+        ``scan_swap_map`` cluster allocation), written as one sequential
+        command train — what makes a later ``page-cluster`` readahead of
+        the neighboring slots a single sequential read.  Returns
+        ``(slots, write latency ns)``.  Like :meth:`store`, the device
+        write happens before any slot is allocated, so an injected write
+        fault leaks nothing and a retry is an exact re-execution.
+        """
+        if not sizes:
+            raise FlashFullError("writeback batch cannot be empty")
+        if not 0 <= device_index < len(self.devices):
+            raise FlashFullError(
+                f"device index {device_index} out of range "
+                f"(have {len(self.devices)} device(s))"
+            )
+        total = sum(sizes)
+        if total > self.free_bytes:
+            raise FlashFullError(
+                f"swap area cannot fit {fmt_bytes(total)} batch "
+                f"(free {fmt_bytes(self.free_bytes)})"
+            )
+        real_total = total * self.byte_scale
+        latency_ns = self.devices[device_index].write_many(
+            real_total, n_commands=self._command_count(real_total, True)
+        )
+        slots = []
+        for nbytes in sizes:
+            slot = SwapSlot(
+                slot_id=self._next_slot,
+                stored_bytes=nbytes,
+                sequential=True,
+                device_index=device_index,
+            )
+            self._next_slot += 1
+            self._slots[slot.slot_id] = slot
+            self._used_bytes += nbytes
+            slots.append(slot)
+        return tuple(slots), latency_ns
+
+    def load_run(self, slot_ids: list[int]) -> tuple[tuple[SwapSlot, ...], int]:
+        """Read several same-device slots as one sequential command train.
+
+        The zswap readahead path uses this for the contiguous slots of
+        one writeback batch: the whole window costs one sequential read
+        rather than per-slot random commands.  All slots must be
+        occupied and on the same device; they stay allocated (freeing is
+        the caller's decision, as with :meth:`load`).
+        """
+        if not slot_ids:
+            raise FlashFullError("slot run cannot be empty")
+        slots = []
+        for slot_id in slot_ids:
+            slot = self._slots.get(slot_id)
+            if slot is None:
+                raise FlashFullError(f"swap slot {slot_id} is not occupied")
+            slots.append(slot)
+        device_index = slots[0].device_index
+        if any(slot.device_index != device_index for slot in slots):
+            raise FlashFullError(
+                "slot run spans devices; a sequential read cannot"
+            )
+        real_total = sum(slot.stored_bytes for slot in slots) * self.byte_scale
+        latency_ns = self.devices[device_index].read_many(
+            real_total, n_commands=self._command_count(real_total, True)
+        )
+        return tuple(slots), latency_ns
+
+    def write_commands_by_device(self) -> tuple[int, ...]:
+        """Per-device write-command totals (striping visibility)."""
+        return tuple(device.write_commands for device in self.devices)
+
+    def host_bytes_written_by_device(self) -> tuple[int, ...]:
+        """Per-device host bytes written (striping visibility)."""
+        return tuple(device.host_bytes_written for device in self.devices)
 
     def free(self, slot_id: int) -> SwapSlot:
         """Release a slot without I/O (invalidation is metadata-only)."""

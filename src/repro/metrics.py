@@ -17,6 +17,7 @@ from .errors import SchedulingError
 KSWAPD = "kswapd"
 APP = "app"
 PREDECOMP = "predecomp"
+ZSWAPD = "zswapd"
 
 
 class CpuAccount:
@@ -149,6 +150,33 @@ def pressure_summary(counters: "Counters | dict[str, int]") -> dict[str, int]:
     if isinstance(counters, dict):
         return {name: counters.get(name, 0) for name in PRESSURE_COUNTERS}
     return {name: counters.get(name) for name in PRESSURE_COUNTERS}
+
+
+#: Zswap writeback-tier counters (see :mod:`repro.core.zswap`).  All
+#: stay zero for the other schemes; :func:`zswap_summary` snapshots them
+#: for reports, mirroring :func:`recovery_summary`.
+ZSWAP_COUNTERS = (
+    # Shrinker: batched LRU writeback to contiguous swap slots.
+    "zswap_writeback_batches",
+    "zswap_pages_written_back",
+    "zswap_batch_pages_max",
+    # Slot-locality readahead: speculative neighbor decompressions.
+    "zswap_readahead_reads",
+    "zswap_readahead_hits",
+    "zswap_readahead_wasted",
+    "zswap_readahead_aborted",
+)
+
+
+def zswap_summary(counters: "Counters | dict[str, int]") -> dict[str, int]:
+    """Snapshot of the :data:`ZSWAP_COUNTERS` from a counter store.
+
+    Accepts a live :class:`Counters` or a plain counter dict, exactly
+    like :func:`recovery_summary`.
+    """
+    if isinstance(counters, dict):
+        return {name: counters.get(name, 0) for name in ZSWAP_COUNTERS}
+    return {name: counters.get(name) for name in ZSWAP_COUNTERS}
 
 
 class Counters:

@@ -72,13 +72,19 @@ def _run_scenario(
         index += 1
     wall_ns = clock.now_ns - start_ns
     cpu = system.ctx.cpu
-    device = system.ctx.flash_device
+    # Sum flash traffic across every swap device: with a single device
+    # (every scheme but multi-device ZSWAP) this is exactly the primary
+    # device's totals.
+    devices = getattr(system.ctx.flash_swap, "devices",
+                      (system.ctx.flash_device,))
+    bytes_read = sum(device.host_bytes_read for device in devices)
+    bytes_written = sum(device.host_bytes_written for device in devices)
     energy = model.energy(
         wall_ns=wall_ns,
         cpu_busy_ns=cpu.total_ns,
         dram_bytes_moved=system.ctx.counters.get("dram_bytes_moved"),
-        flash_bytes_read=device.host_bytes_read,
-        flash_bytes_written=device.host_bytes_written,
+        flash_bytes_read=bytes_read,
+        flash_bytes_written=bytes_written,
     )
     return ScenarioResult(
         scheme_name=system.scheme.name,
@@ -86,8 +92,8 @@ def _run_scenario(
         cpu_by_thread=cpu.threads(),
         cpu_by_activity=cpu.activities(),
         counters=system.ctx.counters.as_dict(),
-        flash_bytes_read=device.host_bytes_read,
-        flash_bytes_written=device.host_bytes_written,
+        flash_bytes_read=bytes_read,
+        flash_bytes_written=bytes_written,
         energy=energy,
         relaunches=relaunches,
     )

@@ -25,6 +25,8 @@ from ..core import (
     RelaunchScenario,
     SwapScheme,
     ZramScheme,
+    ZswapConfig,
+    ZswapScheme,
     build_context,
     pixel7_platform,
 )
@@ -34,7 +36,7 @@ from ..metrics import APP, AccessRun, RelaunchResult
 from ..trace.records import AppTrace, WorkloadTrace
 from ..units import MS, SECOND
 
-SCHEME_NAMES = ("DRAM", "ZRAM", "SWAP", "Ariadne")
+SCHEME_NAMES = ("DRAM", "ZRAM", "SWAP", "ZSWAP", "Ariadne")
 
 
 @dataclass
@@ -312,13 +314,15 @@ def make_system(
     platform: PlatformConfig | None = None,
     codec_name: str = "lzo",
     ariadne_config: AriadneConfig | None = None,
+    zswap_config: ZswapConfig | None = None,
 ) -> MobileSystem:
     """Factory: build a system running ``scheme_name`` over ``trace``.
 
-    ``scheme_name`` is one of ``DRAM`` / ``ZRAM`` / ``SWAP`` / ``Ariadne``.
-    For the DRAM baseline the platform's DRAM budget is inflated to hold
-    the whole workload (the paper's "optimistic assumption that DRAM is
-    large enough").
+    ``scheme_name`` is one of ``DRAM`` / ``ZRAM`` / ``SWAP`` / ``ZSWAP``
+    / ``Ariadne``.  For the DRAM baseline the platform's DRAM budget is
+    inflated to hold the whole workload (the paper's "optimistic
+    assumption that DRAM is large enough").  ``ZSWAP`` builds its swap
+    area over ``zswap_config.n_devices`` equal-priority flash devices.
     """
     base_platform = platform if platform is not None else pixel7_platform()
     real_budget = base_platform.dram_bytes
@@ -331,13 +335,21 @@ def make_system(
             scale=base_platform.scale,
             parallelism=base_platform.parallelism,
         )
-    ctx = build_context(base_platform, codec_name)
+    n_flash_devices = 1
+    if scheme_name == "ZSWAP":
+        if zswap_config is None:
+            zswap_config = ZswapConfig()
+        n_flash_devices = zswap_config.n_devices
+    ctx = build_context(base_platform, codec_name,
+                        n_flash_devices=n_flash_devices)
     if scheme_name == "DRAM":
         scheme: SwapScheme = DramScheme(ctx, pressure_budget_bytes=real_budget)
     elif scheme_name == "ZRAM":
         scheme = ZramScheme(ctx)
     elif scheme_name == "SWAP":
         scheme = FlashSwapScheme(ctx)
+    elif scheme_name == "ZSWAP":
+        scheme = ZswapScheme(ctx, zswap_config)
     elif scheme_name == "Ariadne":
         scheme = AriadneScheme(ctx, ariadne_config)
     else:

@@ -383,7 +383,12 @@ def _drive_scenario(core: str, scheme_name: str, trace, seed: int) -> dict:
 
     os.environ["REPRO_CORE"] = core
     try:
-        system = build_tiny(scheme_name, trace)
+        # ZSWAP runs on the tight platform so its writeback/readahead
+        # machinery (batch records, staging buffer) engages under both
+        # cores; the roomy tiny platform would leave it a ZRAM clone.
+        system = build_tiny(
+            scheme_name, trace, tight=(scheme_name == "ZSWAP")
+        )
         install_fault_plan(
             system.ctx,
             FaultPlan(
@@ -423,7 +428,7 @@ def _drive_scenario(core: str, scheme_name: str, trace, seed: int) -> dict:
 
 
 class TestSystemDifferential:
-    @pytest.mark.parametrize("scheme_name", ["Ariadne", "ZRAM"])
+    @pytest.mark.parametrize("scheme_name", ["Ariadne", "ZRAM", "ZSWAP"])
     @pytest.mark.parametrize("seed", [11, 23])
     def test_lifecycle_interleavings_fingerprint_identical(
         self, tiny_trace, scheme_name, seed

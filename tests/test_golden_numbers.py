@@ -99,6 +99,36 @@ GOLDEN_HEAVY_FINGERPRINT = {
 }
 
 
+#: zswap_compare (quick), ZSWAP cell: the writeback tier's measured
+#: behavior on the tight-zpool platform, captured at the PR-9 revision
+#: that introduced the scheme.  Exact — the simulation is all-integer,
+#: so any drift is an unintended behavior change, not noise.
+GOLDEN_ZSWAP_QUICK = {
+    "relaunches": 9,
+    "mean_latency_ms": 121.08621344444444,
+    "zswap": {
+        "zswap_writeback_batches": 27,
+        "zswap_pages_written_back": 864,
+        "zswap_batch_pages_max": 32,
+        "zswap_readahead_reads": 350,
+        "zswap_readahead_hits": 302,
+        "zswap_readahead_wasted": 25,
+        "zswap_readahead_aborted": 0,
+    },
+}
+
+#: zswap_sensitivity (quick): per-config (batches, pages written back,
+#: readahead reads, readahead hits, per-device write commands).  Pins
+#: the knob responses themselves: page-cluster 0 kills readahead,
+#: device count 2 stripes the command train near-evenly.
+GOLDEN_ZSWAP_SENSITIVITY = {
+    "c32-p0-d1": (26, 832, 0, 0, (380,)),
+    "c32-p0-d2": (26, 832, 0, 0, (189, 191)),
+    "c32-p3-d1": (27, 864, 350, 302, (395,)),
+    "c32-p3-d2": (27, 864, 350, 302, (204, 191)),
+}
+
+
 @pytest.fixture(scope="module")
 def fig2_result():
     return experiment("fig2").run(quick=True)
@@ -132,6 +162,45 @@ class TestFig13Golden:
 
     def test_headline_claim_still_holds(self, fig13_result):
         assert fig13_result.ehl_beats_zram_everywhere()
+
+
+@pytest.fixture(scope="module")
+def zswap_compare_result():
+    return experiment("zswap_compare").run(quick=True)
+
+
+class TestZswapGolden:
+    def test_scheme_matrix_includes_zswap(self, zswap_compare_result):
+        assert set(zswap_compare_result.cells) == {
+            "DRAM", "ZRAM", "SWAP", "ZSWAP", "Ariadne",
+        }
+
+    def test_zswap_cell_bit_identical(self, zswap_compare_result):
+        cell = zswap_compare_result.cells["ZSWAP"]
+        assert cell.relaunches == GOLDEN_ZSWAP_QUICK["relaunches"]
+        assert (
+            cell.mean_latency_ms == GOLDEN_ZSWAP_QUICK["mean_latency_ms"]
+        )
+        assert cell.zswap == GOLDEN_ZSWAP_QUICK["zswap"]
+
+    def test_baselines_carry_no_zswap_traffic(self, zswap_compare_result):
+        for scheme in ("DRAM", "ZRAM", "SWAP", "Ariadne"):
+            counters = zswap_compare_result.cells[scheme].zswap
+            assert not any(counters.values()), (scheme, counters)
+
+    def test_sensitivity_knobs_bit_identical(self):
+        result = experiment("zswap_sensitivity").run(quick=True)
+        measured = {
+            key: (
+                cell.writeback_batches,
+                cell.pages_written_back,
+                cell.readahead_reads,
+                cell.readahead_hits,
+                cell.write_commands_by_device,
+            )
+            for key, cell in result.cells.items()
+        }
+        assert measured == GOLDEN_ZSWAP_SENSITIVITY
 
 
 @pytest.fixture(scope="module")

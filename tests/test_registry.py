@@ -31,10 +31,10 @@ from repro.experiments.registry import to_jsonable
 class TestRegistration:
     def test_every_experiment_registered_exactly_once(self):
         ids = experiment_ids()
-        assert len(ids) == len(set(ids)) == 17
+        assert len(ids) == len(set(ids)) == 19
         # Registry order is the paper's presentation order.
         assert ids[0] == "table1"
-        assert ids[-1] == "pressure"
+        assert ids[-1] == "zswap_sensitivity"
 
     def test_specs_declare_identity(self):
         for spec in all_experiments():

@@ -9,7 +9,7 @@ resolves to whichever loaded first.
 
 from __future__ import annotations
 
-from repro.core import AriadneConfig, PlatformConfig
+from repro.core import AriadneConfig, PlatformConfig, ZswapConfig
 from repro.sim import MobileSystem, make_system
 from repro.trace import WorkloadTrace
 from repro.units import KIB, MIB
@@ -55,13 +55,31 @@ def tiny_platform(total_trace_bytes: int) -> PlatformConfig:
     )
 
 
+def tight_tiny_platform(total_trace_bytes: int) -> PlatformConfig:
+    """Like :func:`tiny_platform` but with an overflowing zpool.
+
+    ``tiny_platform`` gives the zpool the whole trace, so writeback tiers
+    (ZSWAP, Ariadne's cold writeback) never engage.  This variant caps
+    the pool well below the cold footprint so they must.
+    """
+    return PlatformConfig(
+        dram_bytes=max(64 * KIB, int(total_trace_bytes * 0.55)),
+        zpool_bytes=max(64 * KIB, int(total_trace_bytes * 0.04)),
+        swap_bytes=16 * MIB,
+    )
+
+
 def build_tiny(
     scheme_name: str,
     trace: WorkloadTrace,
     config: AriadneConfig | None = None,
+    zswap_config: ZswapConfig | None = None,
+    tight: bool = False,
 ) -> MobileSystem:
     """System over the tiny workload with matching pressure."""
     total = sum(app.total_bytes() for app in trace.apps)
+    platform = tight_tiny_platform(total) if tight else tiny_platform(total)
     return make_system(
-        scheme_name, trace, platform=tiny_platform(total), ariadne_config=config
+        scheme_name, trace, platform=platform, ariadne_config=config,
+        zswap_config=zswap_config,
     )
