@@ -1,0 +1,95 @@
+"""Fleet-tier throughput profiling: devices/s, amortization counters,
+and the aggregator's memory bound.
+
+The fleet's performance story is amortization plus streaming: traces
+memoize per app-mix signature (not per device), compressed sizes come
+from the shared size memo, and the aggregate a shard ships is fixed
+size no matter how many devices fold into it.  This harness runs a
+device range in-process and prints the counter header CI publishes —
+the first numbers to look at before profiling per-function rows:
+
+- ``devices/s`` — end-to-end population throughput;
+- ``trace memo`` — hit/miss split of the per-worker trace cache (the
+  "construct once per worker, not once per device" claim);
+- ``aggregate bytes`` — pickled size of the final merged aggregate,
+  which must stay flat as the fleet grows;
+- ``reservoir/buckets`` — the constants that enforce that bound.
+
+Examples::
+
+    PYTHONPATH=src python benchmarks/profile_fleet.py
+    PYTHONPATH=src python benchmarks/profile_fleet.py --devices 500
+    PYTHONPATH=src python benchmarks/profile_fleet.py --devices 200 --profile
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pickle
+import pstats
+import time
+
+from repro.fleet import RESERVOIR_K, fleet_trace, run_shard, sample_device
+from repro.fleet.aggregate import N_BUCKETS
+
+
+def run(devices: int, seed: int, profile: bool, top: int) -> None:
+    # Sample the whole population up front: sampling cost is negligible
+    # and this keeps the timed section purely simulation + aggregation.
+    mixes = {
+        sample_device(seed, index).trace_signature
+        for index in range(devices)
+    }
+
+    profiler = cProfile.Profile() if profile else None
+    start = time.perf_counter()
+    if profiler is not None:
+        profiler.enable()
+    aggregate = run_shard(seed, 0, devices)
+    if profiler is not None:
+        profiler.disable()
+    elapsed = time.perf_counter() - start
+
+    memo = fleet_trace.cache_info()
+    payload = len(pickle.dumps(aggregate))
+    print(
+        f"fleet: {devices} devices in {elapsed:.2f}s "
+        f"({devices / elapsed:.1f} devices/s, seed {seed})"
+    )
+    print(
+        f"trace memo: {memo.hits} hits / {memo.misses} misses "
+        f"({len(mixes)} distinct app mixes)"
+    )
+    print(
+        f"aggregate: {payload} bytes pickled "
+        f"({aggregate.relaunches} relaunches folded, "
+        f"reservoir K={RESERVOIR_K}, {N_BUCKETS} histogram buckets)"
+    )
+    print(
+        f"population: {aggregate.pressure_devices} pressure devices, "
+        f"ledger {'balanced' if aggregate.ledger_consistent else 'INCONSISTENT'}"
+    )
+    if profiler is not None:
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumtime").print_stats(top)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--devices", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=404)
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="wrap the run in cProfile and print the top functions",
+    )
+    parser.add_argument("--top", type=int, default=20)
+    args = parser.parse_args()
+    if args.devices < 1:
+        parser.error("--devices must be >= 1")
+    run(args.devices, args.seed, args.profile, args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -58,6 +58,7 @@ from . import (  # noqa: E402  (registration side effects)
     pressure,
     zswap_compare,
     zswap_sensitivity,
+    fleet,
 )
 
 __all__ = [

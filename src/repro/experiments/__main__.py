@@ -104,7 +104,7 @@ def main(argv: list[str] | None = None) -> int:
         # Suites parallelize across experiments; a single sharded
         # experiment still parallelizes across its own cells.
         parallelizes = len(names) > 1 or experiment(names[0]).sharded
-        jobs = default_jobs() if parallelizes else 1
+        jobs = default_jobs(names) if parallelizes else 1
     if jobs < 1:
         print(f"--jobs must be >= 1, got {jobs}", file=sys.stderr)
         return 2

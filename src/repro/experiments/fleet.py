@@ -1,0 +1,202 @@
+"""Fleet experiment: population percentiles over N sampled devices.
+
+Not a paper figure — the population tier of the reproduction: the
+paper's relaunch-latency and kswapd-CPU claims are averages over many
+apps and devices, and this experiment measures them as fleet
+percentiles (p50/p95/p99 per scheme) over a seeded synthetic device
+population (:mod:`repro.fleet`).
+
+Sharding is by *device range*, not by scheme: each cell simulates a
+contiguous shard of :data:`SHARD_SIZE` devices and returns one
+fixed-size :class:`~repro.fleet.FleetAggregate`, so worker startup and
+trace construction amortize across the shard and the in-flight payload
+per cell is O(1) regardless of shard size.  Cell keys embed the fleet
+seed and the absolute device range (``s404-d000000-000050``) and never
+the fleet size, so growing ``REPRO_FLEET_DEVICES`` leaves every
+existing shard's key — and its entry in the persistent result cache —
+intact: an incremental re-run simulates only the new ranges.
+
+The merged result carries only mergeable summaries (count/sum/min/max,
+fixed-bucket histograms, seeded bounded reservoirs): aggregator memory
+and the ``--json`` document are independent of device count, and every
+quantity is integer-derived, so the document is byte-identical across
+``--jobs`` counts, shard orders, and cold/warm cache.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..fleet import (
+    FLEET_METRICS,
+    FleetAggregate,
+    fleet_device_count,
+    fleet_seed,
+    run_shard,
+)
+from ..fleet.population import SCHEME_MIX
+from ..units import MIB
+from .common import render_table
+from .registry import Experiment, ExperimentResult, register
+
+#: Devices per cell.  Large enough to amortize worker startup and trace
+#: construction across a shard, small enough that a quick fleet (200
+#: devices) still spreads across several workers.
+SHARD_SIZE = 50
+
+_KEY_PATTERN = re.compile(r"^s(-?\d+)-d(\d{6})-(\d{6})$")
+
+
+def shard_key(seed: int, start: int, stop: int) -> str:
+    """The cell key of devices ``[start, stop)`` under ``seed``."""
+    return f"s{seed}-d{start:06d}-{stop:06d}"
+
+
+def parse_shard_key(key: str) -> tuple[int, int, int]:
+    """Invert :func:`shard_key`; raises ``KeyError`` on malformed keys."""
+    match = _KEY_PATTERN.match(key)
+    if match is None:
+        raise KeyError(f"unknown fleet cell {key!r}")
+    seed, start, stop = (int(group) for group in match.groups())
+    if not 0 <= start < stop:
+        raise KeyError(f"fleet cell {key!r} has an empty or negative range")
+    return seed, start, stop
+
+
+@dataclass
+class MetricStats:
+    """Percentile view of one (scheme, metric) summary (native units)."""
+
+    count: int
+    total: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    minimum: int
+    maximum: int
+
+
+@dataclass
+class FleetResult(ExperimentResult):
+    """Population percentiles per scheme plus the merged aggregate."""
+
+    fleet_seed: int
+    devices: int
+    shard_size: int
+    shards: int
+    aggregate: FleetAggregate
+    #: scheme -> metric -> stats, derived from ``aggregate`` at merge.
+    stats: dict[str, dict[str, MetricStats]]
+
+    def _schemes(self) -> list[str]:
+        order = [scheme for scheme, _ in SCHEME_MIX]
+        present = [s for s in order if s in self.stats]
+        return present + sorted(set(self.stats) - set(present))
+
+    def render(self) -> str:
+        rows = []
+        for scheme in self._schemes():
+            relaunch = self.stats[scheme]["relaunch_ns"]
+            kswapd = self.stats[scheme]["kswapd_cpu_ns"]
+            flash = self.stats[scheme]["flash_written_bytes"]
+            kills = self.stats[scheme]["kills"]
+            rows.append([
+                scheme,
+                str(kswapd.count),
+                str(relaunch.count),
+                f"{relaunch.p50 / 1e6:.1f}",
+                f"{relaunch.p95 / 1e6:.1f}",
+                f"{relaunch.p99 / 1e6:.1f}",
+                f"{kswapd.mean / 1e6:.1f}",
+                f"{flash.mean / MIB:.2f}",
+                str(int(kills.total)),
+            ])
+        table = render_table(
+            f"Fleet percentiles: {self.devices} devices "
+            f"(seed {self.fleet_seed}, {self.shards} shards of "
+            f"{self.shard_size})",
+            ["Scheme", "Devices", "Relaunches", "p50 (ms)", "p95 (ms)",
+             "p99 (ms)", "kswapd mean (ms)", "flash wr (MiB)", "Kills"],
+            rows,
+        )
+        ledger = (
+            "pressure ledger balanced across "
+            f"{self.aggregate.pressure_devices} tight-RAM devices"
+            if self.aggregate.ledger_consistent
+            else "PRESSURE LEDGER INCONSISTENT"
+        )
+        return f"{table}\n{ledger}"
+
+
+@register
+class Fleet(Experiment):
+    """Device-range-sharded population sweep with streaming aggregation."""
+
+    id = "fleet"
+    title = "Fleet percentiles over a sampled device population"
+    anchor = "fleet"
+    sharded = True
+    #: Fleet shards vastly outnumber the paper suite's ~20 tasks, and
+    #: each worker's footprint is a few tiny traces — so this tier asks
+    #: the runner for full CPU affinity instead of the suite's 8-worker
+    #: cap (see :func:`repro.experiments.runner.default_jobs`).
+    jobs_hint = 64
+
+    def cell_keys(self, quick: bool = False) -> list[str]:
+        seed = fleet_seed()
+        devices = fleet_device_count(quick)
+        return [
+            shard_key(seed, start, min(start + SHARD_SIZE, devices))
+            for start in range(0, devices, SHARD_SIZE)
+        ]
+
+    def run_cell(self, key: str, quick: bool = False) -> FleetAggregate:
+        """Simulate one device shard.
+
+        The key is self-describing (seed + absolute range), so a cell
+        is a pure function of its key alone: cached payloads stay
+        valid across fleet-size changes and can never be served to a
+        different seed's fleet.
+        """
+        seed, start, stop = parse_shard_key(key)
+        return run_shard(seed, start, stop)
+
+    def merge(
+        self, cell_results: dict, quick: bool = False
+    ) -> FleetResult:
+        ordered = self._ordered(cell_results, quick)
+        merged = FleetAggregate()
+        for aggregate in ordered.values():
+            merged = merged.merge(aggregate)
+        merged = merged.normalized()
+        stats = {
+            scheme: {
+                metric: _stats(merged.by_scheme[scheme][metric])
+                for metric in FLEET_METRICS
+                if metric in merged.by_scheme[scheme]
+            }
+            for scheme in merged.by_scheme
+        }
+        return FleetResult(
+            fleet_seed=fleet_seed(),
+            devices=merged.devices,
+            shard_size=SHARD_SIZE,
+            shards=len(ordered),
+            aggregate=merged,
+            stats=stats,
+        )
+
+
+def _stats(summary) -> MetricStats:
+    return MetricStats(
+        count=summary.count,
+        total=summary.total,
+        mean=summary.mean,
+        p50=summary.quantile(0.50),
+        p95=summary.quantile(0.95),
+        p99=summary.quantile(0.99),
+        minimum=summary.minimum if summary.minimum is not None else 0,
+        maximum=summary.maximum if summary.maximum is not None else 0,
+    )

@@ -142,6 +142,13 @@ class Experiment(ABC):
     #: present another machine's (or another day's) clock as a
     #: measurement.
     cacheable: bool = True
+    #: Worker-count ceiling this experiment benefits from, or ``None``
+    #: to accept the runner's conservative suite default.  Set by
+    #: many-celled experiments (the fleet tier) whose cells outnumber
+    #: the paper suite's tasks; ``default_jobs`` in
+    #: :mod:`repro.experiments.runner` raises its cap to the largest
+    #: hint among the requested experiments.
+    jobs_hint: int | None = None
 
     # ------------------------------------------------------------ sharding
 
@@ -209,6 +216,7 @@ class Experiment(ABC):
             "anchor": self.anchor,
             "sharded": self.sharded,
             "cacheable": self.cacheable,
+            "jobs_hint": self.jobs_hint,
         }
 
 
@@ -307,13 +315,12 @@ def run_cached(experiment_id: str, quick: bool = False) -> ExperimentResult:
         return spec.run(quick=quick)
     args = {"quick": quick}
     result: ExperimentResult | None = None
-    # A jobs=1 runner task stores the whole result under cell=None.
-    hit = cache.load(spec.id, None, args)
-    if hit is not None:
-        result = hit  # type: ignore[assignment]
-    elif spec.sharded:
+    if spec.sharded:
         # Serve warm cells, measure only the missing ones (stored under
-        # the same per-cell keys the parallel runner uses).
+        # the same per-cell keys the runner uses at every job count).
+        # Sharded results are never memoized whole under cell=None: a
+        # spec's cell list may depend on environment knobs (the fleet's
+        # size and seed), which that key cannot distinguish.
         partials: dict[str, object] = {}
         for key in spec.cell_keys(quick):
             payload = cache.load(spec.id, key, args)
@@ -323,7 +330,11 @@ def run_cached(experiment_id: str, quick: bool = False) -> ExperimentResult:
             partials[key] = payload
         result = spec.merge(partials, quick=quick)
     else:
-        result = spec.run(quick=quick)
-        cache.store(spec.id, None, args, result)
+        hit = cache.load(spec.id, None, args)
+        if hit is not None:
+            result = hit  # type: ignore[assignment]
+        else:
+            result = spec.run(quick=quick)
+            cache.store(spec.id, None, args, result)
     flush_artifacts()
     return result

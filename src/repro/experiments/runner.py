@@ -138,16 +138,32 @@ class ExperimentOutcome:
         }
 
 
-def default_jobs() -> int:
+#: Worker cap for the paper suite when no experiment hints otherwise.
+_SUITE_JOBS_CAP = 8
+
+
+def default_jobs(names: list[str] | None = None) -> int:
     """Worker count when ``--jobs`` is not given: one per usable core.
 
     ``REPRO_JOBS`` overrides everything (CI and benchmark harnesses pin
     it for reproducible parallelism).  Otherwise uses the scheduler
     affinity mask (the cgroup/container allowance) rather than the host
-    core count, and caps at 8 — the suite has ~20 schedulable tasks
-    once the scheme-matrix experiments shard into cells, so more
-    workers than that only burns memory (each worker materializes its
-    own traces and systems).
+    core count, capped per request:
+
+    - the paper suite keeps the conservative cap of 8 — it has only ~20
+      schedulable tasks once the scheme-matrix experiments shard into
+      cells, and each worker materializes its own full-scale traces and
+      systems, so more workers than that only burns memory without
+      shortening the critical path;
+    - an experiment in ``names`` may raise the cap via its
+      ``jobs_hint`` — the fleet tier has hundreds of tiny uniform
+      shards and a few-MiB worker footprint, exactly the shape the
+      8-worker cap was protecting the suite *from*, so it requests the
+      full affinity mask instead.
+
+    The cap only ever rises to the largest hint requested: mixing the
+    fleet into a suite run must not starve it of workers, and a
+    hint-free request behaves exactly as before.
     """
     raw = os.environ.get(JOBS_ENV)
     if raw:
@@ -161,7 +177,12 @@ def default_jobs() -> int:
         usable = len(os.sched_getaffinity(0))
     except AttributeError:  # platforms without sched_getaffinity
         usable = os.cpu_count() or 1
-    return max(1, min(usable, 8))
+    cap = _SUITE_JOBS_CAP
+    for name in names or ():
+        hint = experiment(name).jobs_hint
+        if hint is not None:
+            cap = max(cap, hint)
+    return max(1, min(usable, cap))
 
 
 def _run_task(args: tuple[int, str, str | None, bool]):
@@ -170,8 +191,10 @@ def _run_task(args: tuple[int, str, str | None, bool]):
     Returns ``(group_id, cell_key, payload, elapsed_s, error, cached)``
     where ``payload`` is the structured result object for a whole
     experiment or the picklable cell payload for a sharded cell, and
-    ``cached`` is whether it came from the persistent result cache
-    instead of a fresh measurement.  Results are memoized per (code
+    ``cached`` counts how many of the task's units came from the
+    persistent result cache instead of a fresh measurement (0 or 1 for
+    a single cell / unsharded experiment; up to the cell count for a
+    sharded experiment run whole on the one-worker path).  Results are memoized per (code
     fingerprint, experiment, cell, args): on an unchanged tree a task
     is one disk read, and any source edit misses wholesale.
     """
@@ -188,21 +211,42 @@ def _run_task(args: tuple[int, str, str | None, bool]):
     results = result_cache() if spec.cacheable else None
     run_args = {"quick": quick}
     payload: object = None
-    cached = False
+    cached = 0
     error = None
     try:
-        if results is not None:
-            hit = results.load(name, cell_key, run_args)
-            if hit is not None:
-                payload = hit
-                cached = True
-        if not cached:
-            if cell_key is None:
-                payload = spec.run(quick=quick)
-            else:
-                payload = spec.run_cell(cell_key, quick=quick)
+        if cell_key is None and spec.sharded and results is not None:
+            # One task covering a whole sharded experiment (the
+            # one-worker path).  The cell list may depend on
+            # environment knobs (the fleet's size and seed), so the
+            # merged result is never memoized under ``cell=None`` —
+            # that key cannot distinguish two fleets.  Each cell is
+            # served or measured under its own key instead: exactly
+            # the entries the multi-worker path and ``run_cached``
+            # read and write, so serial and parallel runs share the
+            # cache in both directions.
+            partials: dict[str, object] = {}
+            for key in spec.cell_keys(quick):
+                hit = results.load(name, key, run_args)
+                if hit is None:
+                    hit = spec.run_cell(key, quick=quick)
+                    results.store(name, key, run_args, hit)
+                else:
+                    cached += 1
+                partials[key] = hit
+            payload = spec.merge(partials, quick=quick)
+        else:
             if results is not None:
-                results.store(name, cell_key, run_args, payload)
+                hit = results.load(name, cell_key, run_args)
+                if hit is not None:
+                    payload = hit
+                    cached = 1
+            if not cached:
+                if cell_key is None:
+                    payload = spec.run(quick=quick)
+                else:
+                    payload = spec.run_cell(cell_key, quick=quick)
+                if results is not None:
+                    results.store(name, cell_key, run_args, payload)
     except Exception as exc:  # surface per-task failures without killing the run
         error = f"{type(exc).__name__}: {exc}"
     flush_artifacts()
@@ -281,8 +325,7 @@ class _Group:
             self.error = error
         if failure is not None:
             self.failures.append(failure)
-        if cached:
-            self.cached_tasks += 1
+        self.cached_tasks += int(cached)
         self.partials[cell_key] = payload
         self.pending -= 1
         return self.pending == 0
@@ -541,7 +584,7 @@ def run_experiments(
     specs = [experiment(name) for name in names]  # raises on unknown ids
     if task_retries < 0:
         raise ValueError(f"task_retries cannot be negative: {task_retries}")
-    workers = jobs if jobs is not None else default_jobs()
+    workers = jobs if jobs is not None else default_jobs(names)
     tasks: list[tuple[int, str, str | None, bool]] = []
     groups: list[_Group] = []
     for group_id, spec in enumerate(specs):
@@ -628,15 +671,34 @@ def run_experiments(
                 serial_fallback,
             )
             resolved: set[int] = set()
+            # Submit in a bounded window rather than queueing every task
+            # up front: with many-celled experiments (a 10k-device fleet
+            # is hundreds of shards) eager submission would pickle every
+            # pending payload into the pool's task queue at once, making
+            # parent memory O(tasks).  The window keeps every worker busy
+            # (two submitted tasks per worker) while holding in-flight
+            # state at O(workers), independent of suite size.
+            window = max(2 * workers, workers + 2)
+            next_task = 0
+
+            def top_up() -> None:
+                nonlocal next_task
+                while (
+                    next_task < len(tasks)
+                    and len(supervisor.inflight) < window
+                ):
+                    supervisor.submit(next_task)
+                    next_task += 1
+
             try:
-                for task_index in range(len(tasks)):
-                    supervisor.submit(task_index)
+                top_up()
                 while len(resolved) < len(tasks):
                     progressed = False
                     for task_index, result, failure in supervisor.poll():
                         resolved.add(task_index)
                         consume(result, failure)
                         progressed = True
+                    top_up()
                     if len(resolved) < len(tasks) and not progressed:
                         time.sleep(_POLL_S)
                 if supervisor.abandoned_attempts:

@@ -1,0 +1,67 @@
+"""Fleet-scale simulation tier: sampled device populations, streaming
+percentile aggregation, and bounded-memory shard execution.
+
+The paper's claims are population claims — relaunch latency and kswapd
+CPU averaged over many apps and devices.  This package turns the
+single-device simulator into a population what-if engine: a seeded
+generator samples N parameterized device profiles
+(:mod:`repro.fleet.population`), shards of devices simulate
+independently (:mod:`repro.fleet.simulate`), and fixed-size mergeable
+summaries stream into fleet percentiles without per-device tables
+(:mod:`repro.fleet.aggregate`).  The registered ``fleet`` experiment
+(:mod:`repro.experiments.fleet`) rides the cell-sharded runner and
+result cache, so fleets are embarrassingly parallel and incrementally
+re-runnable: growing N only simulates the new shards.
+"""
+
+from .aggregate import (
+    FLEET_METRICS,
+    FleetAggregate,
+    MetricSummary,
+    RESERVOIR_K,
+    bucket_bounds,
+    bucket_of,
+    sample_priority,
+)
+from .population import (
+    DEFAULT_FLEET_SEED,
+    DEFAULT_FULL_DEVICES,
+    DEFAULT_QUICK_DEVICES,
+    FLEET_DEVICES_ENV,
+    FLEET_SEED_ENV,
+    DeviceProfile,
+    fleet_device_count,
+    fleet_seed,
+    sample_device,
+)
+from .simulate import (
+    DeviceOutcome,
+    fleet_platform,
+    fleet_trace,
+    run_shard,
+    simulate_device,
+)
+
+__all__ = [
+    "DEFAULT_FLEET_SEED",
+    "DEFAULT_FULL_DEVICES",
+    "DEFAULT_QUICK_DEVICES",
+    "DeviceOutcome",
+    "DeviceProfile",
+    "FLEET_DEVICES_ENV",
+    "FLEET_METRICS",
+    "FLEET_SEED_ENV",
+    "FleetAggregate",
+    "MetricSummary",
+    "RESERVOIR_K",
+    "bucket_bounds",
+    "bucket_of",
+    "fleet_device_count",
+    "fleet_platform",
+    "fleet_seed",
+    "fleet_trace",
+    "run_shard",
+    "sample_device",
+    "sample_priority",
+    "simulate_device",
+]

@@ -1,0 +1,256 @@
+"""Streaming fleet aggregation: fixed-size, associatively mergeable
+metric summaries.
+
+A fleet run must report population percentiles (p50/p95/p99 relaunch
+latency, kswapd CPU, ...) without ever materializing a per-device table
+— aggregator memory is independent of device count.  Each per-shard
+cell therefore emits one :class:`FleetAggregate`: per (scheme, metric)
+a :class:`MetricSummary` holding
+
+- exact count / sum / min / max (integers, so addition is associative
+  and order-independent — no float-summation order sensitivity);
+- a *fixed-bucket pseudo-logarithmic histogram*: sixteen exact buckets
+  for values below 16, then eight sub-buckets per power of two
+  (~±4.5% relative bucket width), addressed by pure integer bit
+  arithmetic so bucketing is platform- and core-independent;
+- a *seeded keyed reservoir* of at most :data:`RESERVOIR_K` raw
+  samples: every sample draws a deterministic priority from
+  ``blake2b(seed, metric, device, draw)`` and the reservoir keeps the
+  ``K`` smallest priorities.  "K smallest of a union" is associative
+  and commutative, so any merge tree over any shard order yields the
+  same reservoir — and the same bytes in the ``--json`` document.
+
+Percentiles are estimated from the merged histogram (linear
+interpolation inside the winning bucket, clamped to the exact
+min/max), never from raw per-device data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from hashlib import blake2b
+
+#: Values below this are their own (exact) bucket.
+_SMALL = 16
+#: Sub-buckets per power of two above ``_SMALL``.
+_SUB = 8
+#: Bucket count supporting values up to 2**63 (sparse dicts mean the
+#: theoretical width costs nothing).
+N_BUCKETS = _SMALL + (63 - 3) * _SUB
+
+#: Reservoir capacity per (scheme, metric).  Bounds aggregator memory:
+#: a ten-million-device fleet carries exactly as many raw samples as a
+#: ten-device one.
+RESERVOIR_K = 64
+
+
+def bucket_of(value: int) -> int:
+    """Histogram bucket for a non-negative integer sample.
+
+    Integer bit arithmetic only: identical on every platform and
+    simulator core, unlike ``math.log``-based bucketing.
+    """
+    if value < 0:
+        raise ValueError(f"metric samples must be >= 0, got {value}")
+    if value < _SMALL:
+        return value
+    msb = value.bit_length() - 1  # >= 4
+    sub = (value >> (msb - 3)) & 0x7
+    return _SMALL + (msb - 4) * _SUB + sub
+
+
+def bucket_bounds(bucket: int) -> tuple[int, int]:
+    """Half-open value range ``[lo, hi)`` covered by ``bucket``."""
+    if bucket < _SMALL:
+        return bucket, bucket + 1
+    msb = 4 + (bucket - _SMALL) // _SUB
+    sub = (bucket - _SMALL) % _SUB
+    return (_SUB + sub) << (msb - 3), (_SUB + sub + 1) << (msb - 3)
+
+
+def sample_priority(seed: int, metric: str, device: int, draw: int) -> int:
+    """Deterministic reservoir priority for one sample.
+
+    A pure function of the sample's identity — independent of shard
+    boundaries, merge order, and job count — so the "keep the K
+    smallest priorities" reservoir is reproducible by construction.
+    """
+    digest = blake2b(
+        f"{seed}:{metric}:{device}:{draw}".encode("utf-8"), digest_size=12
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+@dataclass
+class MetricSummary:
+    """Fixed-size streaming summary of one integer-valued metric."""
+
+    count: int = 0
+    total: int = 0
+    minimum: int | None = None
+    maximum: int | None = None
+    #: Sparse histogram: bucket index -> sample count.
+    buckets: dict[int, int] = field(default_factory=dict)
+    #: At most :data:`RESERVOIR_K` ``(priority, value)`` pairs, sorted.
+    reservoir: list[tuple[int, int]] = field(default_factory=list)
+
+    def add(self, value: int, priority: int) -> None:
+        """Fold one sample in (priority from :func:`sample_priority`)."""
+        self.count += 1
+        self.total += value
+        self.minimum = value if self.minimum is None else min(self.minimum, value)
+        self.maximum = value if self.maximum is None else max(self.maximum, value)
+        bucket = bucket_of(value)
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+        self.reservoir.append((priority, value))
+        if len(self.reservoir) > RESERVOIR_K:
+            self.reservoir.sort()
+            del self.reservoir[RESERVOIR_K:]
+
+    def merge(self, other: "MetricSummary") -> "MetricSummary":
+        """Associative, commutative combination of two summaries."""
+        merged = MetricSummary(
+            count=self.count + other.count,
+            total=self.total + other.total,
+            minimum=_opt_min(self.minimum, other.minimum),
+            maximum=_opt_max(self.maximum, other.maximum),
+            buckets=dict(self.buckets),
+        )
+        for bucket, count in other.buckets.items():
+            merged.buckets[bucket] = merged.buckets.get(bucket, 0) + count
+        merged.reservoir = sorted(self.reservoir + other.reservoir)[:RESERVOIR_K]
+        return merged
+
+    # ------------------------------------------------------------ statistics
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Histogram-estimated quantile, clamped to the exact extrema."""
+        if self.count == 0:
+            return 0.0
+        assert self.minimum is not None and self.maximum is not None
+        rank = q * (self.count - 1)
+        if rank <= 0:
+            return float(self.minimum)
+        if rank >= self.count - 1:
+            return float(self.maximum)
+        cumulative = 0
+        for bucket in sorted(self.buckets):
+            count = self.buckets[bucket]
+            if rank < cumulative + count:
+                lo, hi = bucket_bounds(bucket)
+                lo = max(lo, self.minimum)
+                hi = min(hi, self.maximum + 1)
+                within = (rank - cumulative + 0.5) / count
+                return min(float(self.maximum), lo + (hi - lo) * within)
+            cumulative += count
+        return float(self.maximum)
+
+    def normalized(self) -> "MetricSummary":
+        """Canonical field ordering (sorted reservoir and buckets).
+
+        ``add`` keeps the reservoir unsorted below capacity and inserts
+        histogram keys in arrival order; merge concatenation sorts.  The
+        canonical form makes equality and serialized bytes independent
+        of the path that built the summary.
+        """
+        return MetricSummary(
+            count=self.count,
+            total=self.total,
+            minimum=self.minimum,
+            maximum=self.maximum,
+            buckets={bucket: self.buckets[bucket] for bucket in sorted(self.buckets)},
+            reservoir=sorted(self.reservoir),
+        )
+
+
+def _opt_min(a: int | None, b: int | None) -> int | None:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
+
+
+def _opt_max(a: int | None, b: int | None) -> int | None:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return max(a, b)
+
+
+#: The metrics every device reports (integer units noted).
+FLEET_METRICS = (
+    "relaunch_ns",          # one sample per measured relaunch
+    "kswapd_cpu_ns",        # one sample per device
+    "flash_written_bytes",  # one sample per device
+    "kills",                # one sample per device
+)
+
+
+@dataclass
+class FleetAggregate:
+    """One shard's (or the whole fleet's) merged summaries.
+
+    Fixed-size by construction: per (scheme, metric) one
+    :class:`MetricSummary`, plus the summed pressure ledger.  Merging
+    shards is field-wise associative addition.
+    """
+
+    devices: int = 0
+    pressure_devices: int = 0
+    relaunches: int = 0
+    #: scheme -> metric -> summary.
+    by_scheme: dict[str, dict[str, MetricSummary]] = field(default_factory=dict)
+    #: Summed :meth:`repro.lmk.PressurePlan.ledger` integers across
+    #: every pressure-enabled device.
+    ledger: dict[str, int] = field(default_factory=dict)
+    #: True iff every pressure-enabled device's ledger balanced.
+    ledger_consistent: bool = True
+
+    def summary(self, scheme: str, metric: str) -> MetricSummary:
+        per_scheme = self.by_scheme.setdefault(scheme, {})
+        found = per_scheme.get(metric)
+        if found is None:
+            found = per_scheme[metric] = MetricSummary()
+        return found
+
+    def merge(self, other: "FleetAggregate") -> "FleetAggregate":
+        merged = FleetAggregate(
+            devices=self.devices + other.devices,
+            pressure_devices=self.pressure_devices + other.pressure_devices,
+            relaunches=self.relaunches + other.relaunches,
+            ledger_consistent=self.ledger_consistent and other.ledger_consistent,
+        )
+        for source in (self, other):
+            for scheme, metrics in source.by_scheme.items():
+                for metric, summary in metrics.items():
+                    mine = merged.by_scheme.setdefault(scheme, {}).get(metric)
+                    merged.by_scheme[scheme][metric] = (
+                        summary.normalized() if mine is None
+                        else mine.merge(summary)
+                    )
+            for name, value in source.ledger.items():
+                merged.ledger[name] = merged.ledger.get(name, 0) + value
+        return merged
+
+    def normalized(self) -> "FleetAggregate":
+        """Canonical key ordering for byte-stable serialization."""
+        return FleetAggregate(
+            devices=self.devices,
+            pressure_devices=self.pressure_devices,
+            relaunches=self.relaunches,
+            by_scheme={
+                scheme: {
+                    metric: self.by_scheme[scheme][metric].normalized()
+                    for metric in sorted(self.by_scheme[scheme])
+                }
+                for scheme in sorted(self.by_scheme)
+            },
+            ledger={name: self.ledger[name] for name in sorted(self.ledger)},
+            ledger_consistent=self.ledger_consistent,
+        )

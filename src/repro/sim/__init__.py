@@ -1,6 +1,11 @@
 """System-level simulation: the phone, its apps, and usage scenarios."""
 
-from .scenario import ScenarioResult, run_heavy_scenario, run_light_scenario
+from .scenario import (
+    ScenarioResult,
+    run_heavy_scenario,
+    run_light_scenario,
+    run_switching_scenario,
+)
 from .system import SCHEME_NAMES, MobileSystem, make_system
 
 __all__ = [
@@ -10,4 +15,5 @@ __all__ = [
     "make_system",
     "run_heavy_scenario",
     "run_light_scenario",
+    "run_switching_scenario",
 ]

@@ -109,6 +109,21 @@ def run_light_scenario(
                          energy_model=energy_model)
 
 
+def run_switching_scenario(
+    system: MobileSystem,
+    duration_s: float,
+    think_seconds: float,
+    energy_model: EnergyModel | None = None,
+) -> ScenarioResult:
+    """App switching with a configurable intermission.
+
+    The fleet tier samples usage rhythm per device; the light/heavy
+    scenarios above stay the paper's fixed shapes.
+    """
+    return _run_scenario(system, duration_s, think_seconds=think_seconds,
+                         energy_model=energy_model)
+
+
 def run_heavy_scenario(
     system: MobileSystem,
     duration_s: float = 60.0,

@@ -35,7 +35,7 @@ def merged_from_reversed_cells(spec):
 def test_sharded_flags_cover_the_scheme_matrix():
     assert {spec.id for spec in sharded_specs()} == {
         "fig2", "fig3", "table2", "fig10", "fig11", "fig12", "fig13",
-        "chaos", "pressure", "zswap_compare", "zswap_sensitivity",
+        "chaos", "pressure", "zswap_compare", "zswap_sensitivity", "fleet",
     }
 
 

@@ -14,7 +14,7 @@ def test_registry_covers_every_table_and_figure():
         "table1", "fig2", "fig3", "table2", "fig4", "fig5", "fig6",
         "table3", "platform", "fig10", "fig11", "fig12", "fig13",
         "fig14", "fig15", "chaos", "pressure", "zswap_compare",
-        "zswap_sensitivity",
+        "zswap_sensitivity", "fleet",
     }
     assert set(experiment_ids()) == expected
 

@@ -1,0 +1,323 @@
+"""Fleet tier: sampler purity, mergeable summaries, and the sharded
+``fleet`` experiment's byte-identity and incrementality contracts.
+
+The load-bearing properties, in dependency order: device sampling is a
+pure function of ``(seed, index)`` (nothing else — especially not the
+fleet size); metric summaries merge associatively and
+order-independently with bounded memory; shard execution is the fold of
+device simulations, so any shard partition merges to the same
+aggregate; and the registered experiment therefore emits byte-identical
+``--json`` across job counts and cache states, re-simulating only new
+shards when the fleet grows.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import experiment
+from repro.experiments.common import _SHARED_SIZES
+from repro.experiments.fleet import SHARD_SIZE, parse_shard_key, shard_key
+from repro.experiments.runner import run_experiments
+from repro.experiments.__main__ import main
+from repro.fleet import (
+    RESERVOIR_K,
+    FleetAggregate,
+    MetricSummary,
+    bucket_bounds,
+    bucket_of,
+    fleet_device_count,
+    fleet_seed,
+    fleet_trace,
+    run_shard,
+    sample_device,
+    sample_priority,
+)
+
+SEED = 404
+
+
+class TestPopulationSampling:
+    def test_profiles_are_pure_functions_of_seed_and_index(self):
+        # Interleaving other indexes (a bigger fleet) must not perturb
+        # device 7: no shared stream, no order dependence.
+        alone = sample_device(SEED, 7)
+        for index in range(40):
+            sample_device(SEED, index)
+        assert sample_device(SEED, 7) == alone
+
+    def test_seed_and_index_both_matter(self):
+        assert sample_device(SEED, 3) != sample_device(SEED, 4)
+        assert sample_device(SEED, 3) != sample_device(SEED + 1, 3)
+
+    def test_population_covers_every_axis(self):
+        profiles = [sample_device(SEED, index) for index in range(300)]
+        assert {p.ram_class for p in profiles} == {"tight", "mid", "roomy"}
+        assert {p.flash_class for p in profiles} == {
+            "slow", "mainstream", "fast",
+        }
+        assert {p.scheme for p in profiles} == {
+            "Ariadne", "ZRAM", "SWAP", "ZSWAP",
+        }
+        assert {len(p.app_names) for p in profiles} == {2, 3}
+        # Pressure lifecycle runs exactly on the tight-RAM class.
+        assert all(p.pressure == (p.ram_class == "tight") for p in profiles)
+
+    def test_profiles_are_hashable_and_picklable(self):
+        profile = sample_device(SEED, 0)
+        assert pickle.loads(pickle.dumps(profile)) == profile
+        assert len({profile, sample_device(SEED, 0)}) == 1
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ConfigError):
+            sample_device(SEED, -1)
+
+    def test_env_knobs_parse_and_validate(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FLEET_SEED", "77")
+        monkeypatch.setenv("REPRO_FLEET_DEVICES", "123")
+        assert fleet_seed() == 77
+        assert fleet_device_count(quick=True) == 123
+        monkeypatch.setenv("REPRO_FLEET_DEVICES", "0")
+        with pytest.raises(ConfigError):
+            fleet_device_count(quick=True)
+        monkeypatch.setenv("REPRO_FLEET_SEED", "not-a-seed")
+        with pytest.raises(ConfigError):
+            fleet_seed()
+
+    def test_defaults_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FLEET_SEED", raising=False)
+        monkeypatch.delenv("REPRO_FLEET_DEVICES", raising=False)
+        assert fleet_seed() == SEED
+        assert fleet_device_count(quick=True) < fleet_device_count(quick=False)
+
+
+class TestHistogramBuckets:
+    def test_buckets_cover_and_partition_the_integers(self):
+        # Every sample lands in exactly the bucket whose bounds hold it,
+        # and bucket indexes never decrease as values grow.
+        previous = -1
+        for value in [*range(0, 2048), 10**6, 10**9, 10**12, 2**62]:
+            bucket = bucket_of(value)
+            lo, hi = bucket_bounds(bucket)
+            assert lo <= value < hi
+            assert bucket >= previous if value < 2048 else bucket > 0
+            if value < 2048:
+                previous = bucket
+        with pytest.raises(ValueError):
+            bucket_of(-1)
+
+    def test_relative_bucket_width_is_bounded(self):
+        for value in (100, 10**6, 10**9, 2**40):
+            lo, hi = bucket_bounds(bucket_of(value))
+            assert (hi - lo) / lo <= 0.125  # 8 sub-buckets per octave
+
+
+def _summary_from(values, metric="m", device0=0):
+    summary = MetricSummary()
+    for draw, value in enumerate(values):
+        summary.add(value, sample_priority(SEED, metric, device0, draw))
+    return summary
+
+
+class TestMetricSummary:
+    def test_merge_is_associative_and_order_independent(self):
+        rng = random.Random(12)
+        parts = [
+            _summary_from([rng.randrange(10**9) for _ in range(30)],
+                          device0=index)
+            for index in range(4)
+        ]
+        a, b, c, d = parts
+        left = a.merge(b).merge(c).merge(d)
+        right = a.merge(b.merge(c.merge(d)))
+        shuffled = d.merge(b).merge(a.merge(c))
+        assert left.normalized() == right.normalized() == shuffled.normalized()
+
+    def test_reservoir_is_bounded_and_deterministic(self):
+        big = _summary_from(range(10 * RESERVOIR_K))
+        assert len(big.reservoir) == RESERVOIR_K
+        assert big.count == 10 * RESERVOIR_K
+        # The kept set is the K smallest priorities of the union —
+        # independent of how the samples were partitioned into shards.
+        split = _summary_from(range(0, 5 * RESERVOIR_K))
+        rest = MetricSummary()
+        for draw in range(5 * RESERVOIR_K, 10 * RESERVOIR_K):
+            rest.add(draw, sample_priority(SEED, "m", 0, draw))
+        assert split.merge(rest).normalized() == big.normalized()
+
+    def test_quantiles_clamped_and_ordered(self):
+        summary = _summary_from([17, 3, 900, 900, 64, 5])
+        assert summary.quantile(0.0) >= summary.minimum
+        assert summary.quantile(1.0) == summary.maximum
+        quantiles = [summary.quantile(q) for q in (0.1, 0.5, 0.9, 0.99)]
+        assert quantiles == sorted(quantiles)
+        assert MetricSummary().quantile(0.5) == 0.0
+
+    def test_mean_and_totals_exact(self):
+        summary = _summary_from([1, 2, 3, 10])
+        assert (summary.count, summary.total) == (4, 16)
+        assert summary.mean == 4.0
+        assert (summary.minimum, summary.maximum) == (1, 10)
+
+
+@pytest.fixture(scope="module")
+def shard_whole():
+    """Devices [0, 10) simulated once, shared across assertions."""
+    return run_shard(SEED, 0, 10)
+
+
+class TestShardExecution:
+    def test_any_partition_merges_to_the_same_aggregate(self, shard_whole):
+        first = run_shard(SEED, 0, 4)
+        second = run_shard(SEED, 4, 10)
+        assert second.merge(first).normalized() == shard_whole
+        assert first.merge(second).normalized() == shard_whole
+
+    def test_shard_is_reproducible_and_picklable(self, shard_whole):
+        assert pickle.loads(pickle.dumps(shard_whole)) == shard_whole
+        assert run_shard(SEED, 0, 10) == shard_whole
+
+    def test_aggregate_size_is_independent_of_device_count(self, shard_whole):
+        # Streaming contract: 3x the devices must not grow the payload
+        # materially (reservoirs cap, histograms are fixed-bucket; only
+        # sparse-bucket occupancy can add a few entries).
+        bigger = run_shard(SEED, 0, 30)
+        assert bigger.devices == 3 * shard_whole.devices
+        small = len(pickle.dumps(shard_whole))
+        large = len(pickle.dumps(bigger))
+        assert large < 2 * small
+
+    def test_pressure_ledger_balances_across_tight_devices(self):
+        # Scan forward until the population includes pressure devices
+        # with kill/drop activity; their summed ledgers must balance.
+        aggregate = run_shard(SEED, 0, 20)
+        assert aggregate.pressure_devices > 0
+        assert aggregate.ledger_consistent
+        assert aggregate.ledger  # summed decision counters present
+        assert all(isinstance(v, int) for v in aggregate.ledger.values())
+
+    def test_traces_are_shared_across_devices_with_one_mix(self):
+        profile = sample_device(SEED, 0)
+        assert fleet_trace(SEED, profile.trace_signature) is fleet_trace(
+            SEED, profile.trace_signature
+        )
+
+    def test_device_metrics_are_integers(self, shard_whole):
+        for metrics in shard_whole.by_scheme.values():
+            for summary in metrics.values():
+                assert isinstance(summary.total, int)
+                assert all(
+                    isinstance(value, int) for _, value in summary.reservoir
+                )
+
+
+class TestFleetExperiment:
+    def test_cell_keys_embed_seed_and_align_to_shard_boundaries(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FLEET_DEVICES", "120")
+        spec = experiment("fleet")
+        keys = spec.cell_keys(quick=True)
+        assert keys[0] == shard_key(SEED, 0, SHARD_SIZE)
+        assert keys[-1] == shard_key(SEED, 100, 120)
+        assert parse_shard_key(keys[1]) == (SEED, 50, 100)
+        # Growing the fleet preserves every full shard's key — the
+        # persistent-cache incrementality contract.
+        monkeypatch.setenv("REPRO_FLEET_DEVICES", "240")
+        grown = spec.cell_keys(quick=True)
+        assert grown[:2] == keys[:2]
+        monkeypatch.setenv("REPRO_FLEET_SEED", "7")
+        assert all("s7-" in key for key in spec.cell_keys(quick=True))
+
+    def test_malformed_cell_keys_rejected(self):
+        spec = experiment("fleet")
+        for bad in ("not-a-cell", "s404-d000010-000005", "s404-d000003-000003"):
+            with pytest.raises(KeyError):
+                spec.run_cell(bad, quick=True)
+
+    def test_cells_equal_serial_through_pickle(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FLEET_DEVICES", "8")
+        spec = experiment("fleet")
+        results = {}
+        for key in reversed(spec.cell_keys(quick=True)):
+            payload = spec.run_cell(key, quick=True)
+            results[key] = pickle.loads(pickle.dumps(payload))
+        assert spec.merge(results, quick=True) == spec.run(quick=True)
+
+    def test_result_reports_percentiles_per_scheme(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FLEET_DEVICES", "12")
+        result = experiment("fleet").run(quick=True)
+        assert result.devices == 12
+        for metrics in result.stats.values():
+            stats = metrics["relaunch_ns"]
+            assert stats.p50 <= stats.p95 <= stats.p99 <= stats.maximum
+        rendered = result.render()
+        assert "p99" in rendered and "12 devices" in rendered
+        assert json.loads(json.dumps(result.to_json())) == result.to_json()
+
+
+@pytest.fixture()
+def persistent_caches(monkeypatch, tmp_path):
+    from repro.experiments import common
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    common.artifact_cache.cache_clear()
+    common.result_cache.cache_clear()
+    yield tmp_path / "cache"
+    common.artifact_cache.cache_clear()
+    common.result_cache.cache_clear()
+
+
+class TestFleetDeterminismAndIncrementality:
+    def test_json_byte_identical_across_jobs_and_cache_states(
+        self, capsys, monkeypatch, persistent_caches
+    ):
+        monkeypatch.setenv("REPRO_FLEET_DEVICES", "60")
+        runs = {}
+        for label, jobs in (("cold-1", "1"), ("warm-4", "4"), ("warm-2", "2")):
+            assert main(["fleet", "--quick", "--json", "--jobs", jobs]) == 0
+            runs[label] = capsys.readouterr().out
+        assert runs["cold-1"] == runs["warm-4"] == runs["warm-2"]
+        document = json.loads(runs["cold-1"])
+        assert document["experiments"][0]["result"]["devices"] == 60
+
+    def test_growing_the_fleet_only_simulates_new_shards(
+        self, monkeypatch, persistent_caches
+    ):
+        monkeypatch.setenv("REPRO_FLEET_DEVICES", "100")
+        (first,) = run_experiments(["fleet"], jobs=2, quick=True)
+        assert first.ok and first.cells == 2 and first.cached_tasks == 0
+        monkeypatch.setenv("REPRO_FLEET_DEVICES", "150")
+        (grown,) = run_experiments(["fleet"], jobs=2, quick=True)
+        assert grown.ok and grown.cells == 3
+        # Both prior shards served from the persistent result cache.
+        assert grown.cached_tasks == 2
+        assert grown.result.devices == 150
+
+    def test_serial_growth_never_serves_a_stale_whole_result(
+        self, monkeypatch, persistent_caches
+    ):
+        # Regression: at --jobs 1 a sharded experiment runs as one
+        # task.  Were its merged result memoized under cell=None, a
+        # grown fleet would be served the *old* fleet's percentiles —
+        # the key doesn't know the size.  Per-cell caching must kick
+        # in instead, reusing prior shards and simulating the rest.
+        monkeypatch.setenv("REPRO_FLEET_DEVICES", "100")
+        (first,) = run_experiments(["fleet"], jobs=1, quick=True)
+        assert first.ok and first.result.devices == 100
+        monkeypatch.setenv("REPRO_FLEET_DEVICES", "150")
+        (grown,) = run_experiments(["fleet"], jobs=1, quick=True)
+        assert grown.ok and grown.result.devices == 150
+        assert grown.cached_tasks == 2
+
+    def test_shared_size_cache_is_wired_into_devices(self, shard_whole):
+        # simulate_device points every system at the experiment layer's
+        # shared compressed-size memo, so fleet devices and the paper
+        # suite exchange measurements.
+        assert shard_whole.devices == 10
+        assert len(_SHARED_SIZES) > 0

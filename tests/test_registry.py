@@ -31,10 +31,11 @@ from repro.experiments.registry import to_jsonable
 class TestRegistration:
     def test_every_experiment_registered_exactly_once(self):
         ids = experiment_ids()
-        assert len(ids) == len(set(ids)) == 19
-        # Registry order is the paper's presentation order.
+        assert len(ids) == len(set(ids)) == 20
+        # Registry order is the paper's presentation order (the fleet
+        # tier, not being a paper figure, registers last).
         assert ids[0] == "table1"
-        assert ids[-1] == "zswap_sensitivity"
+        assert ids[-1] == "fleet"
 
     def test_specs_declare_identity(self):
         for spec in all_experiments():
@@ -46,6 +47,7 @@ class TestRegistration:
                 "anchor": spec.anchor,
                 "sharded": spec.sharded,
                 "cacheable": spec.cacheable,
+                "jobs_hint": spec.jobs_hint,
             }
 
     def test_duplicate_registration_rejected(self):

@@ -61,6 +61,16 @@ class _FakeShardedFailing(_FakeSharded):
         return ["alpha", "boom"]
 
 
+class _FakeManyCells(_FakeSharded):
+    """Forty trivial cells: exercises the bounded submission window."""
+
+    def cell_keys(self, quick: bool = False) -> list[str]:
+        return [f"cell{i:03d}" for i in range(40)]
+
+    def run_cell(self, key: str, quick: bool = False) -> dict:
+        return {key: key.upper()}
+
+
 class _FakeShardedHanging(_FakeSharded):
     """One cell sleeps far past any sane task timeout."""
 
@@ -153,6 +163,27 @@ class TestShardedScheduling:
         assert [outcome.name for outcome in outcomes] == ["platform", "fake"]
         assert all(outcome.ok for outcome in outcomes)
 
+    def test_submission_window_bounds_inflight_tasks(self, monkeypatch):
+        from repro.experiments import runner
+
+        monkeypatch.setitem(registry._REGISTRY, "fake", _FakeManyCells())
+        peak = 0
+        original = runner._Supervisor.submit
+
+        def tracking_submit(self, task_index):
+            nonlocal peak
+            original(self, task_index)
+            peak = max(peak, len(self.inflight))
+
+        monkeypatch.setattr(runner._Supervisor, "submit", tracking_submit)
+        (outcome,) = run_experiments(["fake"], jobs=2)
+        assert outcome.ok and outcome.cells == 40
+        assert len(outcome.result.partials) == 40
+        # In-flight submissions stay O(workers), not O(tasks): the
+        # window is what keeps a many-thousand-shard fleet's pending
+        # payloads out of the pool queue.
+        assert 0 < peak <= max(2 * 2, 2 + 2)
+
     def test_empty_cell_list_falls_back_to_whole_run(self, monkeypatch):
         class _NoCells(_FakeSharded):
             def cell_keys(self, quick: bool = False) -> list[str]:
@@ -199,6 +230,23 @@ class TestResultCacheIntegration:
         assert warm.ok and warm.cached_tasks == 1
         assert warm.rendered == cold.rendered
         assert warm.result == cold.result
+
+    def test_serial_sharded_run_caches_per_cell_not_whole(
+        self, fake_sharded, persistent_caches
+    ):
+        # A one-worker run of a sharded spec must store the same
+        # per-cell entries the parallel path reads — never the merged
+        # result under cell=None, a key that cannot distinguish two
+        # env-dependent cell lists (the fleet's size and seed).
+        (cold,) = run_experiments(["fake"], jobs=1)
+        assert cold.ok and cold.cached_tasks == 0
+        (parallel,) = run_experiments(["fake"], jobs=2)
+        assert parallel.ok and parallel.cached_tasks == 3
+        # And the reverse direction: a serial re-run reports the per-
+        # cell hits it was served.
+        (serial,) = run_experiments(["fake"], jobs=1)
+        assert serial.ok and serial.cached_tasks == 3
+        assert serial.rendered == cold.rendered
 
     def test_failed_task_is_not_cached(self, fake_failing, persistent_caches):
         (first,) = run_experiments(["fake"], jobs=2)
@@ -419,6 +467,37 @@ class TestDefaultJobs:
         for bad in ("0", "-2", "many", ""):
             monkeypatch.setenv("REPRO_JOBS", bad)
             assert 1 <= default_jobs() <= 8
+
+    def test_jobs_hint_raises_the_cap_for_requesting_experiments(
+        self, monkeypatch
+    ):
+        from repro.experiments import runner
+
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.setattr(
+            runner.os, "sched_getaffinity", lambda _pid: set(range(32)),
+            raising=False,
+        )
+        # The paper suite keeps the conservative cap; the fleet's hint
+        # lifts it to the affinity mask; mixing takes the largest hint.
+        assert default_jobs(["fig10"]) == 8
+        assert default_jobs(["fleet"]) == 32
+        assert default_jobs(["fig10", "fleet"]) == 32
+        assert default_jobs() == 8
+
+    def test_jobs_hint_never_exceeds_affinity(self, monkeypatch):
+        from repro.experiments import runner
+
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.setattr(
+            runner.os, "sched_getaffinity", lambda _pid: {0, 1},
+            raising=False,
+        )
+        assert default_jobs(["fleet"]) == 2
+
+    def test_repro_jobs_env_wins_over_hints(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert default_jobs(["fleet"]) == 3
 
 
 class TestOutcome:
